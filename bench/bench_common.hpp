@@ -1,0 +1,63 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "graph/network.hpp"
+#include "routing/routing.hpp"
+#include "routing/validate.hpp"
+#include "sim/flit_sim.hpp"
+#include "util/timer.hpp"
+
+namespace nue::bench {
+
+struct RoutingRun {
+  std::string name;
+  std::optional<RoutingResult> rr;  // empty = engine inapplicable
+  std::string note;                 // failure reason / VL demand info
+  double seconds = 0.0;
+  std::uint32_t vls = 0;            // VLs used for deadlock freedom
+};
+
+/// Run a routing engine, catching RoutingFailure into an "inapplicable"
+/// outcome (the blank bars / missing dots of the paper's figures).
+inline RoutingRun run_routing(const std::string& name,
+                              const std::function<RoutingResult()>& fn) {
+  RoutingRun run;
+  run.name = name;
+  Timer t;
+  try {
+    run.rr.emplace(fn());
+    run.seconds = t.seconds();
+    run.vls = run.rr->num_vls();
+  } catch (const RoutingFailure& e) {
+    run.seconds = t.seconds();
+    run.note = e.what();
+  }
+  return run;
+}
+
+/// Validate + simulate an all-to-all exchange; returns normalized
+/// throughput (fraction of terminal line rate) or a failure marker.
+inline std::string throughput_cell(const Network& net, const RoutingRun& run,
+                                   std::uint32_t message_bytes,
+                                   std::uint32_t shift_samples,
+                                   double* value_out = nullptr) {
+  if (!run.rr) return "n/a";
+  const auto rep = validate_routing(net, *run.rr);
+  if (!rep.ok()) return "INVALID(" + rep.detail + ")";
+  SimConfig cfg;
+  const auto msgs = alltoall_shift_messages(net, message_bytes, shift_samples);
+  const auto res = simulate(net, *run.rr, msgs, cfg);
+  if (res.deadlocked) return "DEADLOCK";
+  if (!res.completed) return "TIMEOUT";
+  if (value_out) *value_out = res.normalized_throughput;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", res.normalized_throughput);
+  return buf;
+}
+
+}  // namespace nue::bench

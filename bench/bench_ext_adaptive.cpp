@@ -1,0 +1,77 @@
+// Extension bench: oblivious Nue vs Duato-style adaptive routing with
+// escape channels (§4.2's origin of the escape-path idea). InfiniBand
+// cannot route adaptively — which is exactly why Nue exists — but the
+// comparison quantifies the gap a destination-based oblivious routing
+// gives up, per topology and VL budget.
+#include <iostream>
+
+#include "nue/nue_routing.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+#include "sim/flit_sim.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nue;
+  Flags flags(argc, argv);
+  const auto shifts = static_cast<std::uint32_t>(
+      flags.get_int("shift-samples", 16, "all-to-all shift phases (0=all)"));
+  const std::string csv = flags.get_string("csv", "", "CSV output path");
+  if (!flags.finish()) return 1;
+
+  struct Topo {
+    std::string name;
+    Network net;
+  };
+  std::vector<Topo> topos;
+  {
+    TorusSpec spec{{4, 4, 3}, 2, 1};
+    topos.push_back({"4x4x3 torus", make_torus(spec)});
+  }
+  {
+    Rng rng(77);
+    RandomSpec spec{40, 120, 3};
+    topos.push_back({"random 40sw", make_random(spec, rng)});
+  }
+  {
+    HyperXSpec spec;
+    spec.shape = {4, 4};
+    spec.terminals_per_switch = 3;
+    topos.push_back({"hyperx 4x4", make_hyperx(spec)});
+  }
+
+  Table table({"topology", "scheme", "VLs", "throughput", "avg latency"});
+  for (const auto& topo : topos) {
+    const Network& net = topo.net;
+    const auto dests = net.terminals();
+    const auto msgs = alltoall_shift_messages(net, 2048, shifts);
+    const auto escape = route_updown(net, dests);
+    NUE_CHECK(validate_routing(net, escape).ok());
+    for (std::uint32_t k : {2u, 4u}) {
+      {
+        NueOptions opt;
+        opt.num_vls = k;
+        const auto rr = route_nue(net, dests, opt);
+        const auto res = simulate(net, rr, msgs, SimConfig{});
+        table.row() << topo.name << "nue (oblivious)" << k
+                    << res.normalized_throughput << res.avg_packet_latency;
+      }
+      {
+        // Same VL budget: k-1 adaptive lanes + 1 escape lane.
+        const auto res = simulate_adaptive(net, escape, k - 1, msgs,
+                                           SimConfig{});
+        table.row() << topo.name << "adaptive+escape" << k
+                    << res.normalized_throughput << res.avg_packet_latency;
+      }
+    }
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  std::cout << "\n(same total VL budget per pair of rows; the adaptive "
+               "scheme needs hardware\n InfiniBand does not have — the gap "
+               "is the price of destination-based tables)\n";
+  return 0;
+}

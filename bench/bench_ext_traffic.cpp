@@ -1,0 +1,96 @@
+// Extension bench (paper footnote 7): "Simulating uniform random injection
+// traffic yields similar behaviour of Nue" — cross-checks the all-to-all
+// results of Figs. 1/10 under uniform random, adversarial (tornado /
+// bit-complement) and hotspot traffic, with packet latency statistics.
+//
+//   --switches/--links/--terminals   fabric configuration
+//   --messages N                     uniform/hotspot message count
+#include <iostream>
+
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+#include "sim/flit_sim.hpp"
+#include "sim/traffic.hpp"
+#include "topology/misc_topologies.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nue;
+  Flags flags(argc, argv);
+  RandomSpec spec;
+  spec.switches = static_cast<std::uint32_t>(
+      flags.get_int("switches", 40, "switches"));
+  spec.links = static_cast<std::uint32_t>(
+      flags.get_int("links", 120, "switch-to-switch links"));
+  spec.terminals_per_switch = static_cast<std::uint32_t>(
+      flags.get_int("terminals", 4, "terminals per switch"));
+  const auto count = static_cast<std::size_t>(
+      flags.get_int("messages", 4000, "messages for random/hotspot"));
+  const std::string csv = flags.get_string("csv", "", "CSV output path");
+  if (!flags.finish()) return 1;
+
+  Rng rng(2024);
+  Network net = make_random(spec, rng);
+  const auto dests = net.terminals();
+
+  struct Engine {
+    std::string name;
+    RoutingResult rr;
+  };
+  std::vector<Engine> engines;
+  {
+    NueOptions o1;
+    o1.num_vls = 1;
+    engines.push_back({"nue-1", route_nue(net, dests, o1)});
+    NueOptions o4;
+    o4.num_vls = 4;
+    engines.push_back({"nue-4", route_nue(net, dests, o4)});
+    engines.push_back({"dfsssp", route_dfsssp(net, dests, {.max_vls = 8})});
+    engines.push_back({"up*/down*", route_updown(net, dests)});
+  }
+
+  struct Workload {
+    std::string name;
+    std::vector<Message> msgs;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"all-to-all", alltoall_shift_messages(net, 2048, 16)});
+  {
+    Rng trng(7);
+    workloads.push_back(
+        {"uniform", uniform_random_messages(net, count, 2048, trng)});
+  }
+  workloads.push_back(
+      {"tornado", pattern_messages(net, TrafficPattern::kTornado, 2048, 8)});
+  workloads.push_back(
+      {"bit-compl",
+       pattern_messages(net, TrafficPattern::kBitComplement, 2048, 8)});
+  {
+    Rng trng(9);
+    workloads.push_back(
+        {"hotspot-10%",
+         hotspot_messages(net, count, 2048, 0.10, 0, trng)});
+  }
+
+  Table table({"workload", "routing", "throughput", "avg latency",
+               "p99 latency"});
+  for (const auto& w : workloads) {
+    for (const auto& e : engines) {
+      NUE_CHECK(validate_routing(net, e.rr).ok());
+      const auto res = simulate(net, e.rr, w.msgs, SimConfig{});
+      NUE_CHECK_MSG(res.completed, w.name << "/" << e.name);
+      table.row() << w.name << e.name << res.normalized_throughput
+                  << res.avg_packet_latency << res.p99_packet_latency;
+    }
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  std::cout << "\n(footnote 7: the routing ordering under uniform traffic "
+               "should match the\n all-to-all ordering used in the "
+               "figures)\n";
+  return 0;
+}

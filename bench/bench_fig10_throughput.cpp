@@ -1,0 +1,146 @@
+// Figure 10 reproduction: simulated all-to-all throughput on the five
+// standard and two real-world topologies of Table 1, for every applicable
+// OpenSM-style routing plus Nue with 1..8 VLs.
+//
+// Expected shape (paper): Nue's throughput rises with the VL count and
+// plateaus around k≈5; Nue is competitive with the best per-topology
+// routing (83.5%..121.4%), occasionally beating DFSSSP; fat-tree/LASH/
+// Up*/Down* trail on most topologies.
+//
+//   --shift-samples N    sampled shift phases (default 8; paper: all)
+//   --message-bytes B    message size (paper: 2048)
+//   --topo NAME          run a single topology (random|torus|fattree|
+//                        kautz|dragonfly|cascade|tsubame)
+//   --max-vls K          Nue VL sweep upper bound (default 8)
+//   --csv FILE
+#include <functional>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/fattree_routing.hpp"
+#include "routing/lash.hpp"
+#include "routing/torus_qos.hpp"
+#include "routing/updown.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nue;
+  using namespace nue::bench;
+  Flags flags(argc, argv);
+  const auto shifts = static_cast<std::uint32_t>(flags.get_int(
+      "shift-samples", 8, "all-to-all shift phases (0 = all; paper: all)"));
+  const auto msg_bytes = static_cast<std::uint32_t>(
+      flags.get_int("message-bytes", 2048, "message size in bytes"));
+  const auto max_vls = static_cast<std::uint32_t>(
+      flags.get_int("max-vls", 8, "Nue VL sweep upper bound"));
+  const std::string only = flags.get_string("topo", "", "single topology");
+  const std::string csv = flags.get_string("csv", "", "CSV output path");
+  if (!flags.finish()) return 1;
+
+  struct Topo {
+    std::string name;
+    Network net;
+    const TorusSpec* torus = nullptr;     // set if torus routing applies
+    const FatTreeSpec* fattree = nullptr; // set if fat-tree routing applies
+  };
+  // Owned specs for the topology-aware engines.
+  static TorusSpec torus_spec{{6, 5, 5}, 7, 4};
+  static FatTreeSpec ft_spec{10, 3, 11, 0};
+
+  std::vector<Topo> topos;
+  auto want = [&](const std::string& n) { return only.empty() || only == n; };
+  if (want("random")) {
+    Rng rng(1000);
+    RandomSpec spec;
+    topos.push_back({"random", make_random(spec, rng)});
+  }
+  if (want("torus")) {
+    topos.push_back({"6x5x5 torus", make_torus(torus_spec)});
+    topos.back().torus = &torus_spec;
+  }
+  if (want("fattree")) {
+    topos.push_back({"10-ary 3-tree", make_kary_ntree(ft_spec)});
+    topos.back().fattree = &ft_spec;
+  }
+  if (want("kautz")) {
+    KautzSpec spec;
+    topos.push_back({"kautz", make_kautz(spec)});
+  }
+  if (want("dragonfly")) {
+    DragonflySpec spec;
+    topos.push_back({"dragonfly", make_dragonfly(spec)});
+  }
+  if (want("cascade")) {
+    CascadeSpec spec;
+    topos.push_back({"cascade", make_cascade(spec)});
+  }
+  if (want("tsubame")) {
+    ClosSpec spec;
+    topos.push_back({"tsubame2.5", make_tsubame25_like(spec)});
+  }
+
+  Table table({"topology", "routing", "VLs", "normalized throughput",
+               "routing time [s]"});
+  for (auto& topo : topos) {
+    const Network& net = topo.net;
+    const auto dests = net.terminals();
+    std::cerr << "== " << topo.name << " (" << net.num_alive_terminals()
+              << " terminals)\n";
+
+    std::vector<RoutingRun> runs;
+    runs.push_back(
+        run_routing("up*/down*", [&] { return route_updown(net, dests); }));
+    {
+      DfssspStats st;
+      runs.push_back(run_routing("dfsssp", [&] {
+        return route_dfsssp(net, dests, {.max_vls = 8}, &st);
+      }));
+      if (runs.back().rr) runs.back().vls = st.vls_needed;
+    }
+    {
+      LashStats st;
+      runs.push_back(run_routing("lash", [&] {
+        return route_lash(net, dests, {.max_vls = 8}, &st);
+      }));
+      if (runs.back().rr) runs.back().vls = st.vls_needed;
+    }
+    if (topo.torus) {
+      runs.push_back(run_routing("torus-2qos", [&] {
+        return route_torus_qos(net, *topo.torus, dests);
+      }));
+    }
+    if (topo.fattree) {
+      runs.push_back(run_routing("fat-tree", [&] {
+        return route_fattree(net, *topo.fattree, dests);
+      }));
+    }
+    for (std::uint32_t k = 1; k <= max_vls; ++k) {
+      runs.push_back(run_routing("nue " + std::to_string(k), [&] {
+        NueOptions opt;
+        opt.num_vls = k;
+        return route_nue(net, dests, opt);
+      }));
+    }
+
+    for (const auto& run : runs) {
+      Timer t;
+      const std::string cell = throughput_cell(net, run, msg_bytes, shifts);
+      table.row() << topo.name << run.name
+                  << (run.rr ? std::to_string(run.vls) : std::string("-"))
+                  << (run.rr ? cell : "inapplicable: " + run.note)
+                  << run.seconds;
+      std::cerr << "   " << run.name << " -> " << cell << " (route "
+                << run.seconds << "s, sim " << t.seconds() << "s)\n";
+    }
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

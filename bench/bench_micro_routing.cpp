@@ -1,0 +1,76 @@
+// Micro-benchmarks of the routing engines themselves (google-benchmark):
+// per-engine wall time on a fixed mid-size irregular fabric, plus the
+// ω-memoization effectiveness counters of Nue's cycle search (§4.6.1) —
+// the fraction of dependency checks resolved in O(1).
+#include <benchmark/benchmark.h>
+
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/lash.hpp"
+#include "routing/updown.hpp"
+#include "topology/misc_topologies.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nue;
+
+Network bench_network() {
+  Rng rng(321);
+  RandomSpec spec{64, 200, 4};
+  return make_random(spec, rng);
+}
+
+void BM_RouteUpDown(benchmark::State& state) {
+  const Network net = bench_network();
+  const auto dests = net.terminals();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_updown(net, dests));
+  }
+}
+BENCHMARK(BM_RouteUpDown)->Unit(benchmark::kMillisecond);
+
+void BM_RouteDfsssp(benchmark::State& state) {
+  const Network net = bench_network();
+  const auto dests = net.terminals();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        route_dfsssp(net, dests, {.max_vls = 16, .allow_exceed = true}));
+  }
+}
+BENCHMARK(BM_RouteDfsssp)->Unit(benchmark::kMillisecond);
+
+void BM_RouteLash(benchmark::State& state) {
+  const Network net = bench_network();
+  const auto dests = net.terminals();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        route_lash(net, dests, {.max_vls = 16, .allow_exceed = true}));
+  }
+}
+BENCHMARK(BM_RouteLash)->Unit(benchmark::kMillisecond);
+
+void BM_RouteNue(benchmark::State& state) {
+  const Network net = bench_network();
+  const auto dests = net.terminals();
+  NueOptions opt;
+  opt.num_vls = static_cast<std::uint32_t>(state.range(0));
+  NueStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_nue(net, dests, opt, &stats));
+  }
+  // ω effectiveness: how many dependency decisions avoided a graph search.
+  const double total = static_cast<double>(
+      stats.fast_accepts + stats.cycle_searches + 1);
+  state.counters["o1_decision_frac"] =
+      static_cast<double>(stats.fast_accepts) / total;
+  state.counters["dfs_searches"] =
+      static_cast<double>(stats.cycle_searches);
+  state.counters["dfs_steps"] =
+      static_cast<double>(stats.cycle_search_steps);
+}
+BENCHMARK(BM_RouteNue)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

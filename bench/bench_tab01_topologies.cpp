@@ -1,0 +1,79 @@
+// Table 1 reproduction: the topology configurations used for the Fig. 10
+// throughput simulations, printed from the actual generators so the counts
+// can be compared against the paper (switches / terminals / switch-to-
+// switch channels / redundancy).
+#include <iostream>
+
+#include "graph/algorithms.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::size_t switch_links(const nue::Network& net) {
+  std::size_t n = 0;
+  for (nue::ChannelId c = 0; c < net.num_channels(); c += 2) {
+    if (net.channel_alive(c) && net.is_switch(net.src(c)) &&
+        net.is_switch(net.dst(c))) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nue;
+  Flags flags(argc, argv);
+  const std::string csv = flags.get_string("csv", "", "CSV output path");
+  if (!flags.finish()) return 1;
+
+  Table table({"topology", "switches", "terminals", "channels", "r",
+               "paper (sw/term/ch)", "connected"});
+  auto add = [&](const std::string& name, const Network& net, std::uint32_t r,
+                 const std::string& paper) {
+    table.row() << name << net.num_alive_switches()
+                << net.num_alive_terminals() << switch_links(net) << r
+                << paper << (is_connected(net) ? "yes" : "NO");
+  };
+
+  {
+    Rng rng(1000);
+    RandomSpec spec;
+    add("random", make_random(spec, rng), 1, "125/1000/1000");
+  }
+  {
+    TorusSpec spec{{6, 5, 5}, 7, 4};
+    add("6x5x5 3D-torus", make_torus(spec), 4, "150/1050/1800");
+  }
+  {
+    FatTreeSpec spec{10, 3, 11, 0};
+    add("10-ary 3-tree", make_kary_ntree(spec), 1, "300/1100/2000");
+  }
+  {
+    KautzSpec spec;
+    add("kautz (d=5,k=3)", make_kautz(spec), 2, "150/1050/1500");
+  }
+  {
+    DragonflySpec spec;
+    add("dragonfly (12,6,6,15)", make_dragonfly(spec), 1, "180/1080/1515");
+  }
+  {
+    CascadeSpec spec;
+    add("cascade (2 groups)", make_cascade(spec), 1, "192/1536/3072");
+  }
+  {
+    ClosSpec spec;
+    add("tsubame2.5-like", make_tsubame25_like(spec), 1, "243/1407/3384");
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  std::cout << "\n(Kautz: the paper labels the row d=7,k=3 but its own "
+               "switch count matches K(5,3);\n tsubame: folded-Clos "
+               "approximation, see DESIGN.md)\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Operating on a hand-written fabric: read a fabric description (stdin or
+// --file), route it with Nue, and emit the artifacts an operator would
+// archive — the serialized tables, the GraphViz CDG, and the compiled
+// InfiniBand-style LFT footprint.
+//
+//   ./examples/custom_fabric < my_fabric.txt
+//   ./examples/custom_fabric --file my_fabric.txt --vls 2
+//
+// Fabric format (see src/topology/fabric_io.hpp):
+//   switch s0
+//   terminal t0
+//   link t0 s0
+//   link s0 s1 2     # 2 parallel links
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "nue/nue_routing.hpp"
+#include "routing/dump.hpp"
+#include "routing/ib_tables.hpp"
+#include "routing/validate.hpp"
+#include "topology/fabric_io.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+constexpr const char* kDemoFabric = R"(# demo: two rings bridged by one link
+switch a0
+switch a1
+switch a2
+switch b0
+switch b1
+switch b2
+link a0 a1
+link a1 a2
+link a2 a0
+link b0 b1
+link b1 b2
+link b2 b0
+link a0 b0
+terminal ta0
+terminal ta1
+terminal ta2
+terminal tb0
+terminal tb1
+terminal tb2
+link ta0 a0
+link ta1 a1
+link ta2 a2
+link tb0 b0
+link tb1 b1
+link tb2 b2
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nue;
+  Flags flags(argc, argv);
+  const std::string file =
+      flags.get_string("file", "", "fabric file (default: stdin, or a "
+                                   "built-in demo when stdin is a TTY)");
+  const auto vls = static_cast<std::uint32_t>(
+      flags.get_int("vls", 1, "virtual lanes for deadlock freedom"));
+  if (!flags.finish()) return 1;
+
+  Network net;
+  if (!file.empty()) {
+    net = load_fabric_file(file);
+  } else if (!isatty(0)) {
+    net = read_fabric(std::cin);
+  }
+  if (net.num_alive_nodes() == 0) {
+    std::istringstream demo(kDemoFabric);
+    net = read_fabric(demo);
+    std::cout << "(no fabric provided: using the built-in demo fabric)\n";
+  }
+  std::cout << "fabric: " << net.num_alive_switches() << " switches, "
+            << net.num_alive_terminals() << " terminals\n";
+
+  NueOptions opt;
+  opt.num_vls = vls;
+  NueStats stats;
+  const auto rr = route_nue(net, net.terminals(), opt, &stats);
+  const auto rep = validate_routing(net, rr);
+  std::cout << "nue(k=" << vls << "): deadlock_free=" << rep.deadlock_free
+            << " avg_path=" << rep.avg_path_length
+            << " fallbacks=" << stats.fallbacks << "\n";
+  if (!rep.ok()) {
+    std::cerr << "validation failed: " << rep.detail << "\n";
+    return 1;
+  }
+
+  std::ofstream tables("custom_fabric.routing");
+  write_routing(tables, net, rr);
+  std::ofstream dot("custom_fabric.cdg.dot");
+  write_cdg_dot(dot, net, rr);
+  const auto ib = compile_ib_tables(net, rr);
+  NUE_CHECK(verify_compiled(net, rr, ib));
+  std::cout << "wrote custom_fabric.routing and custom_fabric.cdg.dot; "
+            << "compiled " << ib.total_lft_entries()
+            << " LFT entries (cross-checked)\n"
+            << "render the CDG with: dot -Tsvg custom_fabric.cdg.dot\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fail-in-place operations example: run a fabric through months of
+// simulated attrition (random link failures), rerouting incrementally
+// after every event like an online subnet manager would, and compare the
+// cost against full recomputation.
+//
+//   ./examples/fail_in_place [--rounds 6] [--seed 5]
+#include <iostream>
+
+#include "nue/nue_routing.hpp"
+#include "routing/validate.hpp"
+#include "topology/faults.hpp"
+#include "topology/misc_topologies.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nue;
+  Flags flags(argc, argv);
+  const auto rounds = static_cast<std::uint32_t>(
+      flags.get_int("rounds", 6, "failure events to survive"));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 5, "fault seed"));
+  if (!flags.finish()) return 1;
+
+  Rng topo_rng(2020);
+  RandomSpec spec{60, 180, 6};
+  Network net = make_random(spec, topo_rng);
+  NueOptions opt;
+  opt.num_vls = 4;
+
+  Timer t;
+  auto routing = route_nue(net, net.terminals(), opt);
+  std::cout << "initial full routing: " << t.seconds() << "s for "
+            << routing.destinations().size() << " destinations\n\n";
+
+  Table table({"event", "dead links", "kept", "rerouted", "demoted",
+               "incremental [s]", "full [s]", "deadlock-free"});
+  Rng rng(seed);
+  std::size_t dead = 0;
+  for (std::uint32_t round = 1; round <= rounds; ++round) {
+    dead += inject_link_failures(net, 1, rng);
+    Timer inc;
+    RerouteStats rs;
+    routing = reroute_nue(net, routing, opt, &rs);
+    const double inc_time = inc.seconds();
+    Timer full;
+    const auto reference = route_nue(net, net.terminals(), opt);
+    const double full_time = full.seconds();
+    const auto rep = validate_routing(net, routing);
+    table.row() << round << dead << rs.dests_kept << rs.dests_rerouted
+                << rs.dests_demoted << inc_time << full_time
+                << (rep.deadlock_free ? "yes" : "NO");
+    if (!rep.ok()) {
+      std::cerr << "validation failed: " << rep.detail << "\n";
+      return 1;
+    }
+  }
+  table.print();
+  std::cout << "\nIncremental rerouting touches only the columns whose "
+               "paths crossed a failed\nlink; Theorem 1 holds for the "
+               "merged tables after every event.\n";
+  return 0;
+}

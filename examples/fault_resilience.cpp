@@ -1,0 +1,61 @@
+// Fail-in-place scenario (the paper's motivation, Section 1): a 3D torus
+// degrades link by link; topology-aware Torus-2QoS eventually becomes
+// inapplicable while topology-agnostic Nue keeps routing with the same
+// virtual-lane budget.
+//
+//   ./examples/fault_resilience [--dim 4] [--steps 8] [--seed 3]
+#include <iostream>
+
+#include "graph/algorithms.hpp"
+#include "metrics/metrics.hpp"
+#include "nue/nue_routing.hpp"
+#include "routing/torus_qos.hpp"
+#include "routing/validate.hpp"
+#include "topology/faults.hpp"
+#include "topology/torus.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nue;
+  Flags flags(argc, argv);
+  const auto dim =
+      static_cast<std::uint32_t>(flags.get_int("dim", 4, "torus dimension"));
+  const auto steps = static_cast<std::uint32_t>(
+      flags.get_int("steps", 8, "failure-injection rounds (2 links each)"));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 3, "fault seed"));
+  if (!flags.finish()) return 1;
+
+  TorusSpec spec{{dim, dim, dim}, 2, 1};
+  Network net = make_torus(spec);
+  Rng rng(seed);
+
+  Table table({"dead links", "torus-2qos", "nue(2 VLs)", "nue max path"});
+  for (std::uint32_t round = 0; round <= steps; ++round) {
+    std::string qos_cell = "-";
+    try {
+      const auto rr = route_torus_qos(net, spec, net.terminals());
+      const auto rep = validate_routing(net, rr);
+      qos_cell = rep.ok() ? "ok" : ("INVALID: " + rep.detail);
+    } catch (const RoutingFailure& e) {
+      qos_cell = "FAILS";
+    }
+
+    NueOptions opt;
+    opt.num_vls = 2;
+    const auto rr = route_nue(net, net.terminals(), opt);
+    const auto rep = validate_routing(net, rr);
+    const auto lengths = path_length_stats(net, rr);
+    table.row() << (round * 2) << qos_cell
+                << (rep.ok() ? "ok" : "INVALID")
+                << static_cast<std::uint64_t>(lengths.max);
+
+    if (round < steps) inject_link_failures(net, 2, rng);
+  }
+  table.print();
+  std::cout << "\nNue remains applicable on every degraded fabric; the\n"
+               "topology-aware engine gives up once a ring loses both\n"
+               "directions (cf. Fig. 1 and Section 5.3).\n";
+  return 0;
+}

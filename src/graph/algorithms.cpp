@@ -1,0 +1,202 @@
+#include "graph/algorithms.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "heap/dary_heap.hpp"
+#include "util/error.hpp"
+
+namespace nue {
+
+std::vector<std::uint32_t> bfs_distances(const Network& net, NodeId src) {
+  NUE_CHECK(net.node_alive(src));
+  std::vector<std::uint32_t> dist(net.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier{src};
+  dist[src] = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (NodeId v : frontier) {
+      for (ChannelId c : net.out(v)) {
+        const NodeId w = net.dst(c);
+        if (dist[w] == kUnreachable) {
+          dist[w] = dist[v] + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<ChannelId> bfs_tree(const Network& net, NodeId root) {
+  NUE_CHECK(net.node_alive(root));
+  std::vector<ChannelId> parent(net.num_nodes(), kInvalidChannel);
+  std::vector<std::uint8_t> seen(net.num_nodes(), 0);
+  seen[root] = 1;
+  std::vector<NodeId> frontier{root};
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (NodeId v : frontier) {
+      for (ChannelId c : net.out(v)) {
+        const NodeId w = net.dst(c);
+        if (!seen[w]) {
+          seen[w] = 1;
+          // Channel from w back toward the root is the reverse of (v -> w).
+          parent[w] = reverse(c);
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return parent;
+}
+
+bool is_connected(const Network& net) {
+  if (net.num_alive_nodes() == 0) return true;
+  NodeId start = kInvalidNode;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (net.node_alive(v)) {
+      start = v;
+      break;
+    }
+  }
+  const auto dist = bfs_distances(net, start);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (net.node_alive(v) && dist[v] == kUnreachable) return false;
+  }
+  return true;
+}
+
+SsspResult dijkstra(const Network& net, NodeId src,
+                    const std::vector<double>& weights) {
+  NUE_CHECK(net.node_alive(src));
+  NUE_CHECK(weights.size() == net.num_channels());
+  SsspResult r;
+  r.distance.assign(net.num_nodes(), std::numeric_limits<double>::infinity());
+  r.used_channel.assign(net.num_nodes(), kInvalidChannel);
+  DaryHeap<double> heap(net.num_nodes());
+  r.distance[src] = 0.0;
+  heap.insert(src, 0.0);
+  while (!heap.empty()) {
+    const NodeId v = heap.extract_min();
+    for (ChannelId c : net.out(v)) {
+      const NodeId w = net.dst(c);
+      NUE_DCHECK(weights[c] > 0.0);
+      const double nd = r.distance[v] + weights[c];
+      if (nd < r.distance[w]) {
+        r.distance[w] = nd;
+        r.used_channel[w] = c;
+        heap.insert_or_decrease(w, nd);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<double> betweenness_centrality(
+    const Network& net, const std::vector<std::uint8_t>& mask) {
+  const std::size_t n = net.num_nodes();
+  auto in_graph = [&](NodeId v) {
+    return net.node_alive(v) && (mask.empty() || mask[v]);
+  };
+  std::vector<double> cb(n, 0.0);
+  // Brandes' algorithm, one BFS per source, accumulating pair dependencies.
+  std::vector<std::uint32_t> dist(n);
+  std::vector<double> sigma(n);   // # shortest paths (multigraph: each
+                                  // parallel channel counts as a path)
+  std::vector<double> delta(n);
+  std::vector<NodeId> order;      // visit order for the backward pass
+  order.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    if (!in_graph(s)) continue;
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    std::queue<NodeId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (ChannelId c : net.out(v)) {
+        const NodeId w = net.dst(c);
+        if (!in_graph(w)) continue;
+        if (dist[w] == kUnreachable) {
+          dist[w] = dist[v] + 1;
+          q.push(w);
+        }
+        if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+      }
+    }
+    // Backward accumulation.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId w = *it;
+      for (ChannelId c : net.out(w)) {
+        // Predecessor relation: v -> w with dist[v] + 1 == dist[w].
+        const NodeId v = net.dst(c);  // neighbor; check if predecessor
+        if (!in_graph(v) || dist[v] == kUnreachable) continue;
+        if (dist[v] + 1 == dist[w]) {
+          delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+        }
+      }
+      if (w != s) cb[w] += delta[w];
+    }
+  }
+  return cb;
+}
+
+std::vector<std::uint8_t> convex_subgraph(const Network& net,
+                                          const std::vector<NodeId>& dests) {
+  const std::size_t n = net.num_nodes();
+  std::vector<std::uint8_t> in_hull(n, 0);
+  std::vector<std::uint8_t> is_dest(n, 0);
+  for (NodeId d : dests) {
+    NUE_CHECK(net.node_alive(d));
+    is_dest[d] = 1;
+    in_hull[d] = 1;
+  }
+  // Forward step: BFS from each destination x; backward step: a reverse
+  // sweep (in decreasing distance order) seeded at every destination marks
+  // exactly the nodes lying on some shortest path from x to a destination.
+  std::vector<std::uint8_t> on_path(n);
+  std::vector<std::vector<NodeId>> by_dist;
+  for (NodeId x : dests) {
+    const auto dist = bfs_distances(net, x);
+    std::uint32_t maxd = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (dist[v] != kUnreachable && dist[v] > maxd) maxd = dist[v];
+    }
+    by_dist.assign(maxd + 1, {});
+    std::fill(on_path.begin(), on_path.end(), 0);
+    for (NodeId y : dests) {
+      if (dist[y] != kUnreachable && !on_path[y]) {
+        on_path[y] = 1;
+        by_dist[dist[y]].push_back(y);
+      }
+    }
+    for (std::uint32_t level = maxd; level > 0; --level) {
+      for (NodeId v : by_dist[level]) {
+        for (ChannelId c : net.out(v)) {
+          const NodeId w = net.dst(c);
+          if (dist[w] != kUnreachable && dist[w] + 1 == level && !on_path[w]) {
+            on_path[w] = 1;
+            by_dist[dist[w]].push_back(w);
+          }
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (on_path[v]) in_hull[v] = 1;
+    }
+  }
+  return in_hull;
+}
+
+}  // namespace nue

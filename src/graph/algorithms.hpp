@@ -1,0 +1,52 @@
+// Graph algorithms on Network: BFS, weighted SSSP, spanning trees,
+// connectivity, Brandes betweenness centrality, and the convex subgraph
+// of a destination set (Definition 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace nue {
+
+constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// Hop distances from src to every alive node (kUnreachable if none).
+std::vector<std::uint32_t> bfs_distances(const Network& net, NodeId src);
+
+/// BFS spanning tree rooted at `root` over alive nodes.
+/// Result: for every node v != root, parent_channel[v] is the channel
+/// (v -> parent) pointing one hop toward the root; kInvalidChannel for the
+/// root and for unreachable/dead nodes.
+std::vector<ChannelId> bfs_tree(const Network& net, NodeId root);
+
+/// True if all alive nodes are mutually reachable.
+bool is_connected(const Network& net);
+
+/// Result of a weighted single-source shortest path run.
+struct SsspResult {
+  std::vector<double> distance;        // per node; +inf if unreachable
+  std::vector<ChannelId> used_channel; // channel (pred -> v) that reached v
+};
+
+/// Dijkstra from src over alive channels with per-channel weights
+/// (weights.size() == net.num_channels()). Ties are broken toward the
+/// channel listed first in adjacency order, making runs deterministic.
+SsspResult dijkstra(const Network& net, NodeId src,
+                    const std::vector<double>& weights);
+
+/// Brandes betweenness centrality (unweighted, multigraph-aware).
+/// If `mask` is non-empty, the computation is restricted to the subgraph
+/// induced by nodes v with mask[v] != 0 (both as path endpoints and as
+/// intermediate nodes). Dead nodes always score 0.
+std::vector<double> betweenness_centrality(
+    const Network& net, const std::vector<std::uint8_t>& mask = {});
+
+/// Convex subgraph (Definition 8) of a destination set: marks every node
+/// that lies on at least one shortest path between two nodes of `dests`
+/// (including the destinations themselves). Returns a node mask.
+std::vector<std::uint8_t> convex_subgraph(const Network& net,
+                                          const std::vector<NodeId>& dests);
+
+}  // namespace nue

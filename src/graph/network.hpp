@@ -1,0 +1,184 @@
+// Interconnection network model (Definition 1 of the paper).
+//
+// A network is a connected multigraph G(N, C): nodes are terminals or
+// switches, and every duplex link is split into two directed channels of
+// opposite direction. Channels are stored in pairs so that the reverse
+// channel of c is always c ^ 1 — this identity is load-bearing throughout
+// the routing code (forwarding tables store "search-orientation" channels
+// and the traffic direction is the reverse).
+//
+// Fault injection (fail-in-place experiments, Figs. 1 and 11) removes
+// channels/nodes in place: ids stay stable, dead channels disappear from
+// adjacency lists, dead nodes keep their id but have no channels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+using NodeId = std::uint32_t;
+using ChannelId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+constexpr ChannelId kInvalidChannel = static_cast<ChannelId>(-1);
+
+/// A directed channel (n_src, n_dst).
+struct Channel {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+};
+
+/// Reverse channel id (the opposite direction of the same duplex link).
+constexpr ChannelId reverse(ChannelId c) { return c ^ 1u; }
+
+class Network {
+ public:
+  // --- construction -------------------------------------------------------
+
+  NodeId add_switch() { return add_node(false); }
+  NodeId add_terminal() { return add_node(true); }
+
+  /// Add a duplex link between u and v: creates the directed channel pair
+  /// (u,v) = returned id, (v,u) = returned id ^ 1. Parallel links are
+  /// allowed (multigraph); self loops are not.
+  ChannelId add_link(NodeId u, NodeId v) {
+    NUE_CHECK(u < num_nodes() && v < num_nodes());
+    NUE_CHECK_MSG(u != v, "self loop at node " << u);
+    NUE_CHECK_MSG(alive_node_[u] && alive_node_[v], "link to dead node");
+    const auto c = static_cast<ChannelId>(channels_.size());
+    channels_.push_back({u, v});
+    channels_.push_back({v, u});
+    alive_channel_.push_back(true);
+    alive_channel_.push_back(true);
+    out_[u].push_back(c);
+    out_[v].push_back(c + 1);
+    num_alive_channels_ += 2;
+    return c;
+  }
+
+  // --- fault injection ----------------------------------------------------
+
+  /// Remove the duplex link containing channel c (kills c and reverse(c)).
+  void remove_link(ChannelId c) {
+    c &= ~1u;  // normalize to the even channel of the pair
+    NUE_CHECK(alive_channel_[c]);
+    erase_from_out(channels_[c].src, c);
+    erase_from_out(channels_[c].dst, c + 1);
+    alive_channel_[c] = false;
+    alive_channel_[c + 1] = false;
+    num_alive_channels_ -= 2;
+  }
+
+  /// Remove a node and all its links. The id stays valid but dead.
+  void remove_node(NodeId v) {
+    NUE_CHECK(alive_node_[v]);
+    while (!out_[v].empty()) remove_link(out_[v].back());
+    alive_node_[v] = false;
+    --num_alive_nodes_;
+    if (is_terminal_[v]) --num_alive_terminals_;
+  }
+
+  // --- accessors ----------------------------------------------------------
+
+  std::size_t num_nodes() const { return is_terminal_.size(); }
+  std::size_t num_channels() const { return channels_.size(); }
+  std::size_t num_alive_nodes() const { return num_alive_nodes_; }
+  std::size_t num_alive_channels() const { return num_alive_channels_; }
+  std::size_t num_alive_terminals() const { return num_alive_terminals_; }
+  std::size_t num_alive_switches() const {
+    return num_alive_nodes_ - num_alive_terminals_;
+  }
+
+  bool is_terminal(NodeId v) const { return is_terminal_[v]; }
+  bool is_switch(NodeId v) const { return !is_terminal_[v]; }
+  bool node_alive(NodeId v) const { return alive_node_[v]; }
+  bool channel_alive(ChannelId c) const { return alive_channel_[c]; }
+
+  const Channel& channel(ChannelId c) const { return channels_[c]; }
+  NodeId src(ChannelId c) const { return channels_[c].src; }
+  NodeId dst(ChannelId c) const { return channels_[c].dst; }
+
+  /// Alive outgoing channels of v.
+  std::span<const ChannelId> out(NodeId v) const { return out_[v]; }
+  std::size_t degree(NodeId v) const { return out_[v].size(); }
+
+  /// Maximum degree Δ over alive nodes.
+  std::size_t max_degree() const {
+    std::size_t d = 0;
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      if (alive_node_[v]) d = std::max(d, out_[v].size());
+    }
+    return d;
+  }
+
+  /// All alive terminals / switches / nodes (computed on demand).
+  std::vector<NodeId> terminals() const { return collect(true); }
+  std::vector<NodeId> switches() const { return collect(false); }
+  std::vector<NodeId> alive_nodes() const {
+    std::vector<NodeId> r;
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      if (alive_node_[v]) r.push_back(v);
+    }
+    return r;
+  }
+  std::vector<ChannelId> alive_channels() const {
+    std::vector<ChannelId> r;
+    for (ChannelId c = 0; c < num_channels(); ++c) {
+      if (alive_channel_[c]) r.push_back(c);
+    }
+    return r;
+  }
+
+  /// The unique switch a terminal attaches to.
+  NodeId terminal_switch(NodeId t) const {
+    NUE_CHECK(is_terminal(t) && out_[t].size() == 1);
+    return channels_[out_[t][0]].dst;
+  }
+
+ private:
+  NodeId add_node(bool terminal) {
+    const auto v = static_cast<NodeId>(is_terminal_.size());
+    is_terminal_.push_back(terminal);
+    alive_node_.push_back(true);
+    out_.emplace_back();
+    ++num_alive_nodes_;
+    if (terminal) ++num_alive_terminals_;
+    return v;
+  }
+
+  void erase_from_out(NodeId v, ChannelId c) {
+    auto& o = out_[v];
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (o[i] == c) {
+        o[i] = o.back();
+        o.pop_back();
+        return;
+      }
+    }
+    NUE_CHECK_MSG(false, "channel " << c << " not in out list of " << v);
+  }
+
+  std::vector<NodeId> collect(bool terminal) const {
+    std::vector<NodeId> r;
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      if (alive_node_[v] && is_terminal_[v] == terminal) r.push_back(v);
+    }
+    return r;
+  }
+
+  std::vector<Channel> channels_;
+  std::vector<std::vector<ChannelId>> out_;
+  std::vector<std::uint8_t> is_terminal_;
+  std::vector<std::uint8_t> alive_node_;
+  std::vector<std::uint8_t> alive_channel_;
+  std::size_t num_alive_nodes_ = 0;
+  std::size_t num_alive_channels_ = 0;
+  std::size_t num_alive_terminals_ = 0;
+};
+
+}  // namespace nue

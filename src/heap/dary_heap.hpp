@@ -1,0 +1,127 @@
+// Addressable 4-ary heap with O(log n) decrease-key.
+//
+// Provided as the comparison point for the Fibonacci heap ablation
+// (bench_micro_heap): on sparse graphs the d-ary heap's better constants
+// often win despite the worse decrease-key bound. Same addressable-id
+// interface as FibonacciHeap so routing code can be templated over either.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+template <typename Key, unsigned Arity = 4>
+class DaryHeap {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kNil = static_cast<Id>(-1);
+
+  explicit DaryHeap(std::size_t capacity) : pos_(capacity, kNil) {}
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool contains(Id id) const { return pos_[id] != kNil; }
+  Key key(Id id) const {
+    NUE_DCHECK(contains(id));
+    return items_[pos_[id]].key;
+  }
+
+  void clear() {
+    for (const auto& it : items_) pos_[it.id] = kNil;
+    items_.clear();
+  }
+
+  void insert(Id id, Key key) {
+    NUE_CHECK_MSG(!contains(id), "duplicate insert of id " << id);
+    items_.push_back({key, id});
+    pos_[id] = static_cast<Id>(items_.size() - 1);
+    sift_up(items_.size() - 1);
+  }
+
+  bool insert_or_decrease(Id id, Key key) {
+    if (!contains(id)) {
+      insert(id, key);
+      return true;
+    }
+    if (key < items_[pos_[id]].key) {
+      decrease_key(id, key);
+      return true;
+    }
+    return false;
+  }
+
+  Id min() const {
+    NUE_DCHECK(!empty());
+    return items_[0].id;
+  }
+
+  Id extract_min() {
+    NUE_CHECK(!empty());
+    const Id id = items_[0].id;
+    pos_[id] = kNil;
+    if (items_.size() > 1) {
+      items_[0] = items_.back();
+      pos_[items_[0].id] = 0;
+      items_.pop_back();
+      sift_down(0);
+    } else {
+      items_.pop_back();
+    }
+    return id;
+  }
+
+  void decrease_key(Id id, Key key) {
+    NUE_DCHECK(contains(id));
+    NUE_CHECK_MSG(!(items_[pos_[id]].key < key),
+                  "decrease_key would increase key");
+    items_[pos_[id]].key = key;
+    sift_up(pos_[id]);
+  }
+
+ private:
+  struct Item {
+    Key key;
+    Id id;
+  };
+
+  void sift_up(std::size_t i) {
+    Item it = items_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!(it.key < items_[parent].key)) break;
+      items_[i] = items_[parent];
+      pos_[items_[i].id] = static_cast<Id>(i);
+      i = parent;
+    }
+    items_[i] = it;
+    pos_[it.id] = static_cast<Id>(i);
+  }
+
+  void sift_down(std::size_t i) {
+    Item it = items_[i];
+    const std::size_t n = items_.size();
+    while (true) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + Arity, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (items_[c].key < items_[best].key) best = c;
+      }
+      if (!(items_[best].key < it.key)) break;
+      items_[i] = items_[best];
+      pos_[items_[i].id] = static_cast<Id>(i);
+      i = best;
+    }
+    items_[i] = it;
+    pos_[it.id] = static_cast<Id>(i);
+  }
+
+  std::vector<Item> items_;
+  std::vector<Id> pos_;
+};
+
+}  // namespace nue

@@ -1,0 +1,69 @@
+#include "metrics/metrics.hpp"
+
+#include "graph/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace nue {
+
+std::vector<std::uint64_t> edge_forwarding_index(const Network& net,
+                                                 const RoutingResult& rr) {
+  std::vector<std::uint64_t> gamma(net.num_channels(), 0);
+  const auto terminals = net.terminals();
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    const NodeId d = rr.destinations()[di];
+    if (!net.is_terminal(d)) continue;
+    for (NodeId s : terminals) {
+      if (s == d) continue;
+      NodeId at = s;
+      std::size_t hops = 0;
+      while (at != d) {
+        const ChannelId c = rr.next(at, static_cast<std::uint32_t>(di));
+        NUE_CHECK_MSG(c != kInvalidChannel, "incomplete routing tables");
+        ++gamma[c];
+        at = net.dst(c);
+        NUE_CHECK_MSG(++hops <= net.num_nodes(), "routing loop");
+      }
+    }
+  }
+  return gamma;
+}
+
+ForwardingIndexSummary summarize_forwarding_index(
+    const Network& net, const std::vector<std::uint64_t>& gamma) {
+  Stats st;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    if (!net.channel_alive(c)) continue;
+    if (net.is_terminal(net.src(c)) || net.is_terminal(net.dst(c))) continue;
+    st.add(static_cast<double>(gamma[c]));
+  }
+  return {st.min(), st.max(), st.mean(), st.stddev()};
+}
+
+PathLengthSummary path_length_stats(const Network& net,
+                                    const RoutingResult& rr) {
+  PathLengthSummary r;
+  std::uint64_t total = 0, total_sp = 0, pairs = 0;
+  const auto terminals = net.terminals();
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    const NodeId d = rr.destinations()[di];
+    if (!net.is_terminal(d)) continue;
+    const auto sp = bfs_distances(net, d);
+    for (NodeId s : terminals) {
+      if (s == d) continue;
+      const auto path = rr.trace(net, s, d);
+      total += path.size();
+      r.max = std::max(r.max, path.size());
+      NUE_CHECK(sp[s] != kUnreachable);
+      total_sp += sp[s];
+      r.max_shortest = std::max<std::size_t>(r.max_shortest, sp[s]);
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    r.avg = static_cast<double>(total) / static_cast<double>(pairs);
+    r.avg_shortest = static_cast<double>(total_sp) / static_cast<double>(pairs);
+  }
+  return r;
+}
+
+}  // namespace nue

@@ -1,0 +1,42 @@
+// Routing quality metrics from Section 5.1: the edge forwarding index γ
+// for inter-switch channels (Heydemann et al. [15]) and path-length
+// statistics relative to shortest paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "routing/routing.hpp"
+#include "util/stats.hpp"
+
+namespace nue {
+
+/// Edge forwarding index per channel: number of terminal-to-terminal routes
+/// crossing each directed channel, for all (src terminal, dst in
+/// rr.destinations() ∩ terminals) pairs.
+std::vector<std::uint64_t> edge_forwarding_index(const Network& net,
+                                                 const RoutingResult& rr);
+
+struct ForwardingIndexSummary {
+  double min = 0, max = 0, avg = 0, sd = 0;
+};
+
+/// Summarize γ over alive inter-switch channels only (terminal access links
+/// all carry the same load for all-to-all and are excluded, as in §5.1).
+ForwardingIndexSummary summarize_forwarding_index(
+    const Network& net, const std::vector<std::uint64_t>& gamma);
+
+struct PathLengthSummary {
+  double avg = 0;
+  std::size_t max = 0;
+  double avg_shortest = 0;    // BFS lower bound over the same pairs
+  std::size_t max_shortest = 0;
+};
+
+/// Path-length statistics for terminal-to-terminal routes, plus the
+/// shortest-path baseline over the same pairs.
+PathLengthSummary path_length_stats(const Network& net,
+                                    const RoutingResult& rr);
+
+}  // namespace nue

@@ -1,0 +1,453 @@
+// Per-virtual-layer state of the complete channel dependency graph
+// (Definitions 5 and 6) with the ω subgraph-numbering optimization of
+// Section 4.6.1.
+//
+// Vertices are the network's channels; edges come from a shared CdgIndex.
+// Vertex state: ω = 0 (unused) or a subgraph id >= 1 (used), with ids
+// merged through a union–find (the paper relabels arrays — semantically
+// identical, asymptotically cheaper).
+// Edge state: unused / used / blocked(-1). Escape-path dependencies and the
+// dependencies of completed routing steps are permanent (never removed, as
+// in the paper); the *transient* marks of the step in flight are journaled
+// and purged by end_step() so that the maintained graph stays exactly the
+// routing-induced CDG of Definition 4 plus the escape paths.
+//
+// Orientation: everything here lives in *search orientation* (paths grow
+// from the destination outward, Algorithm 1); the traffic-induced CDG is
+// the edge-reversed image under c -> reverse(c), an isomorphism that
+// preserves acyclicity, so Theorem 1 applies to the real traffic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "routing/cdg_index.hpp"
+#include "util/error.hpp"
+
+namespace nue {
+
+class CompleteCdg {
+ public:
+  using EdgeId = CdgIndex::EdgeId;
+
+  struct Stats {
+    std::uint64_t dfs_searches = 0;   // condition (d) cycle searches
+    std::uint64_t dfs_steps = 0;      // channels visited by those searches
+    std::uint64_t merges = 0;         // condition (c) subgraph merges
+    std::uint64_t blocked_edges = 0;  // edges turned into restrictions
+    std::uint64_t fast_accepts = 0;   // conditions (a)/(b) resolved O(1)
+  };
+
+  CompleteCdg(const Network& net, const CdgIndex& idx)
+      : net_(&net),
+        idx_(&idx),
+        omega_(net.num_channels(), 0),
+        estate_(idx.num_edges(), 0),
+        used_succ_(net.num_channels()),
+        used_pred_(net.num_channels()),
+        ord_(net.num_channels()),
+        stamp_f_(net.num_channels(), 0),
+        stamp_b_(net.num_channels(), 0) {
+    comp_parent_.push_back(0);  // component ids start at 1
+    for (std::uint32_t i = 0; i < ord_.size(); ++i) ord_[i] = i;
+  }
+
+  // --- state queries --------------------------------------------------------
+
+  bool channel_used(ChannelId c) const { return omega_[c] != 0; }
+  bool edge_used(EdgeId e) const { return estate_[e] == 1; }
+  bool edge_blocked(EdgeId e) const { return estate_[e] == -1; }
+  const Stats& stats() const { return stats_; }
+
+  // --- mutation -------------------------------------------------------------
+
+  /// Mark a channel used in a fresh subgraph component (no-op if used).
+  void mark_channel_used(ChannelId c) {
+    if (omega_[c] == 0) omega_[c] = new_component();
+  }
+
+  /// Unconditionally mark edge (c1 -> c2) used and merge components.
+  /// Caller must know this cannot close a cycle (escape-path setup).
+  /// Permanent: survives every step purge.
+  void force_edge_used(ChannelId c1, ChannelId c2) {
+    const EdgeId e = idx_->edge_id(c1, c2);
+    NUE_CHECK_MSG(e != CdgIndex::kNoEdge, "not a complete-CDG edge");
+    mark_channel_used(c1);
+    mark_channel_used(c2);
+    if (estate_[e] == 1) return;
+    NUE_CHECK(estate_[e] == 0);
+    const bool ok = topo_insert(c1, c2);
+    NUE_CHECK_MSG(ok, "escape paths must stay acyclic");
+    set_edge_used(e, c1, c2, /*permanent=*/true);
+  }
+
+  /// Checked variant of force_edge_used(): marks the edge permanently used
+  /// unless it would close a cycle with the dependencies already present
+  /// (incremental rerouting pre-marks the preserved columns' dependencies,
+  /// and a fresh escape tree is not guaranteed to be compatible with
+  /// them). Returns false and changes nothing on a cycle.
+  bool try_force_edge_used(ChannelId c1, ChannelId c2) {
+    const EdgeId e = idx_->edge_id(c1, c2);
+    NUE_CHECK_MSG(e != CdgIndex::kNoEdge, "not a complete-CDG edge");
+    if (estate_[e] == 1) {
+      // Already used; promote a step mark to permanent.
+      for (auto it = step_edges_.begin(); it != step_edges_.end(); ++it) {
+        if (it->e == e) {
+          permanent_edges_.push_back(*it);
+          step_edges_.erase(it);
+          break;
+        }
+      }
+      return true;
+    }
+    if (estate_[e] == -1) return false;
+    mark_channel_used(c1);
+    mark_channel_used(c2);
+    if (!topo_insert(c1, c2)) return false;
+    set_edge_used(e, c1, c2, /*permanent=*/true);
+    return true;
+  }
+
+  // --- per-destination step lifecycle ----------------------------------------
+  //
+  // During one routing step (one destination), Algorithm 1 marks every
+  // accepted relaxation `used` and every rejected one `blocked`. Most of
+  // the used marks are superseded when a node later finds a better inbound
+  // channel; only the dependencies of the *final* tree are real (the CDG
+  // of Definition 4 is induced by the routing function, not by the search
+  // history). end_step() therefore reverts all non-final marks of the step
+  // and clears the step's blocked memoization (which was relative to the
+  // larger transient graph), then rebuilds the ω component structure from
+  // the surviving dependencies. Without this purge the restrictions pile
+  // up and the escape-path fallback rate explodes on dense multigraphs.
+
+  void begin_step() {
+    step_edges_.clear();
+    step_blocked_.clear();
+  }
+
+  /// `keep` flags (indexed by dense edge id) select which of this step's
+  /// used marks are real dependencies of the final paths.
+  void end_step(const std::vector<std::uint8_t>& keep) {
+    bool changed = false;
+    for (const auto& rec : step_edges_) {
+      if (keep[rec.e]) {
+        permanent_edges_.push_back(rec);
+      } else {
+        estate_[rec.e] = 0;
+        changed = true;
+      }
+    }
+    if (!keep_blocked_across_steps_) {
+      for (const EdgeId e : step_blocked_) {
+        estate_[e] = 0;
+        changed = true;
+      }
+      step_blocked_.clear();
+    }
+    step_edges_.clear();
+    if (changed) rebuild();
+  }
+
+  /// Internal consistency check (used by the property tests):
+  ///  - the topological order is consistent with every used edge,
+  ///  - the used-successor adjacency matches the permanent + step journals,
+  ///  - every journaled edge is in the `used` state.
+  bool check_invariants() const {
+    for (ChannelId c = 0; c < used_succ_.size(); ++c) {
+      for (ChannelId w : used_succ_[c]) {
+        if (!(ord_[c] < ord_[w])) return false;
+      }
+    }
+    std::size_t adjacency_edges = 0;
+    for (const auto& sl : used_succ_) adjacency_edges += sl.size();
+    if (adjacency_edges != permanent_edges_.size() + step_edges_.size()) {
+      return false;
+    }
+    for (const auto& rec : permanent_edges_) {
+      if (estate_[rec.e] != 1) return false;
+    }
+    for (const auto& rec : step_edges_) {
+      if (estate_[rec.e] != 1) return false;
+    }
+    return true;
+  }
+
+  /// Policy knob (ablation): retain blocked marks across destination
+  /// steps. Restrictions then accumulate as in the paper's text, trading
+  /// search freedom for fewer repeated cycle searches.
+  void set_keep_blocked(bool keep) { keep_blocked_across_steps_ = keep; }
+
+  /// Assign one shared component id to a set of channels (the paper marks
+  /// all escape paths with ω = 1; sharing an id across disconnected parts
+  /// is conservative — condition (d) just falls back to a DFS).
+  void unify_components(const std::vector<ChannelId>& channels) {
+    std::uint32_t root = 0;
+    for (ChannelId c : channels) {
+      if (omega_[c] == 0) omega_[c] = new_component();
+      if (root == 0) {
+        root = find(omega_[c]);
+      } else {
+        unite(root, omega_[c]);
+      }
+    }
+  }
+
+  /// Algorithm 3 with check-before-mark semantics: try to use dependency
+  /// (c1 -> c2), where c1 is already used. Returns true and marks the edge
+  /// used on success; returns false and marks the edge blocked when the
+  /// dependency would close a cycle. Edges already used return true in
+  /// O(1); already blocked return false in O(1).
+  bool try_use_edge(ChannelId c1, ChannelId c2) {
+    const EdgeId e = idx_->edge_id(c1, c2);
+    NUE_DCHECK(e != CdgIndex::kNoEdge);
+    return try_use_edge_by_id(e, c1, c2);
+  }
+
+  bool try_use_edge_by_id(EdgeId e, ChannelId c1, ChannelId c2) {
+    NUE_DCHECK(omega_[c1] != 0);
+    if (estate_[e] == -1) {  // condition (a)
+      ++stats_.fast_accepts;
+      return false;
+    }
+    if (estate_[e] == 1) {  // condition (b)
+      ++stats_.fast_accepts;
+      return true;
+    }
+    if (omega_[c2] == 0 || find(omega_[c1]) != find(omega_[c2])) {
+      // condition (c): connecting disjoint acyclic subgraphs cannot close
+      // a cycle; the insertion below only restores the topological order.
+      ++stats_.merges;
+      const bool ok = topo_insert(c1, c2);
+      NUE_DCHECK(ok);
+      (void)ok;
+      set_edge_used(e, c1, c2);
+      return true;
+    }
+    // condition (d): same component — a cycle search is required. The
+    // incremental topological order makes it O(1) whenever the order
+    // already agrees with the new edge, and bounded otherwise.
+    ++stats_.dfs_searches;
+    if (!topo_insert(c1, c2)) {
+      estate_[e] = -1;
+      step_blocked_.push_back(e);
+      ++stats_.blocked_edges;
+      return false;
+    }
+    set_edge_used(e, c1, c2);
+    return true;
+  }
+
+  /// Atomic feasibility check for re-pointing a node's inbound channel
+  /// (impasse backtracking §4.6.2 / shortcuts §4.6.3): would using edge
+  /// (c_in -> c_new) together with edges (c_new -> out_i) for every out_i
+  /// close a cycle? No state is modified; commit with commit_switch().
+  /// Any already-blocked member edge fails the check.
+  bool switch_feasible(ChannelId c_in, ChannelId c_new,
+                       const std::vector<ChannelId>& outs) {
+    {
+      const EdgeId e = idx_->edge_id(c_in, c_new);
+      if (e == CdgIndex::kNoEdge || estate_[e] == -1) return false;
+    }
+    for (ChannelId o : outs) {
+      const EdgeId e = idx_->edge_id(c_new, o);
+      if (e == CdgIndex::kNoEdge || estate_[e] == -1) return false;
+    }
+    // Cycle possibilities through the new edges:
+    //  - c_in reachable from c_new           (closes via c_in -> c_new)
+    //  - c_new or c_in reachable from out_i  (closes via c_new -> out_i
+    //                                         [+ c_in -> c_new])
+    if (channel_used(c_new) && reachable(c_new, c_in)) return false;
+    for (ChannelId o : outs) {
+      if (!channel_used(o)) continue;
+      if (reachable2(o, c_new, c_in)) return false;
+    }
+    return true;
+  }
+
+  /// switch_feasible() without an inbound edge: only the out-star
+  /// (c_new -> out_i). Used when c_new starts at the search source.
+  bool switch_feasible_star(ChannelId c_new,
+                            const std::vector<ChannelId>& outs) {
+    for (ChannelId o : outs) {
+      const EdgeId e = idx_->edge_id(c_new, o);
+      if (e == CdgIndex::kNoEdge || estate_[e] == -1) return false;
+    }
+    for (ChannelId o : outs) {
+      if (!channel_used(o)) continue;
+      if (reachable(o, c_new)) return false;
+    }
+    return true;
+  }
+
+  /// Commit a switch previously validated by switch_feasible().
+  void commit_switch(ChannelId c_in, ChannelId c_new,
+                     const std::vector<ChannelId>& outs) {
+    const bool ok1 = try_use_edge(c_in, c_new);
+    NUE_CHECK(ok1);
+    for (ChannelId o : outs) {
+      const bool ok = try_use_edge(c_new, o);
+      NUE_CHECK(ok);
+    }
+  }
+
+ private:
+  std::uint32_t new_component() {
+    comp_parent_.push_back(static_cast<std::uint32_t>(comp_parent_.size()));
+    return static_cast<std::uint32_t>(comp_parent_.size() - 1);
+  }
+
+  std::uint32_t find(std::uint32_t x) const {
+    while (comp_parent_[x] != x) {
+      comp_parent_[x] = comp_parent_[comp_parent_[x]];
+      x = comp_parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) comp_parent_[b] = a;
+  }
+
+  void set_edge_used(EdgeId e, ChannelId c1, ChannelId c2,
+                     bool permanent = false) {
+    estate_[e] = 1;
+    mark_channel_used(c2);
+    used_succ_[c1].push_back(c2);
+    used_pred_[c2].push_back(c1);
+    unite(omega_[c1], omega_[c2]);
+    (permanent ? permanent_edges_ : step_edges_).push_back({e, c1, c2});
+  }
+
+  /// Recompute channel usage, the used-edge adjacency, and the ω
+  /// union–find from the surviving permanent dependencies.
+  void rebuild() {
+    std::fill(omega_.begin(), omega_.end(), 0);
+    for (auto& s : used_succ_) s.clear();
+    for (auto& p : used_pred_) p.clear();
+    comp_parent_.assign(1, 0);
+    for (const auto& rec : permanent_edges_) {
+      NUE_DCHECK(estate_[rec.e] == 1);
+      mark_channel_used(rec.c1);
+      mark_channel_used(rec.c2);
+      used_succ_[rec.c1].push_back(rec.c2);
+      used_pred_[rec.c2].push_back(rec.c1);
+      unite(omega_[rec.c1], omega_[rec.c2]);
+    }
+    // ord_ stays valid: removing edges never invalidates a topological
+    // order of the remaining graph.
+  }
+
+  /// DFS over used edges: is `target` reachable from `from`?
+  /// Prunes with the maintained topological order: any path only moves to
+  /// larger positions, so subtrees at positions past the target are dead.
+  bool reachable(ChannelId from, ChannelId target) {
+    return reachable2(from, target, target);
+  }
+
+  /// DFS: does `from` reach target1 or target2?
+  bool reachable2(ChannelId from, ChannelId t1, ChannelId t2) {
+    const std::uint32_t bound = std::max(ord_[t1], ord_[t2]);
+    if (ord_[from] > bound) return false;
+    ++generation_;
+    dfs_stack_.clear();
+    dfs_stack_.push_back(from);
+    stamp_f_[from] = generation_;
+    while (!dfs_stack_.empty()) {
+      const ChannelId v = dfs_stack_.back();
+      dfs_stack_.pop_back();
+      for (ChannelId w : used_succ_[v]) {
+        ++stats_.dfs_steps;
+        if (w == t1 || w == t2) return true;
+        if (ord_[w] < bound && stamp_f_[w] != generation_) {
+          stamp_f_[w] = generation_;
+          dfs_stack_.push_back(w);
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Pearce–Kelly incremental topological order maintenance: make the
+  /// order consistent with a new edge (a -> b), or report a cycle (and
+  /// change nothing). The search is confined to the affected region
+  /// [ord(b), ord(a)], which keeps the common case O(1).
+  bool topo_insert(ChannelId a, ChannelId b) {
+    if (ord_[a] < ord_[b]) return true;
+    const std::uint32_t lb = ord_[b];
+    const std::uint32_t ub = ord_[a];
+    // Forward region: reachable from b with ord <= ub.
+    ++generation_;
+    fnodes_.clear();
+    fnodes_.push_back(b);
+    stamp_f_[b] = generation_;
+    for (std::size_t i = 0; i < fnodes_.size(); ++i) {
+      for (ChannelId w : used_succ_[fnodes_[i]]) {
+        ++stats_.dfs_steps;
+        if (w == a) return false;  // cycle
+        if (ord_[w] < ub && stamp_f_[w] != generation_) {
+          stamp_f_[w] = generation_;
+          fnodes_.push_back(w);
+        }
+      }
+    }
+    // Backward region: reaching a with ord >= lb.
+    bnodes_.clear();
+    bnodes_.push_back(a);
+    stamp_b_[a] = generation_;
+    for (std::size_t i = 0; i < bnodes_.size(); ++i) {
+      for (ChannelId w : used_pred_[bnodes_[i]]) {
+        ++stats_.dfs_steps;
+        if (ord_[w] > lb && stamp_b_[w] != generation_) {
+          stamp_b_[w] = generation_;
+          bnodes_.push_back(w);
+        }
+      }
+    }
+    // Redistribute the affected positions: all of B (in relative order)
+    // before all of F (in relative order).
+    auto by_ord = [&](ChannelId x, ChannelId y) { return ord_[x] < ord_[y]; };
+    std::sort(fnodes_.begin(), fnodes_.end(), by_ord);
+    std::sort(bnodes_.begin(), bnodes_.end(), by_ord);
+    pool_.clear();
+    for (ChannelId x : bnodes_) pool_.push_back(ord_[x]);
+    for (ChannelId x : fnodes_) pool_.push_back(ord_[x]);
+    std::sort(pool_.begin(), pool_.end());
+    std::size_t i = 0;
+    for (ChannelId x : bnodes_) ord_[x] = pool_[i++];
+    for (ChannelId x : fnodes_) ord_[x] = pool_[i++];
+    return true;
+  }
+
+  struct EdgeRec {
+    EdgeId e;
+    ChannelId c1, c2;
+  };
+
+  const Network* net_;
+  const CdgIndex* idx_;
+  std::vector<EdgeRec> permanent_edges_;
+  std::vector<EdgeRec> step_edges_;
+  std::vector<EdgeId> step_blocked_;
+  std::vector<std::uint32_t> omega_;
+  std::vector<std::int8_t> estate_;
+  std::vector<std::vector<ChannelId>> used_succ_;
+  std::vector<std::vector<ChannelId>> used_pred_;
+  std::vector<std::uint32_t> ord_;
+  mutable std::vector<std::uint32_t> comp_parent_;
+  std::vector<std::uint32_t> stamp_f_;
+  std::vector<std::uint32_t> stamp_b_;
+  std::vector<ChannelId> dfs_stack_;
+  std::vector<ChannelId> fnodes_;
+  std::vector<ChannelId> bnodes_;
+  std::vector<std::uint32_t> pool_;
+  std::uint32_t generation_ = 0;
+  bool keep_blocked_across_steps_ = false;
+  Stats stats_;
+};
+
+}  // namespace nue

@@ -1,0 +1,681 @@
+#include "nue/nue_routing.hpp"
+
+#include <algorithm>
+#include <set>
+#include <limits>
+#include <memory>
+
+#include "graph/algorithms.hpp"
+#include "heap/fibonacci_heap.hpp"
+#include "nue/complete_cdg.hpp"
+#include "routing/cdg_index.hpp"
+#include "routing/sssp_engine.hpp"
+#include "util/error.hpp"
+
+namespace nue {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Routes all destinations of one virtual layer inside that layer's
+/// complete CDG.
+class LayerRouter {
+ public:
+  LayerRouter(const Network& net, const CdgIndex& idx, NodeId root,
+              const NueOptions& opt, NueStats& stats)
+      : net_(net),
+        idx_(idx),
+        opt_(opt),
+        stats_(stats),
+        cdg_(net, idx),
+        weights_(net.num_channels()),
+        tree_parent_(bfs_tree(net, root)),
+        tree_adj_(net.num_nodes()),
+        node_dist_(net.num_nodes(), kInf),
+        used_channel_(net.num_nodes(), kInvalidChannel),
+        settled_(net.num_nodes(), 0),
+        alts_(net.num_nodes()),
+        chan_dist_(net.num_channels(), kInf),
+        heap_(net.num_channels()),
+        escape_next_(net.num_nodes(), kInvalidChannel),
+        keep_flags_(idx.num_edges(), 0) {
+    cdg_.set_keep_blocked(opt.sticky_restrictions);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      const ChannelId up = tree_parent_[v];
+      if (up == kInvalidChannel) continue;
+      tree_adj_[v].push_back(up);
+      tree_adj_[net.dst(up)].push_back(reverse(up));
+    }
+  }
+
+  /// Pre-mark the escape paths (Definition 7) toward every destination of
+  /// this layer as `used` with one shared subgraph id.
+  void init_escape_paths(const std::vector<NodeId>& dests) {
+    // Initial channel weight: damping x the expected per-channel usage
+    // accumulated over this layer's steps. A higher base suppresses the
+    // early-step volatility of the balancing weights (when few updates
+    // have happened, a 2x weight difference would cause erratic detours);
+    // relative differences then grow to their natural scale as the layer
+    // progresses, like the late steps of a k=1 run.
+    std::fill(weights_.begin(), weights_.end(), 1.0 + opt_.balance_damping);
+    std::vector<ChannelId> escape_channels;
+    for (NodeId d : dests) {
+      compute_escape_next(d);
+      for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+        const ChannelId tn = escape_next_[v];  // traffic channel v -> parent
+        if (tn == kInvalidChannel) continue;
+        const ChannelId mark = reverse(tn);  // search orientation
+        if (!cdg_.channel_used(mark)) escape_channels.push_back(mark);
+        cdg_.mark_channel_used(mark);
+        const NodeId p = net_.dst(tn);
+        if (p != d) {
+          cdg_.force_edge_used(reverse(escape_next_[p]), mark);
+        }
+      }
+    }
+    cdg_.unify_components(escape_channels);
+  }
+
+  /// Escape-path setup tolerant of pre-seeded dependencies (incremental
+  /// rerouting): returns false when the spanning tree's dependencies
+  /// conflict with them — the caller must then discard this router and
+  /// recompute the layer from scratch.
+  bool init_escape_paths_checked(const std::vector<NodeId>& dests) {
+    std::fill(weights_.begin(), weights_.end(), 1.0 + opt_.balance_damping);
+    std::vector<ChannelId> escape_channels;
+    for (NodeId d : dests) {
+      compute_escape_next(d);
+      for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+        const ChannelId tn = escape_next_[v];
+        if (tn == kInvalidChannel) continue;
+        const ChannelId mark = reverse(tn);
+        if (!cdg_.channel_used(mark)) escape_channels.push_back(mark);
+        cdg_.mark_channel_used(mark);
+        const NodeId p = net_.dst(tn);
+        if (p != d &&
+            !cdg_.try_force_edge_used(reverse(escape_next_[p]), mark)) {
+          return false;
+        }
+      }
+    }
+    cdg_.unify_components(escape_channels);
+    return true;
+  }
+
+  /// Pre-seed the CDG with a preserved forwarding column's dependencies
+  /// (traffic orientation mirrored into search orientation), so the new
+  /// columns cannot form a cycle with the reused ones. Returns false when
+  /// the column clashes with dependencies already present (escape paths or
+  /// previously kept columns) — the caller then recomputes it instead.
+  /// Partially placed marks stay: they are correct (they mirror real old
+  /// dependencies) and only slightly over-constrain the layer.
+  bool premark_column_checked(const RoutingResult& old, std::uint32_t old_di,
+                              NodeId d) {
+    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+      if (v == d || !net_.node_alive(v)) continue;
+      const ChannelId c = old.next(v, old_di);  // traffic channel v -> p
+      NUE_DCHECK(c != kInvalidChannel);
+      const NodeId p = net_.dst(c);
+      if (p == d) continue;
+      const ChannelId pc = old.next(p, old_di);
+      if (!cdg_.try_force_edge_used(reverse(pc), reverse(c))) return false;
+    }
+    return true;
+  }
+
+  /// Route destination d; fills column di of rr. Returns true when the
+  /// graph search succeeded, false when the step fell back to the escape
+  /// paths (counted in stats).
+  bool route_destination(NodeId d, RoutingResult& rr, std::uint32_t di) {
+    reset_scratch();
+    cdg_.begin_step();
+    seed_search(d);
+    while (true) {
+      drain_heap();
+      if (!find_islands(d)) break;  // fully routed
+      if (!opt_.backtracking || !resolve_one_island(d)) {
+        stats_.islands_unresolved += islands_.size();
+        fallback_to_escape(d, rr, di);
+        // Escape paths are permanently marked already; none of this
+        // step's transient marks are real dependencies.
+        cdg_.end_step(keep_flags_);
+        return false;
+      }
+    }
+    // Extract the destination-based table: traffic takes the reverse of
+    // the search-orientation used channel. Keep exactly the dependencies
+    // of the final in-tree (plus, transitively, the escape marks).
+    std::vector<CdgIndex::EdgeId> kept;
+    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+      if (v == d || !net_.node_alive(v)) continue;
+      const ChannelId c = used_channel_[v];
+      NUE_DCHECK(c != kInvalidChannel);
+      rr.set_next(v, di, reverse(c));
+      const NodeId p = net_.src(c);
+      if (p != d) {
+        const auto e = idx_.edge_id(used_channel_[p], c);
+        NUE_DCHECK(e != CdgIndex::kNoEdge);
+        NUE_DCHECK(cdg_.edge_used(e));
+        keep_flags_[e] = 1;
+        kept.push_back(e);
+      }
+    }
+    cdg_.end_step(keep_flags_);
+    for (const auto e : kept) keep_flags_[e] = 0;
+    update_weights(d, /*escape=*/false);
+    return true;
+  }
+
+  const CompleteCdg::Stats& cdg_stats() const { return cdg_.stats(); }
+
+ private:
+  // --- escape paths ---------------------------------------------------------
+
+  /// BFS within the spanning tree: escape_next_[v] = the traffic channel
+  /// (v -> tree parent toward d).
+  void compute_escape_next(NodeId d) {
+    std::fill(escape_next_.begin(), escape_next_.end(), kInvalidChannel);
+    bfs_.clear();
+    bfs_.push_back(d);
+    escape_seen_.assign(net_.num_nodes(), 0);
+    escape_seen_[d] = 1;
+    for (std::size_t i = 0; i < bfs_.size(); ++i) {
+      const NodeId v = bfs_[i];
+      for (ChannelId c : tree_adj_[v]) {  // c = (v -> nb)
+        const NodeId nb = net_.dst(c);
+        if (escape_seen_[nb]) continue;
+        escape_seen_[nb] = 1;
+        escape_next_[nb] = reverse(c);  // nb -> v, one hop toward d
+        bfs_.push_back(nb);
+      }
+    }
+  }
+
+  void fallback_to_escape(NodeId d, RoutingResult& rr, std::uint32_t di) {
+    ++stats_.fallbacks;
+    compute_escape_next(d);
+    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+      if (v == d || !net_.node_alive(v)) continue;
+      NUE_DCHECK(escape_next_[v] != kInvalidChannel);
+      rr.set_next(v, di, escape_next_[v]);
+    }
+    update_weights(d, /*escape=*/true);
+  }
+
+  // --- Algorithm 1 ----------------------------------------------------------
+
+  void reset_scratch() {
+    std::fill(node_dist_.begin(), node_dist_.end(), kInf);
+    std::fill(used_channel_.begin(), used_channel_.end(), kInvalidChannel);
+    std::fill(settled_.begin(), settled_.end(), 0);
+    std::fill(chan_dist_.begin(), chan_dist_.end(), kInf);
+    for (auto& a : alts_) a.clear();
+    heap_.clear();
+    dest_ = kInvalidNode;
+  }
+
+  void seed_search(NodeId d) {
+    dest_ = d;
+    node_dist_[d] = 0.0;
+    if (net_.is_terminal(d)) {
+      const ChannelId c0 = net_.out(d)[0];
+      cdg_.mark_channel_used(c0);
+      chan_dist_[c0] = 0.0;
+      used_channel_[net_.dst(c0)] = c0;
+      node_dist_[net_.dst(c0)] = 0.0;
+      heap_.insert(c0, 0.0);
+    } else {
+      // Switch source: the paper's fake channel (∅, n_0) feeding every
+      // outgoing channel; equivalent to seeding all of them directly.
+      for (ChannelId c : net_.out(d)) {
+        const NodeId w = net_.dst(c);
+        const double nd = weights_[c];
+        if (nd < node_dist_[w]) {
+          if (used_channel_[w] != kInvalidChannel) {
+            push_alt(w, used_channel_[w]);
+          }
+          cdg_.mark_channel_used(c);
+          used_channel_[w] = c;
+          node_dist_[w] = nd;
+          chan_dist_[c] = nd;
+          heap_.insert_or_decrease(c, nd);
+        } else {
+          push_alt(w, c);  // losing parallel channel; backtracking option
+        }
+      }
+    }
+  }
+
+  void drain_heap() {
+    while (!heap_.empty()) {
+      const ChannelId cp = heap_.extract_min();
+      const NodeId v = net_.dst(cp);
+      if (used_channel_[v] != cp) {
+        // Stale pop: the node switched to a better inbound channel while
+        // cp waited. Keep cp as a backtracking alternative (§4.6.2).
+        push_alt(v, cp);
+        continue;
+      }
+      settled_[v] = 1;
+      relax_from(cp);
+    }
+  }
+
+  void relax_from(ChannelId cp) {
+    const auto succ = idx_.successors(cp);
+    CdgIndex::EdgeId e = idx_.first_edge(cp);
+    for (const ChannelId cq : succ) {
+      const CdgIndex::EdgeId eid = e++;
+      if (cdg_.edge_blocked(eid)) continue;  // condition (a)
+      const NodeId w = net_.dst(cq);
+      const double nd = chan_dist_[cp] + weights_[cq];
+      if (!(nd < node_dist_[w])) {
+        push_alt(w, cq);
+        continue;
+      }
+      // Current-step children of w constrain an inbound switch: their
+      // dependencies (old_in, out) must be re-placeable as (cq, out).
+      // Children can exist whenever w was reached before (it may have
+      // relaxed neighbors during an earlier settled period and switched
+      // since), so the scan keys on reachedness, not on the settled flag.
+      children_.clear();
+      if (used_channel_[w] != kInvalidChannel) {
+        for (ChannelId out : net_.out(w)) {
+          if (used_channel_[net_.dst(out)] == out) children_.push_back(out);
+        }
+      }
+      if (children_.empty()) {
+        if (!cdg_.try_use_edge_by_id(eid, cp, cq)) continue;
+      } else {
+        if (!opt_.shortcuts) continue;
+        if (!cdg_.switch_feasible(cp, cq, children_)) continue;
+        cdg_.commit_switch(cp, cq, children_);
+        ++stats_.shortcuts_taken;
+        settled_[w] = 0;  // re-settles when cq pops
+      }
+      if (used_channel_[w] != kInvalidChannel && used_channel_[w] != cq) {
+        push_alt(w, used_channel_[w]);
+      }
+      used_channel_[w] = cq;
+      node_dist_[w] = nd;
+      chan_dist_[cq] = nd;
+      heap_.insert_or_decrease(cq, nd);
+    }
+  }
+
+  // --- impasse handling (§4.6.2) --------------------------------------------
+
+  bool find_islands(NodeId d) {
+    islands_.clear();
+    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+      if (net_.node_alive(v) && v != d && node_dist_[v] == kInf) {
+        islands_.push_back(v);
+      }
+    }
+    return !islands_.empty();
+  }
+
+  bool resolve_one_island(NodeId d) {
+    for (NodeId v : islands_) {
+      if (try_backtrack_into(v, d)) {
+        ++stats_.islands_resolved;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Local backtracking: reach island v through a reached neighbor u,
+  /// either via u's current inbound channel or by switching u to a stored
+  /// alternative (validating u's existing child dependencies atomically).
+  bool try_backtrack_into(NodeId v, NodeId d) {
+    for (ChannelId out : net_.out(v)) {
+      const ChannelId c = reverse(out);  // candidate inbound (u -> v)
+      const NodeId u = net_.src(c);
+      if (node_dist_[u] == kInf || u == d) continue;
+      // Option 1: extend u's current chain.
+      const ChannelId cur = used_channel_[u];
+      if (cur != kInvalidChannel && cdg_.try_use_edge(cur, c)) {
+        ++stats_.backtrack_option1;
+        reach_island(v, c, node_dist_[u] + weights_[c]);
+        return true;
+      }
+      // Option 2: switch u's inbound to a remembered alternative.
+      for (const ChannelId a : alts_[u]) {
+        if (a == used_channel_[u]) continue;
+        const NodeId x = net_.src(a);
+        const ChannelId chain_in =
+            x == d ? kInvalidChannel : used_channel_[x];
+        if (x != d &&
+            (chain_in == kInvalidChannel || node_dist_[x] == kInf)) {
+          continue;
+        }
+        // u's current-step children keep their outgoing dependencies,
+        // re-rooted onto channel a; plus the new edge (a -> c).
+        children_.clear();
+        children_.push_back(c);
+        for (ChannelId o : net_.out(u)) {
+          if (used_channel_[net_.dst(o)] == o) children_.push_back(o);
+        }
+        if (!switch_with_optional_chain(chain_in, a, children_)) continue;
+        // Commit the switch of u.
+        const double u_dist =
+            (x == d ? 0.0 : node_dist_[x]) + weights_[a];
+        ++stats_.backtrack_option2;
+        push_alt(u, used_channel_[u]);
+        used_channel_[u] = a;
+        node_dist_[u] = std::min(node_dist_[u], u_dist);
+        chan_dist_[a] = node_dist_[u];
+        reach_island(v, c, node_dist_[u] + weights_[c]);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// switch_feasible + commit, tolerating a missing inbound chain edge
+  /// (alternatives whose tail is the destination itself have none).
+  bool switch_with_optional_chain(ChannelId chain_in, ChannelId a,
+                                  const std::vector<ChannelId>& outs) {
+    if (chain_in != kInvalidChannel) {
+      if (!cdg_.switch_feasible(chain_in, a, outs)) return false;
+      cdg_.commit_switch(chain_in, a, outs);
+      return true;
+    }
+    // No inbound edge: check only the out-star around `a`, atomically —
+    // a failure mid-commit would leave earlier edges marked (sticky).
+    if (!cdg_.switch_feasible_star(a, outs)) return false;
+    cdg_.mark_channel_used(a);
+    for (ChannelId o : outs) {
+      const bool ok = cdg_.try_use_edge(a, o);
+      NUE_CHECK(ok);
+    }
+    return true;
+  }
+
+  void reach_island(NodeId v, ChannelId c, double nd) {
+    if (used_channel_[v] != kInvalidChannel) push_alt(v, used_channel_[v]);
+    used_channel_[v] = c;
+    node_dist_[v] = nd;
+    chan_dist_[c] = nd;
+    heap_.insert_or_decrease(c, nd);
+  }
+
+  void push_alt(NodeId v, ChannelId c) {
+    if (c == kInvalidChannel) return;
+    auto& a = alts_[v];
+    for (ChannelId existing : a) {
+      if (existing == c) return;
+    }
+    if (a.size() < opt_.alt_stack_limit) {
+      a.push_back(c);
+    } else if (!a.empty()) {
+      // Keep the most recent alternatives (ring overwrite).
+      a[alt_rr_++ % a.size()] = c;
+    }
+  }
+
+  // --- balancing ------------------------------------------------------------
+
+  /// DFSSSP-style weight update: +1 per terminal-to-destination route on
+  /// every search-orientation channel the route's reverse traffic uses.
+  void update_weights(NodeId d, bool escape) {
+    for (NodeId t : net_.terminals()) {
+      if (t == d || !net_.node_alive(t)) continue;
+      NodeId at = t;
+      std::size_t guard = 0;
+      while (at != d) {
+        ChannelId search_chan;
+        if (escape) {
+          search_chan = reverse(escape_next_[at]);
+          at = net_.dst(escape_next_[at]);
+        } else {
+          search_chan = used_channel_[at];
+          at = net_.src(search_chan);
+        }
+        weights_[search_chan] += 1.0;
+        NUE_CHECK_MSG(++guard <= net_.num_nodes(), "routing loop in Nue");
+      }
+    }
+  }
+
+  const Network& net_;
+  const CdgIndex& idx_;
+  const NueOptions& opt_;
+  NueStats& stats_;
+  CompleteCdg cdg_;
+  std::vector<double> weights_;
+  std::vector<ChannelId> tree_parent_;
+  std::vector<std::vector<ChannelId>> tree_adj_;
+
+  // per-destination scratch
+  std::vector<double> node_dist_;
+  std::vector<ChannelId> used_channel_;
+  std::vector<std::uint8_t> settled_;
+  std::vector<std::vector<ChannelId>> alts_;
+  std::vector<double> chan_dist_;
+  FibonacciHeap<double> heap_;
+  std::vector<ChannelId> escape_next_;
+  std::vector<std::uint8_t> escape_seen_;
+  std::vector<NodeId> bfs_;
+  std::vector<NodeId> islands_;
+  std::vector<ChannelId> children_;
+  std::vector<std::uint8_t> keep_flags_;
+  NodeId dest_ = kInvalidNode;
+  std::size_t alt_rr_ = 0;
+};
+
+}  // namespace
+
+NodeId select_escape_root(const Network& net,
+                          const std::vector<NodeId>& subset) {
+  NUE_CHECK(!subset.empty());
+  const auto mask = convex_subgraph(net, subset);
+  const auto cb = betweenness_centrality(net, mask);
+  NodeId best = subset[0];
+  double best_cb = -1.0;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (!net.node_alive(v) || !mask[v]) continue;
+    // Prefer switches: a terminal root degenerates the spanning tree.
+    const double score = cb[v] + (net.is_switch(v) ? 0.5 : 0.0);
+    if (score > best_cb) {
+      best_cb = score;
+      best = v;
+    }
+  }
+  if (net.is_terminal(best)) best = net.terminal_switch(best);
+  return best;
+}
+
+std::size_t count_escape_dependencies(const Network& net, NodeId root,
+                                      const std::vector<NodeId>& dests) {
+  const auto parent = bfs_tree(net, root);
+  std::vector<std::vector<ChannelId>> adj(net.num_nodes());
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (parent[v] == kInvalidChannel) continue;
+    adj[v].push_back(parent[v]);
+    adj[net.dst(parent[v])].push_back(reverse(parent[v]));
+  }
+  std::set<std::pair<ChannelId, ChannelId>> deps;
+  std::vector<ChannelId> toward(net.num_nodes());
+  std::vector<NodeId> bfs;
+  std::vector<std::uint8_t> seen(net.num_nodes());
+  for (NodeId d : dests) {
+    std::fill(toward.begin(), toward.end(), kInvalidChannel);
+    std::fill(seen.begin(), seen.end(), 0);
+    bfs.assign(1, d);
+    seen[d] = 1;
+    for (std::size_t i = 0; i < bfs.size(); ++i) {
+      for (ChannelId c : adj[bfs[i]]) {
+        const NodeId nb = net.dst(c);
+        if (seen[nb]) continue;
+        seen[nb] = 1;
+        toward[nb] = reverse(c);
+        bfs.push_back(nb);
+      }
+    }
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      const ChannelId e = toward[v];
+      if (e == kInvalidChannel) continue;
+      const NodeId p = net.dst(e);
+      if (p != d) deps.insert({e, toward[p]});
+    }
+  }
+  return deps.size();
+}
+
+RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
+                          const NueOptions& opt, RerouteStats* reroute_stats,
+                          NueStats* stats) {
+  NueStats stats_local;
+  NueStats& st = stats ? *stats : stats_local;
+  st = NueStats{};
+  RerouteStats rs_local;
+  RerouteStats& rs = reroute_stats ? *reroute_stats : rs_local;
+  rs = RerouteStats{};
+
+  // Surviving destinations keep their old layer assignment.
+  std::vector<NodeId> dests;
+  for (NodeId d : old.destinations()) {
+    if (net.node_alive(d)) {
+      dests.push_back(d);
+    } else {
+      ++rs.dests_dropped;
+    }
+  }
+  RoutingResult rr(net.num_nodes(), dests, old.num_vls(), VlMode::kPerDest);
+
+  // Classify columns: a column survives iff every alive node still has a
+  // live next channel toward a live neighbor (the pointer chains are
+  // unchanged, so intact entries still terminate at the destination).
+  std::vector<std::vector<NodeId>> kept(old.num_vls());
+  std::vector<std::vector<NodeId>> affected(old.num_vls());
+  for (NodeId d : dests) {
+    const std::uint32_t old_di = old.dest_index(d);
+    const std::uint32_t layer = old.vl(d, d, old_di);
+    bool intact = true;
+    for (NodeId v = 0; v < net.num_nodes() && intact; ++v) {
+      if (v == d || !net.node_alive(v)) continue;
+      const ChannelId c = old.next(v, old_di);
+      intact = c != kInvalidChannel && net.channel_alive(c) &&
+               net.node_alive(net.dst(c));
+    }
+    (intact ? kept : affected)[layer].push_back(d);
+  }
+
+  const CdgIndex idx(net);
+  for (std::uint32_t layer = 0; layer < old.num_vls(); ++layer) {
+    if (kept[layer].empty() && affected[layer].empty()) continue;
+    if (affected[layer].empty()) {
+      // Nothing to recompute: reuse every column verbatim.
+      for (NodeId d : kept[layer]) {
+        const std::uint32_t old_di = old.dest_index(d);
+        const std::uint32_t di = rr.dest_index(d);
+        rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
+        for (NodeId v = 0; v < net.num_nodes(); ++v) {
+          if (v == d || !net.node_alive(v)) continue;
+          rr.set_next(v, di, old.next(v, old_di));
+        }
+      }
+      rs.dests_kept += kept[layer].size();
+      continue;
+    }
+    // Escape paths must be marked for every destination we end up
+    // routing (Lemma 3), and preserved columns must be fully pre-marked
+    // before anything new is placed. A kept column can clash with the
+    // escape tree, which demotes it into the routing set — and that grows
+    // the escape requirement, so iterate to a fixpoint (bounded by the
+    // kept-column count; almost always a single pass).
+    std::vector<NodeId> to_route = affected[layer];
+    std::vector<NodeId> keep_cols = kept[layer];
+    std::unique_ptr<LayerRouter> router;
+    while (true) {
+      const NodeId root = opt.central_root
+                              ? select_escape_root(net, to_route)
+                              : net.switches().front();
+      router = std::make_unique<LayerRouter>(net, idx, root, opt, st);
+      router->init_escape_paths(to_route);
+      bool demoted = false;
+      std::vector<NodeId> still_kept;
+      for (NodeId d : keep_cols) {
+        if (router->premark_column_checked(old, old.dest_index(d), d)) {
+          still_kept.push_back(d);
+        } else {
+          to_route.push_back(d);
+          ++rs.dests_demoted;
+          demoted = true;
+        }
+      }
+      keep_cols.swap(still_kept);
+      if (!demoted) break;
+      // Rebuild from scratch with the enlarged routing set.
+    }
+    for (NodeId d : keep_cols) {
+      const std::uint32_t old_di = old.dest_index(d);
+      const std::uint32_t di = rr.dest_index(d);
+      rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        if (v == d || !net.node_alive(v)) continue;
+        rr.set_next(v, di, old.next(v, old_di));
+      }
+      ++rs.dests_kept;
+    }
+    for (NodeId d : to_route) {
+      const std::uint32_t di = rr.dest_index(d);
+      rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
+      router->route_destination(d, rr, di);
+      ++rs.dests_rerouted;
+    }
+  }
+  return rr;
+}
+
+RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
+                        const NueOptions& opt, NueStats* stats) {
+  NUE_CHECK(opt.num_vls >= 1);
+  NueStats local;
+  NueStats& st = stats ? *stats : local;
+  st = NueStats{};
+
+  Rng rng(opt.seed);
+  const auto parts = partition_destinations(net, dests, opt.num_vls,
+                                            opt.partition, rng);
+  RoutingResult rr(net.num_nodes(), dests, opt.num_vls, VlMode::kPerDest);
+  const CdgIndex idx(net);
+
+  for (std::uint32_t layer = 0; layer < opt.num_vls; ++layer) {
+    auto subset = parts[layer];
+    if (subset.empty()) continue;
+    // Route destinations in randomized order: consecutive ids are usually
+    // terminals of the same switch whose near-identical trees would pile
+    // dependencies onto the same channels before the balancing weights
+    // can react.
+    rng.shuffle(subset);
+    NodeId root;
+    if (opt.central_root) {
+      root = select_escape_root(net, subset);
+    } else {
+      // Ablation: arbitrary (first alive switch).
+      root = kInvalidNode;
+      for (NodeId v = 0; v < net.num_nodes() && root == kInvalidNode; ++v) {
+        if (net.node_alive(v) && net.is_switch(v)) root = v;
+      }
+    }
+    st.roots.push_back(root);
+
+    LayerRouter router(net, idx, root, opt, st);
+    router.init_escape_paths(subset);
+    for (NodeId d : subset) {
+      const std::uint32_t di = rr.dest_index(d);
+      rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
+      router.route_destination(d, rr, di);
+    }
+    st.cycle_searches += router.cdg_stats().dfs_searches;
+    st.cycle_search_steps += router.cdg_stats().dfs_steps;
+    st.fast_accepts += router.cdg_stats().fast_accepts;
+  }
+  return rr;
+}
+
+}  // namespace nue

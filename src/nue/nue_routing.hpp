@@ -1,0 +1,115 @@
+// Nue routing (Section 4): deadlock-free, oblivious, destination-based
+// routing computed *inside* the complete channel dependency graph, for any
+// fixed number of virtual lanes k >= 1.
+//
+// Pipeline per virtual layer (Algorithm 2):
+//   1. partition destinations into k subsets (multilevel k-way / random /
+//      clustered, §4.5),
+//   2. convex subgraph of the subset + Brandes betweenness to pick the
+//      escape-tree root (§4.3),
+//   3. escape paths from a BFS spanning tree pre-marked `used` (§4.2),
+//   4. per destination: modified Dijkstra within the complete CDG
+//      (Algorithm 1) with the ω cycle-search memoization (§4.6.1, Alg. 3),
+//      local impasse backtracking (§4.6.2) and island shortcuts (§4.6.3),
+//   5. DFSSSP-style channel weight updates for global balance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "partition/partition.hpp"
+#include "routing/routing.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+
+struct NueOptions {
+  std::uint32_t num_vls = 1;
+  PartitionStrategy partition = PartitionStrategy::kKway;
+  /// Escape-tree root selection: betweenness-central node of the convex
+  /// subgraph (paper) vs. an arbitrary node (ablation).
+  bool central_root = true;
+  /// §4.6.2 local backtracking on impasses (ablation switch). When off,
+  /// any impasse immediately falls back to the escape paths.
+  bool backtracking = true;
+  /// §4.6.3 shortcuts: let resolved islands shorten already-settled nodes.
+  bool shortcuts = true;
+  /// Maximum alternatives remembered per node for backtracking.
+  std::uint32_t alt_stack_limit = 8;
+  /// Keep blocked-edge marks across destination steps, so routing
+  /// restrictions accumulate for the layer's lifetime exactly as in the
+  /// paper (§4.6.1 relies on it: a condition-(d) search runs at most once
+  /// per edge per layer). Transient `used` marks of superseded relaxations
+  /// are still purged per step — only real dependencies persist
+  /// (Definition 4). Disabling this re-evaluates every restriction per
+  /// step: marginally fewer escape fallbacks on some fabrics, but several
+  /// times slower (ablation bench compares both).
+  bool sticky_restrictions = true;
+  /// Initial channel weight offset (weights start at 1 + damping and grow
+  /// by one per path). Damps the early-step volatility of the balancing
+  /// weights: with a low base, the first destinations of a layer see huge
+  /// relative weight differences and take erratic detours whose
+  /// dependencies then obstruct everyone else. 50 is robust across the
+  /// evaluated topology families (swept in the ablation bench).
+  double balance_damping = 50.0;
+  std::uint64_t seed = 1;
+};
+
+struct NueStats {
+  std::size_t fallbacks = 0;         // destinations routed via escape paths
+  std::size_t islands_resolved = 0;  // impasses fixed by backtracking
+  std::size_t islands_unresolved = 0;  // impasses that forced a fallback
+  std::size_t backtrack_option1 = 0;   // resolved via the current chain
+  std::size_t backtrack_option2 = 0;   // resolved via an alternative switch
+  std::size_t shortcuts_taken = 0;   // settled nodes improved via islands
+  std::uint64_t cycle_searches = 0;  // condition-(d) DFS invocations
+  std::uint64_t cycle_search_steps = 0;
+  std::uint64_t fast_accepts = 0;    // O(1) accepts via conditions (a)/(b)
+  std::vector<NodeId> roots;         // escape root per layer
+};
+
+/// Route every node in `dests` (paths from all nodes to each destination).
+/// Never fails on a connected network: Lemma 3 guarantees connectivity for
+/// any k >= 1.
+RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
+                        const NueOptions& opt = {},
+                        NueStats* stats = nullptr);
+
+/// Escape-root selection for one destination subset (exposed for tests and
+/// the root-selection ablation bench): the node of the convex subgraph of
+/// `subset` with maximum betweenness centrality.
+NodeId select_escape_root(const Network& net,
+                          const std::vector<NodeId>& subset);
+
+/// Number of distinct channel dependencies the escape paths of a BFS
+/// spanning tree rooted at `root` impose toward the destinations `dests`
+/// (the quantity Fig. 5 compares across root choices, §4.3): fewer initial
+/// dependencies leave Nue more routing freedom.
+std::size_t count_escape_dependencies(const Network& net, NodeId root,
+                                      const std::vector<NodeId>& dests);
+
+// --- fail-in-place incremental rerouting ------------------------------------
+
+struct RerouteStats {
+  std::size_t dests_kept = 0;       // columns reused unchanged
+  std::size_t dests_rerouted = 0;   // columns recomputed
+  std::size_t dests_dropped = 0;    // destinations that died with a switch
+  std::size_t dests_demoted = 0;    // intact columns recomputed anyway
+                                    // because their dependencies clashed
+                                    // with the new escape paths
+};
+
+/// Fail-in-place rerouting (the paper's deployment context [7]): `net` is
+/// the degraded fabric — same node/channel id space as when `old` was
+/// computed, with elements removed. Forwarding columns untouched by the
+/// failures are reused verbatim; only destinations whose routes crossed a
+/// failed element (or that died themselves) are recomputed, inside a CDG
+/// pre-seeded with the preserved columns' dependencies so the merged
+/// routing stays deadlock-free (Theorem 1 applies to the union).
+RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
+                          const NueOptions& opt = {},
+                          RerouteStats* reroute_stats = nullptr,
+                          NueStats* stats = nullptr);
+
+}  // namespace nue

@@ -1,0 +1,274 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+namespace {
+
+/// Weighted undirected graph for the multilevel scheme.
+struct PGraph {
+  std::vector<std::uint32_t> vwgt;
+  // adjacency: (neighbor, edge weight), one entry per neighbor
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj;
+  std::size_t n() const { return vwgt.size(); }
+};
+
+struct CoarseLevel {
+  PGraph graph;
+  std::vector<std::uint32_t> map_to_coarse;  // fine vertex -> coarse vertex
+};
+
+/// Heavy-edge matching coarsening step. Returns the coarse graph and the
+/// fine->coarse map; nullopt-equivalent signalled by no shrinkage.
+CoarseLevel coarsen(const PGraph& g, Rng& rng) {
+  const std::size_t n = g.n();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  constexpr std::uint32_t kUnmatched = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> match(n, kUnmatched);
+  for (std::uint32_t v : order) {
+    if (match[v] != kUnmatched) continue;
+    std::uint32_t best = kUnmatched, best_w = 0;
+    for (const auto& [u, w] : g.adj[v]) {
+      if (u != v && match[u] == kUnmatched && w > best_w) {
+        best = u;
+        best_w = w;
+      }
+    }
+    if (best != kUnmatched) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;
+    }
+  }
+  CoarseLevel lvl;
+  lvl.map_to_coarse.assign(n, kUnmatched);
+  std::uint32_t next_id = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (lvl.map_to_coarse[v] != kUnmatched) continue;
+    lvl.map_to_coarse[v] = next_id;
+    lvl.map_to_coarse[match[v]] = next_id;
+    ++next_id;
+  }
+  lvl.graph.vwgt.assign(next_id, 0);
+  lvl.graph.adj.assign(next_id, {});
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> edges;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t cv = lvl.map_to_coarse[v];
+    lvl.graph.vwgt[cv] += g.vwgt[v];
+    for (const auto& [u, w] : g.adj[v]) {
+      const std::uint32_t cu = lvl.map_to_coarse[u];
+      if (cu == cv) continue;
+      edges[{cv, cu}] += w;  // counted once per direction; symmetric input
+    }
+  }
+  for (const auto& [key, w] : edges) {
+    lvl.graph.adj[key.first].push_back({key.second, w});
+  }
+  return lvl;
+}
+
+/// Greedy graph growing initial partition on the coarsest graph.
+std::vector<std::uint32_t> initial_partition(const PGraph& g, std::uint32_t k,
+                                             Rng& rng) {
+  const std::size_t n = g.n();
+  std::uint64_t total = 0;
+  for (auto w : g.vwgt) total += w;
+  const double target = static_cast<double>(total) / k;
+  constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> part(n, kNone);
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::size_t cursor = 0;
+  for (std::uint32_t p = 0; p + 1 < k; ++p) {
+    // Seed with the first unassigned vertex, then BFS-grow.
+    while (cursor < n && part[order[cursor]] != kNone) ++cursor;
+    if (cursor >= n) break;
+    std::vector<std::uint32_t> frontier{order[cursor]};
+    part[order[cursor]] = p;
+    double grown = g.vwgt[order[cursor]];
+    for (std::size_t i = 0; i < frontier.size() && grown < target; ++i) {
+      for (const auto& [u, w] : g.adj[frontier[i]]) {
+        (void)w;
+        if (part[u] == kNone && grown < target) {
+          part[u] = p;
+          grown += g.vwgt[u];
+          frontier.push_back(u);
+        }
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (part[v] == kNone) part[v] = k - 1;
+  }
+  return part;
+}
+
+/// Boundary refinement: greedy gain moves keeping weights within slack.
+void refine(const PGraph& g, std::uint32_t k, std::vector<std::uint32_t>& part,
+            Rng& rng) {
+  const std::size_t n = g.n();
+  std::uint64_t total = 0;
+  for (auto w : g.vwgt) total += w;
+  const double max_part = 1.10 * static_cast<double>(total) / k + 1.0;
+  std::vector<double> weight(k, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) weight[part[v]] += g.vwgt[v];
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::int64_t> link(k);
+  for (int pass = 0; pass < 4; ++pass) {
+    rng.shuffle(order);
+    bool any = false;
+    for (std::uint32_t v : order) {
+      std::fill(link.begin(), link.end(), 0);
+      for (const auto& [u, w] : g.adj[v]) link[part[u]] += w;
+      const std::uint32_t from = part[v];
+      std::uint32_t best = from;
+      std::int64_t best_gain = 0;
+      for (std::uint32_t p = 0; p < k; ++p) {
+        if (p == from) continue;
+        const std::int64_t gain = link[p] - link[from];
+        if (gain > best_gain && weight[p] + g.vwgt[v] <= max_part) {
+          best = p;
+          best_gain = gain;
+        }
+      }
+      if (best != from) {
+        part[v] = best;
+        weight[from] -= g.vwgt[v];
+        weight[best] += g.vwgt[v];
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> kway_partition_switches(
+    const Network& net, const std::vector<NodeId>& switches,
+    const std::vector<std::uint32_t>& node_weights, std::uint32_t k,
+    Rng& rng) {
+  NUE_CHECK(node_weights.size() == switches.size());
+  // Build the base weighted graph over switch positions.
+  std::vector<std::uint32_t> pos_of(net.num_nodes(),
+                                    static_cast<std::uint32_t>(-1));
+  for (std::uint32_t i = 0; i < switches.size(); ++i) {
+    pos_of[switches[i]] = i;
+  }
+  PGraph base;
+  base.vwgt = node_weights;
+  base.adj.assign(switches.size(), {});
+  for (std::uint32_t i = 0; i < switches.size(); ++i) {
+    std::map<std::uint32_t, std::uint32_t> nb;
+    for (ChannelId c : net.out(switches[i])) {
+      const NodeId w = net.dst(c);
+      if (net.is_switch(w)) ++nb[pos_of[w]];
+    }
+    for (const auto& [u, w] : nb) base.adj[i].push_back({u, w});
+  }
+
+  // Multilevel V-cycle.
+  std::vector<CoarseLevel> levels;
+  const PGraph* cur = &base;
+  while (cur->n() > std::max<std::size_t>(8 * k, 32)) {
+    CoarseLevel lvl = coarsen(*cur, rng);
+    if (lvl.graph.n() >= cur->n()) break;  // no shrinkage, stop
+    levels.push_back(std::move(lvl));
+    cur = &levels.back().graph;
+  }
+  std::vector<std::uint32_t> part = initial_partition(*cur, k, rng);
+  refine(*cur, k, part, rng);
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const PGraph& fine =
+        (it + 1 == levels.rend()) ? base : (it + 1)->graph;
+    std::vector<std::uint32_t> fine_part(fine.n());
+    for (std::uint32_t v = 0; v < fine.n(); ++v) {
+      fine_part[v] = part[it->map_to_coarse[v]];
+    }
+    part = std::move(fine_part);
+    refine(fine, k, part, rng);
+  }
+  return part;
+}
+
+std::vector<std::vector<NodeId>> partition_destinations(
+    const Network& net, const std::vector<NodeId>& dests, std::uint32_t k,
+    PartitionStrategy strategy, Rng& rng) {
+  NUE_CHECK(k >= 1);
+  std::vector<std::vector<NodeId>> parts(k);
+  if (k == 1) {
+    parts[0] = dests;
+    return parts;
+  }
+
+  if (strategy == PartitionStrategy::kRandom) {
+    std::vector<NodeId> shuffled = dests;
+    rng.shuffle(shuffled);
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      parts[i % k].push_back(shuffled[i]);
+    }
+    return parts;
+  }
+
+  // Both structural strategies group destinations by their switch.
+  const auto switches = net.switches();
+  std::vector<std::uint32_t> pos_of(net.num_nodes(),
+                                    static_cast<std::uint32_t>(-1));
+  for (std::uint32_t i = 0; i < switches.size(); ++i) {
+    pos_of[switches[i]] = i;
+  }
+  std::vector<std::vector<NodeId>> by_switch(switches.size());
+  for (NodeId d : dests) {
+    const NodeId sw = net.is_terminal(d) ? net.terminal_switch(d) : d;
+    by_switch[pos_of[sw]].push_back(d);
+  }
+
+  std::vector<std::uint32_t> sw_part;
+  if (strategy == PartitionStrategy::kClustered) {
+    // Deal switch groups round-robin in random order.
+    std::vector<std::uint32_t> order(switches.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    sw_part.assign(switches.size(), 0);
+    std::uint32_t next = 0;
+    for (std::uint32_t i : order) {
+      if (by_switch[i].empty()) continue;
+      sw_part[i] = next;
+      next = (next + 1) % k;
+    }
+  } else {
+    std::vector<std::uint32_t> wgt(switches.size());
+    for (std::size_t i = 0; i < switches.size(); ++i) {
+      wgt[i] = static_cast<std::uint32_t>(by_switch[i].size());
+    }
+    sw_part = kway_partition_switches(net, switches, wgt, k, rng);
+  }
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    for (NodeId d : by_switch[i]) parts[sw_part[i]].push_back(d);
+  }
+
+  // Guarantee non-empty parts when possible: steal from the largest.
+  for (std::uint32_t p = 0; p < k; ++p) {
+    if (!parts[p].empty()) continue;
+    auto biggest = std::max_element(
+        parts.begin(), parts.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (biggest->size() >= 2) {
+      parts[p].push_back(biggest->back());
+      biggest->pop_back();
+    }
+  }
+  return parts;
+}
+
+}  // namespace nue

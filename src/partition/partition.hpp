@@ -1,0 +1,38 @@
+// Destination partitioning for Nue (Section 4.5): split the destination
+// node set into k disjoint subsets, one per virtual layer. The paper uses
+// a multilevel k-way partitioning [19] of the network and also evaluates
+// random partitioning and partial clustering (terminals of one switch stay
+// together); all three are provided (the ablation bench compares them).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+
+enum class PartitionStrategy : std::uint8_t {
+  kKway,       // multilevel k-way on the switch graph (default, as in Nue)
+  kRandom,     // uniform random split
+  kClustered,  // partial clustering: per-switch groups dealt round-robin
+};
+
+/// Split `dests` into k subsets. Every subset is non-empty when
+/// |dests| >= k; counts are balanced to within one element for kRandom and
+/// to within a switch's terminal group for the structural strategies.
+std::vector<std::vector<NodeId>> partition_destinations(
+    const Network& net, const std::vector<NodeId>& dests, std::uint32_t k,
+    PartitionStrategy strategy, Rng& rng);
+
+/// Multilevel k-way partition of the switch graph itself (exposed for
+/// tests): returns part index per switch-position in `switches`.
+/// Node weights = number of destinations attached to the switch; edge
+/// weights = number of parallel channels.
+std::vector<std::uint32_t> kway_partition_switches(
+    const Network& net, const std::vector<NodeId>& switches,
+    const std::vector<std::uint32_t>& node_weights, std::uint32_t k,
+    Rng& rng);
+
+}  // namespace nue

@@ -1,0 +1,73 @@
+// Dense index of the *complete* channel dependency graph (Definition 6):
+// vertices are the channels of the network, and channel c_p has an edge to
+// every channel c_q leaving dst(c_p) except U-turns back to src(c_p)
+// (including U-turns over parallel channels of a multigraph).
+//
+// DFSSSP and LASH use this as a dense edge-id space for per-layer
+// dependency counting; Nue builds its per-layer state arrays on top of it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "util/error.hpp"
+
+namespace nue {
+
+class CdgIndex {
+ public:
+  using EdgeId = std::uint32_t;
+  static constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+  explicit CdgIndex(const Network& net) {
+    const std::size_t nc = net.num_channels();
+    row_begin_.assign(nc + 1, 0);
+    for (ChannelId c = 0; c < nc; ++c) {
+      row_begin_[c + 1] = row_begin_[c];
+      if (!net.channel_alive(c)) continue;
+      for (ChannelId s : net.out(net.dst(c))) {
+        if (net.dst(s) == net.src(c)) continue;  // U-turn (any parallel)
+        ++row_begin_[c + 1];
+      }
+    }
+    succ_.resize(row_begin_[nc]);
+    for (ChannelId c = 0; c < nc; ++c) {
+      if (!net.channel_alive(c)) continue;
+      EdgeId at = row_begin_[c];
+      for (ChannelId s : net.out(net.dst(c))) {
+        if (net.dst(s) == net.src(c)) continue;
+        succ_[at++] = s;
+      }
+    }
+  }
+
+  std::size_t num_edges() const { return succ_.size(); }
+  std::size_t num_channels() const { return row_begin_.size() - 1; }
+
+  /// Successor channels of channel c (edges of the complete CDG).
+  std::span<const ChannelId> successors(ChannelId c) const {
+    return {succ_.data() + row_begin_[c],
+            succ_.data() + row_begin_[c + 1]};
+  }
+
+  EdgeId first_edge(ChannelId c) const { return row_begin_[c]; }
+
+  /// Dense id of edge (c1 -> c2); kNoEdge if absent (U-turn or dead).
+  EdgeId edge_id(ChannelId c1, ChannelId c2) const {
+    for (EdgeId e = row_begin_[c1]; e < row_begin_[c1 + 1]; ++e) {
+      if (succ_[e] == c2) return e;
+    }
+    return kNoEdge;
+  }
+
+  /// The successor channel of a dense edge id.
+  ChannelId edge_head(EdgeId e) const { return succ_[e]; }
+
+ private:
+  std::vector<EdgeId> row_begin_;
+  std::vector<ChannelId> succ_;
+};
+
+}  // namespace nue

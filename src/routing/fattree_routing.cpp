@@ -1,0 +1,89 @@
+#include "routing/fattree_routing.hpp"
+
+#include "util/error.hpp"
+
+namespace nue {
+
+namespace {
+
+/// Weight of address digit j (digit 0 is most significant), matching the
+/// generator's convention.
+std::uint32_t digit_weight(const FatTreeSpec& spec, std::uint32_t j) {
+  std::uint32_t p = 1;
+  for (std::uint32_t i = 0; i < spec.n - 2 - j; ++i) p *= spec.k;
+  return p;
+}
+
+std::uint32_t get_digit(const FatTreeSpec& spec, std::uint32_t w,
+                        std::uint32_t j) {
+  return (w / digit_weight(spec, j)) % spec.k;
+}
+
+std::uint32_t set_digit(const FatTreeSpec& spec, std::uint32_t w,
+                        std::uint32_t j, std::uint32_t val) {
+  const std::uint32_t wd = digit_weight(spec, j);
+  const std::uint32_t cur = get_digit(spec, w, j);
+  return static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(w) +
+      (static_cast<std::int64_t>(val) - cur) * wd);
+}
+
+ChannelId channel_between(const Network& net, NodeId a, NodeId b) {
+  for (ChannelId c : net.out(a)) {
+    if (net.dst(c) == b) return c;
+  }
+  NUE_CHECK_MSG(false, "no channel " << a << " -> " << b);
+  return kInvalidChannel;
+}
+
+}  // namespace
+
+RoutingResult route_fattree(const Network& net, const FatTreeSpec& spec,
+                            const std::vector<NodeId>& dests) {
+  RoutingResult rr(net.num_nodes(), dests, 1, VlMode::kPerDest);
+  const NodeId first_terminal =
+      static_cast<NodeId>(spec.n * spec.switches_per_level);
+
+  for (std::size_t di = 0; di < dests.size(); ++di) {
+    const NodeId d = dests[di];
+    NUE_CHECK_MSG(net.is_terminal(d), "fat-tree routing routes terminals");
+    const std::uint32_t g = d - first_terminal;  // global terminal index
+    const std::uint32_t leaf_addr = g / spec.terminals_per_leaf;
+    const std::uint32_t spread = g % spec.k;  // up-port selection digit
+
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (!net.node_alive(v) || v == d) continue;
+      if (net.is_terminal(v)) {
+        rr.set_next(v, static_cast<std::uint32_t>(di), net.out(v)[0]);
+        continue;
+      }
+      const std::uint32_t l = spec.level_of(v);
+      const std::uint32_t w = spec.addr_of(v);
+      // Does the prefix 0..l-1 agree with the destination leaf address?
+      bool agrees = true;
+      for (std::uint32_t j = 0; j < l && agrees; ++j) {
+        agrees = get_digit(spec, w, j) == get_digit(spec, leaf_addr, j);
+      }
+      NodeId target;
+      if (agrees && l == spec.n - 1) {
+        // At the destination's leaf switch: deliver.
+        NUE_CHECK(w == leaf_addr);
+        target = d;
+      } else if (agrees) {
+        // Descend: fix digit l to the destination's digit.
+        const std::uint32_t w2 =
+            set_digit(spec, w, l, get_digit(spec, leaf_addr, l));
+        target = spec.switch_id(l + 1, w2);
+      } else {
+        // Climb: digit l-1 chosen by the destination index for balance.
+        const std::uint32_t w2 = set_digit(spec, w, l - 1, spread);
+        target = spec.switch_id(l - 1, w2);
+      }
+      rr.set_next(v, static_cast<std::uint32_t>(di),
+                  channel_between(net, v, target));
+    }
+  }
+  return rr;
+}
+
+}  // namespace nue

@@ -1,0 +1,18 @@
+// Fat-tree routing for k-ary n-trees (Zahavi-style destination-mod-k
+// up-port selection [33]): strictly up then down, deadlock-free with a
+// single virtual lane, with downward paths fixed by the destination's leaf
+// address and upward ports spread by destination index.
+#pragma once
+
+#include <vector>
+
+#include "graph/network.hpp"
+#include "routing/routing.hpp"
+#include "topology/trees.hpp"
+
+namespace nue {
+
+RoutingResult route_fattree(const Network& net, const FatTreeSpec& spec,
+                            const std::vector<NodeId>& dests);
+
+}  // namespace nue

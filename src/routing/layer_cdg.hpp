@@ -1,0 +1,129 @@
+// Per-virtual-layer channel dependency graph with usage counts and
+// incremental acyclicity checks, shared by DFSSSP's cycle breaking and
+// LASH's first-fit layer assignment.
+//
+// The vertex set is the channel set; edges are dense ids of a CdgIndex.
+// An edge is "present" while its path count is positive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "routing/cdg_index.hpp"
+#include "util/error.hpp"
+
+namespace nue {
+
+class LayerCdg {
+ public:
+  using EdgeId = CdgIndex::EdgeId;
+
+  explicit LayerCdg(const CdgIndex& idx)
+      : idx_(&idx),
+        count_(idx.num_edges(), 0),
+        stamp_(idx.num_channels(), 0) {}
+
+  std::uint32_t count(EdgeId e) const { return count_[e]; }
+
+  void add(EdgeId e, std::uint32_t k = 1) { count_[e] += k; }
+
+  void remove(EdgeId e, std::uint32_t k = 1) {
+    NUE_DCHECK(count_[e] >= k);
+    count_[e] -= k;
+  }
+
+  /// Would adding edge (c1 -> c2), currently absent, close a cycle?
+  /// True iff c1 is reachable from c2 over present edges.
+  bool creates_cycle(ChannelId c1, ChannelId c2) {
+    if (c1 == c2) return true;
+    ++generation_;
+    return reach(c2, c1);
+  }
+
+  /// Find any cycle among present edges; empty if acyclic.
+  /// Returns the cycle as a sequence of dense edge ids.
+  std::vector<EdgeId> find_cycle() {
+    const std::size_t nc = idx_->num_channels();
+    // Three-color DFS with explicit stack; path_edge_ records the edge used
+    // to enter each gray vertex so the cycle can be reconstructed.
+    std::vector<std::uint8_t> color(nc, 0);
+    std::vector<EdgeId> entry_edge(nc, CdgIndex::kNoEdge);
+    std::vector<ChannelId> entry_from(nc, kInvalidChannel);
+    struct Frame {
+      ChannelId v;
+      EdgeId next_e, end_e;
+    };
+    std::vector<Frame> stack;
+    for (ChannelId start = 0; start < nc; ++start) {
+      if (color[start] != 0) continue;
+      color[start] = 1;
+      stack.push_back({start, idx_->first_edge(start),
+                       idx_->first_edge(start + 1)});
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        bool descended = false;
+        while (f.next_e < f.end_e) {
+          const EdgeId e = f.next_e++;
+          if (count_[e] == 0) continue;
+          const ChannelId w = idx_->edge_head(e);
+          if (color[w] == 1) {
+            // Back edge: reconstruct the cycle w -> ... -> f.v -> w.
+            std::vector<EdgeId> cycle{e};
+            ChannelId at = f.v;
+            while (at != w) {
+              cycle.push_back(entry_edge[at]);
+              at = entry_from[at];
+            }
+            return cycle;
+          }
+          if (color[w] == 0) {
+            color[w] = 1;
+            entry_edge[w] = e;
+            entry_from[w] = f.v;
+            stack.push_back(
+                {w, idx_->first_edge(w), idx_->first_edge(w + 1)});
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && (stack.back().next_e >= stack.back().end_e)) {
+          color[stack.back().v] = 2;
+          stack.pop_back();
+        }
+      }
+    }
+    return {};
+  }
+
+ private:
+  /// DFS over present edges: is `target` reachable from `from`?
+  bool reach(ChannelId from, ChannelId target) {
+    dfs_stack_.clear();
+    dfs_stack_.push_back(from);
+    stamp_[from] = generation_;
+    while (!dfs_stack_.empty()) {
+      const ChannelId v = dfs_stack_.back();
+      dfs_stack_.pop_back();
+      const EdgeId end = idx_->first_edge(v + 1);
+      for (EdgeId e = idx_->first_edge(v); e < end; ++e) {
+        if (count_[e] == 0) continue;
+        const ChannelId w = idx_->edge_head(e);
+        if (w == target) return true;
+        if (stamp_[w] != generation_) {
+          stamp_[w] = generation_;
+          dfs_stack_.push_back(w);
+        }
+      }
+    }
+    return false;
+  }
+
+  const CdgIndex* idx_;
+  std::vector<std::uint32_t> count_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<ChannelId> dfs_stack_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace nue

@@ -1,0 +1,161 @@
+// Routing function representation (Definition 3) shared by all routing
+// engines (Nue and the baselines).
+//
+// A RoutingResult is a destination-based forwarding table: for every routed
+// destination d and every node v, `next(v, d)` is the unique channel a
+// packet at v takes toward d. Virtual-lane assignment comes in three
+// flavours matching how real engines drive InfiniBand SL/VL:
+//
+//   kPerDest        — VL is a function of the destination only
+//                     (DFSSSP without path-level moves, Nue: layer of d).
+//   kPerSource      — VL is a function of (source node, destination)
+//                     fixed at injection (LASH: switch-pair layers,
+//                     DFSSSP: per-path layers). The packet keeps the VL.
+//   kPerHop         — VL is a function of (current node, destination) and
+//                     may change along the path (torus dateline scheme,
+//                     emulating Torus-2QoS's SL2VL tricks).
+//
+// Deadlock analysis and the flit simulator treat (channel, VL) pairs as
+// the resource vertices, so all three flavours validate uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "util/error.hpp"
+
+namespace nue {
+
+enum class VlMode : std::uint8_t { kPerDest, kPerSource, kPerHop };
+
+class RoutingResult {
+ public:
+  /// `dests` = routed destinations (ids into net). `num_nodes` = net size.
+  RoutingResult(std::size_t num_nodes, std::vector<NodeId> dests,
+                std::uint32_t num_vls, VlMode mode)
+      : num_nodes_(num_nodes),
+        destinations_(std::move(dests)),
+        dest_index_(num_nodes, kNoDest),
+        next_(destinations_.size() * num_nodes, kInvalidChannel),
+        num_vls_(num_vls),
+        vl_mode_(mode) {
+    NUE_CHECK(num_vls >= 1);
+    for (std::size_t i = 0; i < destinations_.size(); ++i) {
+      dest_index_[destinations_[i]] = static_cast<std::uint32_t>(i);
+    }
+    switch (mode) {
+      case VlMode::kPerDest:
+        dest_vl_.assign(destinations_.size(), 0);
+        break;
+      case VlMode::kPerSource:
+        source_vl_.assign(destinations_.size() * num_nodes, 0);
+        break;
+      case VlMode::kPerHop:
+        hop_vl_.assign(destinations_.size() * num_nodes, 0);
+        break;
+    }
+  }
+
+  static constexpr std::uint32_t kNoDest = static_cast<std::uint32_t>(-1);
+
+  const std::vector<NodeId>& destinations() const { return destinations_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::uint32_t num_vls() const { return num_vls_; }
+  VlMode vl_mode() const { return vl_mode_; }
+
+  /// Index of a destination in the table (kNoDest if not routed).
+  std::uint32_t dest_index(NodeId d) const { return dest_index_[d]; }
+  bool is_destination(NodeId d) const { return dest_index_[d] != kNoDest; }
+
+  // --- forwarding table ----------------------------------------------------
+
+  ChannelId next(NodeId at, std::uint32_t dest_idx) const {
+    return next_[idx(at, dest_idx)];
+  }
+  void set_next(NodeId at, std::uint32_t dest_idx, ChannelId c) {
+    next_[idx(at, dest_idx)] = c;
+  }
+
+  // --- virtual lanes --------------------------------------------------------
+
+  void set_dest_vl(std::uint32_t dest_idx, std::uint8_t vl) {
+    NUE_DCHECK(vl_mode_ == VlMode::kPerDest);
+    dest_vl_[dest_idx] = vl;
+  }
+  void set_source_vl(NodeId src, std::uint32_t dest_idx, std::uint8_t vl) {
+    NUE_DCHECK(vl_mode_ == VlMode::kPerSource);
+    source_vl_[idx(src, dest_idx)] = vl;
+  }
+  void set_hop_vl(NodeId at, std::uint32_t dest_idx, std::uint8_t vl) {
+    NUE_DCHECK(vl_mode_ == VlMode::kPerHop);
+    hop_vl_[idx(at, dest_idx)] = vl;
+  }
+
+  /// VL used on the channel a packet (injected at `src`, heading to
+  /// destination index `dest_idx`) takes when leaving node `at`.
+  std::uint8_t vl(NodeId at, NodeId src, std::uint32_t dest_idx) const {
+    switch (vl_mode_) {
+      case VlMode::kPerDest:
+        return dest_vl_[dest_idx];
+      case VlMode::kPerSource:
+        return source_vl_[idx(src, dest_idx)];
+      case VlMode::kPerHop:
+        return hop_vl_[idx(at, dest_idx)];
+    }
+    return 0;
+  }
+
+  // --- path helpers ---------------------------------------------------------
+
+  /// Channels of the route src -> dst (traffic direction). Throws if the
+  /// table has a hole or the walk exceeds num_nodes hops (cycle guard).
+  std::vector<ChannelId> trace(const Network& net, NodeId src,
+                               NodeId dst) const {
+    const std::uint32_t di = dest_index(dst);
+    NUE_CHECK_MSG(di != kNoDest, "node " << dst << " is not a destination");
+    std::vector<ChannelId> path;
+    NodeId at = src;
+    while (at != dst) {
+      const ChannelId c = next(at, di);
+      NUE_CHECK_MSG(c != kInvalidChannel,
+                    "no route at node " << at << " toward " << dst);
+      NUE_CHECK(net.src(c) == at);
+      path.push_back(c);
+      at = net.dst(c);
+      NUE_CHECK_MSG(path.size() <= num_nodes_,
+                    "routing loop on route " << src << " -> " << dst);
+    }
+    return path;
+  }
+
+ private:
+  std::size_t idx(NodeId at, std::uint32_t dest_idx) const {
+    NUE_DCHECK(at < num_nodes_ && dest_idx < destinations_.size());
+    return static_cast<std::size_t>(dest_idx) * num_nodes_ + at;
+  }
+
+  std::size_t num_nodes_;
+  std::vector<NodeId> destinations_;
+  std::vector<std::uint32_t> dest_index_;
+  std::vector<ChannelId> next_;
+  std::uint32_t num_vls_;
+  VlMode vl_mode_;
+  std::vector<std::uint8_t> dest_vl_;
+  std::vector<std::uint8_t> source_vl_;
+  std::vector<std::uint8_t> hop_vl_;
+};
+
+/// Thrown by routing engines when they cannot route the given network
+/// within their constraints (e.g. DFSSSP/LASH exceeding the VL cap,
+/// Torus-2QoS facing two failures in one ring). Bench harnesses catch this
+/// and report the algorithm as inapplicable, like the missing bars/dots in
+/// the paper's figures.
+class RoutingFailure : public std::runtime_error {
+ public:
+  explicit RoutingFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace nue

@@ -1,0 +1,214 @@
+#include "routing/torus_qos.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+namespace {
+
+/// Per-(dimension, ring) connectivity: ring[i] describes the boundary
+/// between positions i and i+1 (mod n) of the ring.
+struct RingInfo {
+  // Alive parallel channels from position i to i+1 (forward) and the
+  // matching reverse direction; empty = broken boundary.
+  std::vector<std::vector<ChannelId>> fwd;
+  std::vector<std::vector<ChannelId>> bwd;
+  std::vector<std::uint8_t> pos_alive;
+  bool intact = true;  // no dead boundary and no dead position
+};
+
+class TorusRouter {
+ public:
+  TorusRouter(const Network& net, const TorusSpec& spec)
+      : net_(net), spec_(spec) {}
+
+  RoutingResult route(const std::vector<NodeId>& dests) {
+    build_rings();
+    RoutingResult rr(net_.num_nodes(), dests, 2, VlMode::kPerHop);
+    for (std::size_t di = 0; di < dests.size(); ++di) {
+      route_dest(rr, static_cast<std::uint32_t>(di), dests[di]);
+    }
+    return rr;
+  }
+
+ private:
+  std::size_t num_dims() const { return spec_.dims.size(); }
+
+  /// Ring key: dimension d plus the fixed coordinates of all other dims.
+  std::size_t ring_key(std::size_t dim,
+                       const std::vector<std::uint32_t>& coord) const {
+    std::size_t key = 0;
+    for (std::size_t i = 0; i < num_dims(); ++i) {
+      if (i == dim) continue;
+      key = key * spec_.dims[i] + coord[i];
+    }
+    return dim_ring_base_[dim] + key;
+  }
+
+  void build_rings() {
+    const std::uint32_t nsw = spec_.num_switches();
+    dim_ring_base_.assign(num_dims() + 1, 0);
+    for (std::size_t d = 0; d < num_dims(); ++d) {
+      dim_ring_base_[d + 1] =
+          dim_ring_base_[d] + nsw / spec_.dims[d];
+    }
+    rings_.assign(dim_ring_base_[num_dims()], {});
+    for (std::size_t d = 0; d < num_dims(); ++d) {
+      const std::uint32_t n = spec_.dims[d];
+      for (NodeId sw = 0; sw < nsw; ++sw) {
+        auto coord = spec_.coord_of(sw);
+        if (coord[d] != 0) continue;  // one switch per ring initializes it
+        RingInfo& ring = rings_[ring_key(d, coord)];
+        ring.fwd.assign(n, {});
+        ring.bwd.assign(n, {});
+        ring.pos_alive.assign(n, 0);
+        for (std::uint32_t p = 0; p < n; ++p) {
+          coord[d] = p;
+          const NodeId at = spec_.switch_at(coord);
+          ring.pos_alive[p] = net_.node_alive(at) ? 1 : 0;
+          if (!ring.pos_alive[p]) ring.intact = false;
+          coord[d] = (p + 1) % n;
+          const NodeId nb = spec_.switch_at(coord);
+          if (net_.node_alive(at)) {
+            for (ChannelId c : net_.out(at)) {
+              if (net_.dst(c) == nb) {
+                ring.fwd[p].push_back(c);
+                ring.bwd[p].push_back(reverse(c));
+              }
+            }
+          }
+          if (ring.fwd[p].empty()) ring.intact = false;
+          coord[d] = 0;
+        }
+        // Rings of size < 3 have no wrap channel distinct from the direct
+        // one; treat them as broken (path-like), which routes them on VL1
+        // without a dateline — trivially acyclic.
+        if (n < 3) ring.intact = false;
+      }
+    }
+  }
+
+  /// Direction choice within a ring from position p to q: +1 or -1.
+  /// Throws RoutingFailure when both directions are blocked.
+  int choose_dir(const RingInfo& ring, std::uint32_t n, std::uint32_t p,
+                 std::uint32_t q) const {
+    auto passable = [&](int dir) {
+      std::uint32_t at = p;
+      while (at != q) {
+        const std::uint32_t boundary = dir > 0 ? at : (at + n - 1) % n;
+        if (ring.fwd[boundary].empty()) return false;
+        at = (at + n + static_cast<std::uint32_t>(dir)) % n;
+        if (at != q && !ring.pos_alive[at]) return false;
+      }
+      return true;
+    };
+    const std::uint32_t fwd_len = (q + n - p) % n;
+    const std::uint32_t bwd_len = n - fwd_len;
+    const bool f = passable(+1);
+    const bool b = passable(-1);
+    if (f && b) return fwd_len <= bwd_len ? +1 : -1;
+    if (f) return +1;
+    if (b) return -1;
+    throw RoutingFailure("torus ring broken in both directions");
+  }
+
+  /// Does the remaining path p -> q in direction dir cross the dateline
+  /// (the boundary between positions n-1 and 0)?
+  static bool crosses_dateline(std::uint32_t n, std::uint32_t p,
+                               std::uint32_t q, int dir) {
+    std::uint32_t at = p;
+    while (at != q) {
+      const std::uint32_t boundary = dir > 0 ? at : (at + n - 1) % n;
+      if (boundary == n - 1) return true;
+      at = (at + n + static_cast<std::uint32_t>(dir)) % n;
+    }
+    return false;
+  }
+
+  void route_dest(RoutingResult& rr, std::uint32_t di, NodeId d) {
+    const NodeId dsw = net_.is_terminal(d) ? net_.terminal_switch(d) : d;
+    const auto dcoord = spec_.coord_of(dsw);
+    const std::uint32_t nsw = spec_.num_switches();
+    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+      if (!net_.node_alive(v) || v == d) continue;
+      if (net_.is_terminal(v)) {
+        rr.set_next(v, di, net_.out(v)[0]);  // inject at the switch
+        rr.set_hop_vl(v, di, 0);
+        continue;
+      }
+      if (v == dsw) {
+        // Deliver over the access link (d is a terminal here).
+        for (ChannelId c : net_.out(v)) {
+          if (net_.dst(c) == d) {
+            rr.set_next(v, di, c);
+            rr.set_hop_vl(v, di, 0);
+            break;
+          }
+        }
+        continue;
+      }
+      if (v >= nsw) continue;  // dead-terminal slot guard (not expected)
+      const auto vcoord = spec_.coord_of(v);
+      // Dimension-order: resolve the first differing dimension — unless
+      // the DOR corner (v with that coordinate already corrected) is a
+      // dead switch, in which case later dimensions are resolved first.
+      // This mirrors Torus-2QoS's routing around single failures; strict
+      // dimension order is violated only for paths pivoting around the
+      // fault, and the resulting tables are still checked for CDG
+      // acyclicity by the validation layer.
+      std::size_t dim = num_dims();
+      for (std::size_t i = 0; i < num_dims(); ++i) {
+        if (vcoord[i] == dcoord[i]) continue;
+        auto corner = vcoord;
+        corner[i] = dcoord[i];
+        bool rest_differs = false;
+        for (std::size_t j = 0; j < num_dims(); ++j) {
+          rest_differs |= j != i && vcoord[j] != dcoord[j];
+        }
+        if (rest_differs && !net_.node_alive(spec_.switch_at(corner))) {
+          continue;  // corner dead and journey continues: try another dim
+        }
+        dim = i;
+        break;
+      }
+      NUE_CHECK_MSG(dim < num_dims(),
+                    "all DOR corners dead around node " << v);
+      const RingInfo& ring = rings_[ring_key(dim, vcoord)];
+      const std::uint32_t n = spec_.dims[dim];
+      const std::uint32_t p = vcoord[dim];
+      const std::uint32_t q = dcoord[dim];
+      const int dir = choose_dir(ring, n, p, q);
+      const std::uint32_t boundary = dir > 0 ? p : (p + n - 1) % n;
+      const auto& parallels = dir > 0 ? ring.fwd[boundary] : ring.bwd[boundary];
+      NUE_CHECK(!parallels.empty());
+      // Spread destinations across parallel (redundant) channels; mixing
+      // in the ring position avoids systematic aliasing when few
+      // destinations cross a given boundary.
+      rr.set_next(v, di, parallels[(di + p) % parallels.size()]);
+      // Dateline VL rule in intact rings; broken rings are paths and run
+      // entirely on VL1.
+      std::uint8_t vl = 1;
+      if (ring.intact) {
+        vl = crosses_dateline(n, p, q, dir) ? 0 : 1;
+      }
+      rr.set_hop_vl(v, di, vl);
+    }
+  }
+
+  const Network& net_;
+  const TorusSpec& spec_;
+  std::vector<std::size_t> dim_ring_base_;
+  std::vector<RingInfo> rings_;
+};
+
+}  // namespace
+
+RoutingResult route_torus_qos(const Network& net, const TorusSpec& spec,
+                              const std::vector<NodeId>& dests) {
+  TorusRouter router(net, spec);
+  return router.route(dests);
+}
+
+}  // namespace nue

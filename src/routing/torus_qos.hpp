@@ -1,0 +1,28 @@
+// Torus-2QoS-like topology-aware routing [25]: dimension-order routing on
+// a (possibly faulty) torus with the classic dateline virtual-lane split
+// (VL0 before crossing a ring's dateline, VL1 after — realized per hop via
+// the kPerHop VL tables, standing in for Torus-2QoS's SL2VL mechanics).
+//
+// Fault tolerance matches the real engine's envelope: a single failure in
+// a ring is routed around using the other ring direction (the broken ring
+// is a path and needs no dateline, so it runs entirely on VL1); a second
+// failure in the same ring makes the routing fail — exactly the limitation
+// the paper cites in Section 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "routing/routing.hpp"
+#include "topology/torus.hpp"
+
+namespace nue {
+
+/// Routes `dests` on the torus described by `spec` (the network may have
+/// injected link/switch failures). Uses 2 VLs. Throws RoutingFailure when
+/// a required ring is broken in both directions.
+RoutingResult route_torus_qos(const Network& net, const TorusSpec& spec,
+                              const std::vector<NodeId>& dests);
+
+}  // namespace nue

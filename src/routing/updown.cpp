@@ -1,0 +1,189 @@
+#include "routing/updown.hpp"
+
+#include <limits>
+
+#include "graph/algorithms.hpp"
+#include "heap/dary_heap.hpp"
+#include "routing/sssp_engine.hpp"
+#include "util/error.hpp"
+
+namespace nue {
+
+NodeId pseudo_center(const Network& net) {
+  // Double-BFS: find a far pair (a, b), then take the midpoint of the
+  // a->b shortest path. Restricted to switches so a terminal never roots
+  // the up/down orientation.
+  NodeId start = kInvalidNode;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (net.node_alive(v) && net.is_switch(v)) {
+      start = v;
+      break;
+    }
+  }
+  NUE_CHECK(start != kInvalidNode);
+  auto farthest_switch = [&](const std::vector<std::uint32_t>& dist) {
+    NodeId best = start;
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (net.node_alive(v) && net.is_switch(v) &&
+          dist[v] != kUnreachable &&
+          (dist[best] == kUnreachable || dist[v] > dist[best])) {
+        best = v;
+      }
+    }
+    return best;
+  };
+  const auto d0 = bfs_distances(net, start);
+  const NodeId a = farthest_switch(d0);
+  const auto da = bfs_distances(net, a);
+  const NodeId b = farthest_switch(da);
+  // Walk from b half-way back toward a along the BFS tree of a.
+  const auto tree = bfs_tree(net, a);
+  NodeId at = b;
+  for (std::uint32_t i = 0; i < da[b] / 2; ++i) {
+    at = net.dst(tree[at]);
+  }
+  if (net.is_terminal(at)) at = net.terminal_switch(at);
+  return at;
+}
+
+RoutingResult route_updown(const Network& net,
+                           const std::vector<NodeId>& dests,
+                           const UpDownOptions& opt) {
+  const NodeId root = opt.root != kInvalidNode ? opt.root : pseudo_center(net);
+  NUE_CHECK(net.node_alive(root));
+  // Rank nodes for the up/down orientation: BFS levels (classic
+  // Up*/Down*) or DFS preorder (UD_DFS [28]). Any total-order rank yields
+  // an acyclic orientation; the choice shifts where the turn restrictions
+  // land.
+  std::vector<std::uint32_t> level;
+  if (opt.dfs_tree) {
+    level.assign(net.num_nodes(), kUnreachable);
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    std::uint32_t counter = 0;
+    level[root] = counter++;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < net.out(v).size()) {
+        const NodeId w = net.dst(net.out(v)[i++]);
+        if (level[w] == kUnreachable) {
+          level[w] = counter++;
+          stack.push_back({w, 0});
+        }
+      } else {
+        stack.pop_back();
+      }
+    }
+  } else {
+    level = bfs_distances(net, root);
+  }
+
+  // Channel direction: up = toward the root (strictly lower level, or equal
+  // level with lower node id as tiebreak — the classic total order that
+  // keeps the orientation acyclic).
+  auto is_up = [&](ChannelId c) {
+    const NodeId u = net.src(c), v = net.dst(c);
+    return level[v] < level[u] || (level[v] == level[u] && v < u);
+  };
+
+  RoutingResult rr(net.num_nodes(), dests, 1, VlMode::kPerDest);
+  std::vector<double> weights(net.num_channels(), 1.0);
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Per destination: one Dijkstra in traffic orientation with a per-node
+  // "routes all-down" flag. A node may take a down channel (w -> v) only
+  // toward a node v that itself routes all-down; then w routes all-down
+  // too. Up channels are always allowed and clear the flag. This keeps the
+  // destination-based tables globally legal: once a table chain goes down
+  // it stays down. Equal-cost ties prefer the down candidate, which keeps
+  // more descent options open for the neighbors.
+  std::vector<double> dist(net.num_nodes());
+  std::vector<ChannelId> nxt(net.num_nodes());
+  std::vector<std::uint8_t> all_down(net.num_nodes());
+  std::vector<std::uint8_t> cand_down(net.num_nodes());
+  std::vector<NodeId> settle;
+
+  for (std::size_t di = 0; di < dests.size(); ++di) {
+    const NodeId d = dests[di];
+    std::fill(dist.begin(), dist.end(), inf);
+    std::fill(nxt.begin(), nxt.end(), kInvalidChannel);
+    std::fill(all_down.begin(), all_down.end(), 0);
+    std::fill(cand_down.begin(), cand_down.end(), 0);
+    settle.clear();
+    DaryHeap<double> heap(net.num_nodes());
+    dist[d] = 0.0;
+    cand_down[d] = 1;
+    heap.insert(d, 0.0);
+    while (!heap.empty()) {
+      const NodeId v = heap.extract_min();
+      all_down[v] = cand_down[v];
+      settle.push_back(v);
+      for (ChannelId c : net.out(v)) {
+        const NodeId w = net.dst(c);
+        const ChannelId e = reverse(c);  // traffic channel w -> v
+        const bool e_up = is_up(e);
+        // Down first hop requires v to route all-down (or be the dest).
+        if (!e_up && !all_down[v] && v != d) continue;
+        const double nd = dist[v] + kHopWeight + weights[e];
+        const bool improves =
+            nd < dist[w] ||
+            (nd == dist[w] && !e_up && !cand_down[w] && heap.contains(w));
+        if (improves) {
+          dist[w] = nd;
+          nxt[w] = e;
+          cand_down[w] = e_up ? 0 : 1;
+          heap.insert_or_decrease(w, nd);
+        }
+      }
+    }
+    // The per-node collapse of the up/down automaton can in pathological
+    // cases leave nodes unreached (every descent option settled as an
+    // up-router). Fall back to pure BFS-tree routing for this destination:
+    // tree routes are up*down* by construction and suffix-consistent.
+    bool holes = false;
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v != d && net.node_alive(v) && nxt[v] == kInvalidChannel) {
+        holes = true;
+        break;
+      }
+    }
+    if (holes) {
+      const auto tree = bfs_tree(net, root);
+      // Ancestor chain of d (toward the root) for lowest-common-ancestor
+      // style tree routing.
+      std::vector<std::uint8_t> is_anc(net.num_nodes(), 0);
+      std::vector<ChannelId> down_from(net.num_nodes(), kInvalidChannel);
+      for (NodeId at = d; at != root;) {
+        is_anc[at] = 1;
+        const ChannelId up = tree[at];  // at -> parent
+        down_from[net.dst(up)] = reverse(up);
+        at = net.dst(up);
+      }
+      is_anc[root] = 1;
+      std::fill(nxt.begin(), nxt.end(), kInvalidChannel);
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        if (!net.node_alive(v) || v == d) continue;
+        nxt[v] = is_anc[v] ? down_from[v] : tree[v];
+      }
+      settle = net.alive_nodes();  // order irrelevant for table filling
+    }
+    // Fill tables and update weights for balancing.
+    DestTree t;
+    t.dest = d;
+    t.next = nxt;
+    t.distance = dist;
+    t.settle_order = settle;
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v != d && net.node_alive(v)) {
+        NUE_CHECK_MSG(nxt[v] != kInvalidChannel,
+                      "up/down cannot reach " << d << " from " << v);
+        rr.set_next(v, static_cast<std::uint32_t>(di), nxt[v]);
+      }
+    }
+    if (!holes) {
+      apply_weight_update(weights, tree_channel_usage(net, t));
+    }
+  }
+  return rr;
+}
+
+}  // namespace nue

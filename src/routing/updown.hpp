@@ -1,0 +1,34 @@
+// Up*/Down* routing [29]: a BFS spanning tree assigns every channel an
+// "up" (toward the root) or "down" direction; legal routes climb first and
+// descend after — a down->up turn is never allowed, which breaks every
+// dependency cycle with a single virtual lane.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "routing/routing.hpp"
+
+namespace nue {
+
+struct UpDownOptions {
+  /// Root switch for the BFS levels; kInvalidNode selects a pseudo-center
+  /// of the fabric (double-BFS midpoint heuristic).
+  NodeId root = kInvalidNode;
+  /// Use a DFS spanning tree's preorder numbers for the up/down
+  /// orientation instead of BFS levels — the UD_DFS variant of Sancho et
+  /// al. [28], which often balances the routing restrictions better on
+  /// irregular fabrics (compared in the ablation bench).
+  bool dfs_tree = false;
+};
+
+RoutingResult route_updown(const Network& net,
+                           const std::vector<NodeId>& dests,
+                           const UpDownOptions& opt = {});
+
+/// The pseudo-center used when no root is given (exposed for tests and
+/// for Nue's comparison benches).
+NodeId pseudo_center(const Network& net);
+
+}  // namespace nue

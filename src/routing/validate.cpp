@@ -1,0 +1,150 @@
+#include "routing/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+namespace {
+
+/// Walk the route src -> dst, invoking cb(channel, vl) per hop.
+/// Returns false (and stops) on a table hole or a loop.
+template <typename Cb>
+bool walk(const Network& net, const RoutingResult& rr, NodeId src,
+          std::uint32_t dest_idx, NodeId dst, Cb&& cb) {
+  NodeId at = src;
+  std::size_t hops = 0;
+  while (at != dst) {
+    const ChannelId c = rr.next(at, dest_idx);
+    if (c == kInvalidChannel || net.src(c) != at) return false;
+    cb(c, rr.vl(at, src, dest_idx));
+    at = net.dst(c);
+    if (++hops > net.num_nodes()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> induced_cdg(
+    const Network& net, const RoutingResult& rr,
+    const std::vector<NodeId>& sources) {
+  const std::size_t v = net.num_channels() * rr.num_vls();
+  std::vector<std::vector<std::uint32_t>> adj(v);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    const NodeId d = rr.destinations()[di];
+    for (NodeId s : sources) {
+      if (s == d || !net.node_alive(s)) continue;
+      std::uint32_t prev = static_cast<std::uint32_t>(-1);
+      walk(net, rr, s, static_cast<std::uint32_t>(di), d,
+           [&](ChannelId c, std::uint8_t vl) {
+             // Out-of-range VLs are reported by validate_routing; clamp
+             // here so the CDG vertex id stays in bounds.
+             const std::uint8_t v =
+                 std::min<std::uint8_t>(vl, rr.num_vls() - 1);
+             const auto cur =
+                 static_cast<std::uint32_t>(c * rr.num_vls() + v);
+             if (prev != static_cast<std::uint32_t>(-1)) {
+               const std::uint64_t key =
+                   (static_cast<std::uint64_t>(prev) << 32) | cur;
+               if (seen.insert(key).second) adj[prev].push_back(cur);
+             }
+             prev = cur;
+           });
+    }
+  }
+  return adj;
+}
+
+bool is_acyclic(const std::vector<std::vector<std::uint32_t>>& adj) {
+  // Iterative three-color DFS.
+  const std::size_t n = adj.size();
+  std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    stack.clear();
+    stack.emplace_back(start, 0);
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < adj[v].size()) {
+        const std::uint32_t w = adj[v][i++];
+        if (color[w] == 1) return false;  // back edge -> cycle
+        if (color[w] == 0) {
+          color[w] = 1;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+ValidationReport validate_routing(const Network& net, const RoutingResult& rr,
+                                  std::vector<NodeId> sources) {
+  if (sources.empty()) sources = net.terminals();
+  ValidationReport rep;
+  std::vector<std::uint8_t> visited(net.num_nodes(), 0);
+  std::uint64_t total_len = 0;
+
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    const NodeId d = rr.destinations()[di];
+    for (NodeId s : sources) {
+      if (s == d || !net.node_alive(s)) continue;
+      std::size_t len = 0;
+      std::vector<NodeId> touched{s};
+      visited[s] = 1;
+      bool node_revisited = false;
+      const bool complete =
+          walk(net, rr, s, static_cast<std::uint32_t>(di), d,
+               [&](ChannelId c, std::uint8_t vl) {
+                 ++len;
+                 const NodeId w = net.dst(c);
+                 if (visited[w]) node_revisited = true;
+                 visited[w] = 1;
+                 touched.push_back(w);
+                 if (vl >= rr.num_vls()) rep.vl_in_range = false;
+               });
+      for (NodeId v : touched) visited[v] = 0;
+      if (!complete) {
+        if (rep.connected) {
+          std::ostringstream os;
+          os << "no complete route " << s << " -> " << d;
+          rep.detail = os.str();
+        }
+        rep.connected = false;
+        continue;
+      }
+      if (node_revisited) {
+        rep.cycle_free = false;
+        if (rep.detail.empty()) {
+          std::ostringstream os;
+          os << "route " << s << " -> " << d << " revisits a node";
+          rep.detail = os.str();
+        }
+      }
+      ++rep.num_paths;
+      total_len += len;
+      rep.max_path_length = std::max(rep.max_path_length, len);
+    }
+  }
+  if (rep.num_paths > 0) {
+    rep.avg_path_length =
+        static_cast<double>(total_len) / static_cast<double>(rep.num_paths);
+  }
+  rep.deadlock_free = is_acyclic(induced_cdg(net, rr, sources));
+  if (!rep.deadlock_free && rep.detail.empty()) {
+    rep.detail = "induced CDG has a cycle";
+  }
+  return rep;
+}
+
+}  // namespace nue

@@ -1,0 +1,47 @@
+// Routing validation: the three validity properties of Definition 3 plus
+// deadlock-freedom via Theorem 1 (acyclicity of the induced channel
+// dependency graph), evaluated over (channel, VL) resource pairs so that
+// per-source and per-hop VL schemes are handled exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "routing/routing.hpp"
+
+namespace nue {
+
+struct ValidationReport {
+  bool connected = true;        // every source reaches every destination
+  bool cycle_free = true;       // no path visits a node twice
+  bool deadlock_free = true;    // induced CDG over (channel, VL) is acyclic
+  bool vl_in_range = true;      // all VLs < num_vls
+  std::size_t num_paths = 0;
+  std::size_t max_path_length = 0;
+  double avg_path_length = 0.0;
+  std::string detail;           // first failure description
+
+  bool ok() const {
+    return connected && cycle_free && deadlock_free && vl_in_range;
+  }
+};
+
+/// Validate routing `rr` for all (src, dst) pairs with src in `sources`
+/// and dst in rr.destinations(). Sources default to all alive terminals.
+ValidationReport validate_routing(const Network& net, const RoutingResult& rr,
+                                  std::vector<NodeId> sources = {});
+
+/// Induced channel dependency graph of `rr` over (channel, VL) vertices
+/// (vertex id = channel * num_vls + vl), as a deduplicated adjacency list.
+/// Only dependencies exercised by (src in sources) -> (dst in destinations)
+/// traffic are included, mirroring Definition 4.
+std::vector<std::vector<std::uint32_t>> induced_cdg(
+    const Network& net, const RoutingResult& rr,
+    const std::vector<NodeId>& sources);
+
+/// True if the directed graph given as adjacency lists is acyclic.
+bool is_acyclic(const std::vector<std::vector<std::uint32_t>>& adj);
+
+}  // namespace nue

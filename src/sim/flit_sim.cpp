@@ -1,0 +1,658 @@
+#include "sim/flit_sim.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+namespace {
+
+constexpr std::uint32_t kTailBit = 0x80000000u;
+constexpr std::uint32_t kNoLock = static_cast<std::uint32_t>(-1);
+
+struct Packet {
+  NodeId src;
+  NodeId dst;
+  std::uint32_t dest_idx;
+  std::uint16_t flits;
+  std::uint16_t delivered;
+  std::uint32_t payload_bytes;
+  std::uint64_t inject_cycle = 0;  // cycle the first flit left the NIC
+};
+
+/// One FIFO of flits: either the input buffer of (channel, VL) at the
+/// channel's head node, or a terminal's NIC source (lazily expanded).
+struct Queue {
+  std::deque<std::uint32_t> flits;  // packet id | kTailBit on tail flits
+  ChannelId req_out = kInvalidChannel;  // desired output of the head packet
+  bool registered = false;              // present in req_out's candidates
+  // Adaptive mode: the header's per-hop decision, honoured by the body
+  // flits of the same packet (wormhole).
+  std::uint32_t locked_pid = static_cast<std::uint32_t>(-1);
+  ChannelId locked_out = kInvalidChannel;
+  std::uint8_t locked_vl = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const Network& net, const RoutingResult& rr,
+            const std::vector<Message>& messages, const SimConfig& cfg,
+            std::uint32_t adaptive_vls = 0)
+      : net_(net),
+        rr_(rr),
+        cfg_(cfg),
+        adaptive_vls_(adaptive_vls),
+        num_vls_(adaptive_vls > 0 ? adaptive_vls + 1 : rr.num_vls()) {
+    const std::size_t nq =
+        net.num_channels() * num_vls_ + net.num_nodes();
+    queues_.resize(nq);
+    candidates_.assign(net.num_channels(), {});
+    rr_ptr_.assign(net.num_channels(), 0);
+    vl_lock_.assign(net.num_channels() * num_vls_, kNoLock);
+    occupancy_.assign(net.num_channels() * num_vls_, 0);
+    input_used_stamp_.assign(net.num_channels() + net.num_nodes(), 0);
+    active_.reserve(net.num_channels());
+    active_flag_.assign(net.num_channels(), 0);
+
+    // Build packets and NIC queues.
+    nic_head_.assign(net.num_nodes(), 0);
+    nic_emitted_.assign(net.num_nodes(), 0);
+    nic_packets_.assign(net.num_nodes(), {});
+    NUE_CHECK(cfg.mtu_bytes >= cfg.flit_bytes);
+    for (const Message& m : messages) {
+      NUE_CHECK(net.is_terminal(m.src) && net.node_alive(m.src));
+      NUE_CHECK(rr.is_destination(m.dst));
+      // MTU segmentation: each packet carries up to mtu_bytes of payload
+      // plus one header flit.
+      std::uint32_t remaining = std::max(m.bytes, 1u);
+      while (remaining > 0) {
+        const std::uint32_t chunk = std::min(remaining, cfg.mtu_bytes);
+        remaining -= chunk;
+        const std::uint32_t f =
+            1 + (chunk + cfg.flit_bytes - 1) / cfg.flit_bytes;
+        NUE_CHECK(f < 0x10000);
+        packets_.push_back({m.src, m.dst, rr.dest_index(m.dst),
+                            static_cast<std::uint16_t>(f), 0, chunk});
+        nic_packets_[m.src].push_back(
+            static_cast<std::uint32_t>(packets_.size() - 1));
+      }
+      total_bytes_ += m.bytes;
+    }
+    if (adaptive_vls_ == 0) {
+      for (NodeId t = 0; t < net.num_nodes(); ++t) {
+        if (!nic_packets_[t].empty()) refresh_nic(t);
+      }
+    } else {
+      for (NodeId t = 0; t < net.num_nodes(); ++t) {
+        if (nic_packets_[t].empty()) continue;
+        const std::size_t qid = nic_qid(t);
+        const std::uint32_t pid = nic_packets_[t][0];
+        const bool tail = packets_[pid].flits == 1;
+        queues_[qid].flits.push_back(pid | (tail ? kTailBit : 0));
+        adaptive_register(qid);
+      }
+    }
+  }
+
+  SimResult run() {
+    SimResult res;
+    std::uint64_t cycle = 0;
+    std::uint64_t last_move_cycle = 0;
+    const std::uint64_t total_packets = packets_.size();
+    while (delivered_packets_ < total_packets) {
+      ++cycle;
+      if (cycle > cfg_.max_cycles) break;
+      if (adaptive_vls_ > 0 ? step_adaptive(cycle) : step(cycle)) {
+        last_move_cycle = cycle;
+      } else if (cycle - last_move_cycle >= cfg_.deadlock_cycles) {
+        res.deadlocked = true;
+        if (std::getenv("NUE_SIM_DEBUG")) dump_stuck_state();
+        break;
+      }
+    }
+    res.cycles = cycle;
+    res.completed = delivered_packets_ == total_packets;
+    res.delivered_packets = delivered_packets_;
+    res.delivered_bytes = delivered_bytes_;
+    res.flit_hops = flit_hops_;
+    if (!latencies_.empty()) {
+      std::uint64_t total = 0, maxv = 0;
+      for (const auto l : latencies_) {
+        total += l;
+        maxv = std::max(maxv, l);
+      }
+      res.avg_packet_latency =
+          static_cast<double>(total) / static_cast<double>(latencies_.size());
+      res.max_packet_latency = maxv;
+      std::sort(latencies_.begin(), latencies_.end());
+      res.p99_packet_latency = static_cast<double>(
+          latencies_[latencies_.size() * 99 / 100]);
+    }
+    if (cycle > 0 && !tx_count_.empty()) {
+      std::uint64_t max_tx = 0, total_tx = 0;
+      std::size_t links = 0;
+      for (ChannelId c = 0; c < net_.num_channels(); ++c) {
+        if (!net_.channel_alive(c) || net_.is_terminal(net_.src(c)) ||
+            net_.is_terminal(net_.dst(c))) {
+          continue;
+        }
+        max_tx = std::max(max_tx, tx_count_[c]);
+        total_tx += tx_count_[c];
+        ++links;
+      }
+      res.max_link_utilization =
+          static_cast<double>(max_tx) / static_cast<double>(cycle);
+      if (links > 0) {
+        res.avg_link_utilization = static_cast<double>(total_tx) /
+                                   static_cast<double>(links) /
+                                   static_cast<double>(cycle);
+      }
+    }
+    if (cycle > 0) {
+      res.aggregate_flits_per_cycle =
+          static_cast<double>(delivered_bytes_) / cfg_.flit_bytes /
+          static_cast<double>(cycle);
+      res.normalized_throughput =
+          res.aggregate_flits_per_cycle /
+          static_cast<double>(net_.num_alive_terminals());
+    }
+    return res;
+  }
+
+ private:
+  std::size_t qid_of(ChannelId c, std::uint32_t vl) const {
+    return static_cast<std::size_t>(c) * num_vls_ + vl;
+  }
+  std::size_t nic_qid(NodeId t) const {
+    return net_.num_channels() * num_vls_ + t;
+  }
+
+  /// Input-port id used for the one-flit-per-input-per-cycle constraint.
+  std::size_t input_port_of(std::size_t qid) const {
+    return qid < net_.num_channels() * num_vls_
+               ? qid / num_vls_
+               : net_.num_channels() + (qid - net_.num_channels() * num_vls_);
+  }
+
+  /// Node at which the queue's head flit currently sits.
+  NodeId node_of(std::size_t qid) const {
+    return qid < net_.num_channels() * num_vls_
+               ? net_.dst(static_cast<ChannelId>(qid / num_vls_))
+               : static_cast<NodeId>(qid - net_.num_channels() * num_vls_);
+  }
+
+  /// Recompute a queue's requested output from its head flit and
+  /// (re)register it with that output's candidate list.
+  void refresh_queue(std::size_t qid) {
+    Queue& q = queues_[qid];
+    if (q.registered || q.flits.empty()) return;
+    const std::uint32_t pid = q.flits.front() & ~kTailBit;
+    const Packet& p = packets_[pid];
+    const NodeId at = node_of(qid);
+    const ChannelId out = rr_.next(at, p.dest_idx);
+    NUE_DCHECK(out != kInvalidChannel);
+    q.req_out = out;
+    q.registered = true;
+    if (!active_flag_[out]) {
+      active_flag_[out] = 1;
+      active_.push_back(out);
+    }
+    candidates_[out].push_back(static_cast<std::uint32_t>(qid));
+  }
+
+  /// NIC queues hold packet ids, not flits; materialize the head flit view.
+  void refresh_nic(NodeId t) {
+    const std::size_t qid = nic_qid(t);
+    Queue& q = queues_[qid];
+    if (q.registered) return;
+    if (q.flits.empty() && nic_head_[t] < nic_packets_[t].size()) {
+      // Expose the current packet as a virtual flit; emission counting
+      // happens at move time via nic_emitted_.
+      const std::uint32_t pid = nic_packets_[t][nic_head_[t]];
+      const bool tail = nic_emitted_[t] + 1 == packets_[pid].flits;
+      q.flits.push_back(pid | (tail ? kTailBit : 0));
+    }
+    refresh_queue(qid);
+  }
+
+  /// Advance one cycle; returns true if any flit moved.
+  bool step(std::uint64_t cycle) {
+    bool moved = false;
+    arrivals_.clear();
+    // Iterate active outputs; compact the list as queues drain.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const ChannelId out = active_[i];
+      auto& cand = candidates_[out];
+      if (cand.empty()) {
+        active_flag_[out] = 0;
+        continue;  // drop from active list
+      }
+      active_[w++] = out;
+      if (try_serve_output(out, cand, cycle)) moved = true;
+    }
+    active_.resize(w);
+    // Commit arrivals (become visible next cycle).
+    for (const auto& [qid, flit] : arrivals_) {
+      queues_[qid].flits.push_back(flit);
+      refresh_queue(qid);
+    }
+    return moved;
+  }
+
+  bool try_serve_output(ChannelId out, std::vector<std::uint32_t>& cand,
+                        std::uint64_t cycle) {
+    const std::size_t n = cand.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t slot = (rr_ptr_[out] + k) % n;
+      const std::size_t qid = cand[slot];
+      Queue& q = queues_[qid];
+      // A registered candidate can be stale only via this scan; queues are
+      // unregistered exactly when their head flit is consumed.
+      NUE_DCHECK(q.registered && !q.flits.empty());
+      const std::uint32_t flit = q.flits.front();
+      const std::uint32_t pid = flit & ~kTailBit;
+      const Packet& p = packets_[pid];
+      const NodeId at = node_of(qid);
+      const std::uint32_t vl = rr_.vl(at, p.src, p.dest_idx);
+      // One flit per input port per cycle.
+      if (input_used_stamp_[input_port_of(qid)] == cycle) continue;
+      const NodeId to = net_.dst(out);
+      const bool eject = net_.is_terminal(to);
+      const std::size_t down = qid_of(out, vl);
+      if (!eject) {
+        // Credit: space downstream for this VL?
+        if (occupancy_[down] >= cfg_.buffer_flits) continue;
+        // Wormhole lock: one packet at a time per (channel, VL).
+        if (vl_lock_[down] != kNoLock && vl_lock_[down] != pid) continue;
+      }
+      // --- move the flit ---
+      input_used_stamp_[input_port_of(qid)] = cycle;
+      rr_ptr_[out] = (slot + 1) % n;
+      count_tx(out);
+      if (qid >= net_.num_channels() * num_vls_ &&
+          nic_emitted_[net_.src(out)] == 0) {
+        packets_[pid].inject_cycle = cycle;  // first flit leaves the NIC
+      }
+      current_cycle_ = cycle;
+      pop_head(qid);
+      ++flit_hops_;
+      if (eject) {
+        deliver(pid, flit & kTailBit);
+      } else {
+        vl_lock_[down] = (flit & kTailBit) ? kNoLock : pid;
+        ++occupancy_[down];
+        arrivals_.emplace_back(down, flit);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void pop_head(std::size_t qid) {
+    Queue& q = queues_[qid];
+    // Unregister from the candidate list of its current output.
+    auto& cand = candidates_[q.req_out];
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (cand[i] == qid) {
+        cand[i] = cand.back();
+        cand.pop_back();
+        break;
+      }
+    }
+    q.registered = false;
+    if (qid >= net_.num_channels() * num_vls_) {
+      // NIC queue: account emission and refresh the virtual head flit.
+      const NodeId t = static_cast<NodeId>(qid - net_.num_channels() * num_vls_);
+      q.flits.pop_front();
+      if (++nic_emitted_[t] == packets_[nic_packets_[t][nic_head_[t]]].flits) {
+        ++nic_head_[t];
+        nic_emitted_[t] = 0;
+      }
+      refresh_nic(t);
+    } else {
+      // In-network queue: free the credit.
+      --occupancy_[qid];
+      q.flits.pop_front();
+      refresh_queue(qid);
+    }
+  }
+
+  void count_tx(ChannelId c) {
+    if (tx_count_.empty()) tx_count_.assign(net_.num_channels(), 0);
+    ++tx_count_[c];
+  }
+
+  void deliver(std::uint32_t pid, bool tail) {
+    Packet& p = packets_[pid];
+    ++p.delivered;
+    if (tail) {
+      NUE_DCHECK(p.delivered == p.flits);
+      ++delivered_packets_;
+      delivered_bytes_ += p.payload_bytes;
+      latencies_.push_back(current_cycle_ - p.inject_cycle + 1);
+    }
+  }
+
+  const Network& net_;
+  const RoutingResult& rr_;  // deterministic tables / adaptive escape routing
+  SimConfig cfg_;
+  std::uint32_t adaptive_vls_ = 0;  // 0 = deterministic mode
+  std::uint32_t num_vls_;
+
+  std::vector<Packet> packets_;
+  std::vector<Queue> queues_;
+  std::vector<std::vector<std::uint32_t>> candidates_;  // per output
+  std::vector<std::uint32_t> rr_ptr_;
+  std::vector<std::uint32_t> vl_lock_;      // per (channel, VL)
+  std::vector<std::uint32_t> occupancy_;    // per (channel, VL)
+  std::vector<std::uint64_t> input_used_stamp_;
+  std::vector<ChannelId> active_;
+  std::vector<std::uint8_t> active_flag_;
+  std::vector<std::pair<std::size_t, std::uint32_t>> arrivals_;
+
+  std::vector<std::vector<std::uint32_t>> nic_packets_;
+  std::vector<std::size_t> nic_head_;
+  std::vector<std::uint32_t> nic_emitted_;
+
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t flit_hops_ = 0;
+  std::uint64_t current_cycle_ = 0;
+  std::vector<std::uint64_t> latencies_;
+  std::vector<std::uint64_t> tx_count_;  // flits sent per channel
+
+  // --- adaptive mode ---------------------------------------------------------
+  std::vector<std::uint64_t> out_used_stamp_;
+  std::vector<std::vector<std::uint16_t>> hop_dist_;  // per dest_idx, lazy
+  std::vector<std::size_t> adaptive_queues_;          // nonempty queues
+  std::vector<std::uint8_t> adaptive_registered_;
+  std::size_t adaptive_rr_ = 0;
+
+  const std::vector<std::uint16_t>& hop_distances(std::uint32_t dest_idx) {
+    if (hop_dist_.empty()) hop_dist_.resize(rr_.destinations().size());
+    auto& d = hop_dist_[dest_idx];
+    if (d.empty()) {
+      // BFS from the destination over reversed (= duplex) channels.
+      d.assign(net_.num_nodes(), 0xFFFF);
+      std::vector<NodeId> frontier{rr_.destinations()[dest_idx]};
+      d[frontier[0]] = 0;
+      while (!frontier.empty()) {
+        std::vector<NodeId> next;
+        for (NodeId v : frontier) {
+          for (ChannelId c : net_.out(v)) {
+            const NodeId w = net_.dst(c);
+            if (d[w] == 0xFFFF) {
+              d[w] = static_cast<std::uint16_t>(d[v] + 1);
+              next.push_back(w);
+            }
+          }
+        }
+        frontier.swap(next);
+      }
+    }
+    return d;
+  }
+
+  void adaptive_register(std::size_t qid) {
+    if (adaptive_registered_.empty()) {
+      adaptive_registered_.assign(queues_.size(), 0);
+    }
+    if (!adaptive_registered_[qid] && !queues_[qid].flits.empty()) {
+      adaptive_registered_[qid] = 1;
+      adaptive_queues_.push_back(qid);
+    }
+  }
+
+  /// Header route choice at node `at`: any minimal output with credit on
+  /// an adaptive VL; otherwise the escape routing on the escape VL; or
+  /// nothing serviceable this cycle.
+  bool choose_adaptive(std::size_t qid, NodeId at, const Packet& p,
+                       std::uint8_t cur_vl, std::uint64_t cycle,
+                       ChannelId* out, std::uint8_t* vl) {
+    const std::uint8_t escape_vl = static_cast<std::uint8_t>(adaptive_vls_);
+    const bool on_escape = cur_vl == escape_vl &&
+                           qid < net_.num_channels() * num_vls_;
+    const auto usable = [&](ChannelId c, std::uint8_t v) {
+      if (out_used_stamp_[c] == cycle) return false;
+      const NodeId to = net_.dst(c);
+      if (net_.is_terminal(to)) return to == p.dst;
+      const std::size_t down = qid_of(c, v);
+      if (occupancy_[down] >= cfg_.buffer_flits) return false;
+      const std::uint32_t pid =
+          static_cast<std::uint32_t>(&p - packets_.data());
+      return vl_lock_[down] == kNoLock || vl_lock_[down] == pid;
+    };
+    if (!on_escape) {
+      const auto& dist = hop_distances(p.dest_idx);
+      // Rotating preference over minimal outputs and adaptive VLs.
+      const auto outs = net_.out(at);
+      for (std::size_t k = 0; k < outs.size(); ++k) {
+        const ChannelId c = outs[(adaptive_rr_ + k) % outs.size()];
+        const NodeId to = net_.dst(c);
+        if (net_.is_terminal(to) ? to != p.dst
+                                 : dist[to] + 1 != dist[at]) {
+          continue;  // non-minimal
+        }
+        for (std::uint8_t v = 0; v < adaptive_vls_; ++v) {
+          if (usable(c, v)) {
+            *out = c;
+            *vl = v;
+            ++adaptive_rr_;
+            return true;
+          }
+        }
+      }
+    }
+    // Escape (or already escaped): deterministic deadlock-free routing.
+    const ChannelId c = rr_.next(at, p.dest_idx);
+    if (c != kInvalidChannel && usable(c, escape_vl)) {
+      *out = c;
+      *vl = escape_vl;
+      return true;
+    }
+    return false;
+  }
+
+  bool step_adaptive(std::uint64_t cycle) {
+    bool moved = false;
+    arrivals_.clear();
+    if (out_used_stamp_.empty()) {
+      out_used_stamp_.assign(net_.num_channels(), 0);
+    }
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < adaptive_queues_.size(); ++i) {
+      const std::size_t qid = adaptive_queues_[i];
+      Queue& q = queues_[qid];
+      if (q.flits.empty()) {
+        adaptive_registered_[qid] = 0;
+        continue;
+      }
+      adaptive_queues_[w++] = qid;
+      if (input_used_stamp_[input_port_of(qid)] == cycle) continue;
+      const std::uint32_t flit = q.flits.front();
+      const std::uint32_t pid = flit & ~kTailBit;
+      const Packet& p = packets_[pid];
+      const NodeId at = node_of(qid);
+      ChannelId out;
+      std::uint8_t vl;
+      if (q.locked_pid == pid) {
+        out = q.locked_out;
+        vl = q.locked_vl;
+        // Re-validate resources for this body flit.
+        const NodeId to = net_.dst(out);
+        if (out_used_stamp_[out] == cycle) continue;
+        if (!net_.is_terminal(to)) {
+          const std::size_t down = qid_of(out, vl);
+          if (occupancy_[down] >= cfg_.buffer_flits) continue;
+          if (vl_lock_[down] != kNoLock && vl_lock_[down] != pid) continue;
+        }
+      } else {
+        const std::uint8_t cur_vl =
+            qid < net_.num_channels() * num_vls_
+                ? static_cast<std::uint8_t>(qid % num_vls_)
+                : 0;
+        if (!choose_adaptive(qid, at, p, cur_vl, cycle, &out, &vl)) continue;
+        q.locked_pid = pid;
+        q.locked_out = out;
+        q.locked_vl = vl;
+      }
+      // Move the flit.
+      input_used_stamp_[input_port_of(qid)] = cycle;
+      out_used_stamp_[out] = cycle;
+      count_tx(out);
+      if (qid >= net_.num_channels() * num_vls_ &&
+          nic_emitted_[net_.src(out)] == 0) {
+        packets_[pid].inject_cycle = cycle;
+      }
+      current_cycle_ = cycle;
+      adaptive_pop_head(qid);
+      // The per-queue route decision lives until this packet's tail has
+      // passed — body flits must follow the header even when the queue
+      // drains and refills in between.
+      if (flit & kTailBit) q.locked_pid = static_cast<std::uint32_t>(-1);
+      ++flit_hops_;
+      const NodeId to = net_.dst(out);
+      if (net_.is_terminal(to)) {
+        deliver(pid, flit & kTailBit);
+      } else {
+        const std::size_t down = qid_of(out, vl);
+        vl_lock_[down] = (flit & kTailBit) ? kNoLock : pid;
+        ++occupancy_[down];
+        arrivals_.emplace_back(down, flit);
+      }
+      moved = true;
+    }
+    adaptive_queues_.resize(w);
+    for (const auto& [qid, flit] : arrivals_) {
+      queues_[qid].flits.push_back(flit);
+      adaptive_register(qid);
+    }
+    return moved;
+  }
+
+  /// Diagnostic dump of every stuck flit (enabled via NUE_SIM_DEBUG).
+  void dump_stuck_state() const {
+    std::fprintf(stderr, "=== deadlock dump ===\n");
+    for (std::size_t qid = 0; qid < queues_.size(); ++qid) {
+      const Queue& q = queues_[qid];
+      if (q.flits.empty()) continue;
+      if (qid < net_.num_channels() * num_vls_) {
+        const auto c = static_cast<ChannelId>(qid / num_vls_);
+        std::fprintf(stderr, "queue ch %u->%u vl%zu:", net_.src(c),
+                     net_.dst(c), qid % num_vls_);
+      } else {
+        std::fprintf(stderr, "NIC node %zu:",
+                     qid - net_.num_channels() * num_vls_);
+      }
+      for (const auto f : q.flits) {
+        const auto pid = f & ~kTailBit;
+        std::fprintf(stderr, " p%u%s(dst %u)", pid,
+                     (f & kTailBit) ? "T" : "", packets_[pid].dst);
+      }
+      std::fprintf(stderr, "  locked_pid=%d out=%d vl=%d\n",
+                   static_cast<int>(q.locked_pid),
+                   static_cast<int>(q.locked_out),
+                   static_cast<int>(q.locked_vl));
+    }
+    for (std::size_t c = 0; c < net_.num_channels(); ++c) {
+      for (std::size_t v = 0; v < num_vls_; ++v) {
+        const std::size_t down = c * num_vls_ + v;
+        if (vl_lock_[down] != kNoLock) {
+          std::fprintf(stderr, "lock ch %u->%u vl%zu held by p%u occ=%u\n",
+                       net_.src(static_cast<ChannelId>(c)),
+                       net_.dst(static_cast<ChannelId>(c)), v,
+                       vl_lock_[down], occupancy_[down]);
+        }
+      }
+    }
+  }
+
+  /// pop_head() counterpart that skips the deterministic candidate lists.
+  void adaptive_pop_head(std::size_t qid) {
+    Queue& q = queues_[qid];
+    if (qid >= net_.num_channels() * num_vls_) {
+      const NodeId t =
+          static_cast<NodeId>(qid - net_.num_channels() * num_vls_);
+      q.flits.pop_front();
+      if (++nic_emitted_[t] == packets_[nic_packets_[t][nic_head_[t]]].flits) {
+        ++nic_head_[t];
+        nic_emitted_[t] = 0;
+      }
+      // Refresh the virtual head flit of the NIC queue.
+      if (q.flits.empty() && nic_head_[t] < nic_packets_[t].size()) {
+        const std::uint32_t pid = nic_packets_[t][nic_head_[t]];
+        const bool tail = nic_emitted_[t] + 1 == packets_[pid].flits;
+        q.flits.push_back(pid | (tail ? kTailBit : 0));
+      }
+    } else {
+      --occupancy_[qid];
+      q.flits.pop_front();
+    }
+  }
+};
+
+}  // namespace
+
+SimResult simulate(const Network& net, const RoutingResult& rr,
+                   const std::vector<Message>& messages,
+                   const SimConfig& cfg) {
+  Simulator sim(net, rr, messages, cfg);
+  return sim.run();
+}
+
+SimResult simulate_adaptive(const Network& net, const RoutingResult& escape,
+                            std::uint32_t adaptive_vls,
+                            const std::vector<Message>& messages,
+                            const SimConfig& cfg) {
+  NUE_CHECK(adaptive_vls >= 1);
+  NUE_CHECK_MSG(escape.num_vls() == 1,
+                "escape routing must be a single-VL deadlock-free routing");
+  Simulator sim(net, escape, messages, cfg, adaptive_vls);
+  return sim.run();
+}
+
+std::vector<Message> alltoall_shift_messages(const Network& net,
+                                             std::uint32_t message_bytes,
+                                             std::uint32_t shift_samples) {
+  const auto terminals = net.terminals();
+  const std::uint32_t t = static_cast<std::uint32_t>(terminals.size());
+  NUE_CHECK(t >= 2);
+  std::vector<Message> msgs;
+  const std::uint32_t num_shifts =
+      shift_samples == 0 ? t - 1 : std::min(shift_samples, t - 1);
+  // Evenly spaced shift distances across [1, t-1].
+  for (std::uint32_t k = 0; k < num_shifts; ++k) {
+    const std::uint32_t s =
+        1 + static_cast<std::uint32_t>(
+                (static_cast<std::uint64_t>(k) * (t - 1)) / num_shifts);
+    for (std::uint32_t i = 0; i < t; ++i) {
+      msgs.push_back({terminals[i], terminals[(i + s) % t], message_bytes});
+    }
+  }
+  return msgs;
+}
+
+std::vector<Message> uniform_random_messages(const Network& net,
+                                             std::size_t count,
+                                             std::uint32_t message_bytes,
+                                             Rng& rng) {
+  const auto terminals = net.terminals();
+  NUE_CHECK(terminals.size() >= 2);
+  std::vector<Message> msgs;
+  msgs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId s = terminals[rng.next_below(terminals.size())];
+    NodeId d = s;
+    while (d == s) d = terminals[rng.next_below(terminals.size())];
+    msgs.push_back({s, d, message_bytes});
+  }
+  return msgs;
+}
+
+}  // namespace nue

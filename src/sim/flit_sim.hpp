@@ -1,0 +1,100 @@
+// Cycle-based flit-level simulator of a lossless, credit-flow-controlled
+// network (the reproduction's stand-in for the paper's ibsim + OMNeT++
+// toolchain).
+//
+// Model: input-queued switches with one FIFO per (inbound channel, VL),
+// credit-based backpressure (a flit moves only when the downstream buffer
+// for its VL has space), per-output-VL wormhole packet locks (packets never
+// interleave flits within one VL of a link, but different VLs interleave —
+// virtual channel flow control), one flit per channel per cycle in each
+// direction, and round-robin arbitration per output. Routing and VL
+// selection come straight from a RoutingResult's forwarding tables, so a
+// cyclic channel dependency really deadlocks the simulation — the deadlock
+// watchdog turns that into a reported outcome instead of a hang.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "routing/routing.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t bytes = 2048;
+};
+
+struct SimConfig {
+  std::uint32_t buffer_flits = 8;   // per (channel, VL) input buffer depth
+  std::uint32_t flit_bytes = 64;
+  /// Messages larger than this are segmented into multiple packets, each
+  /// with its own header flit (InfiniBand MTU-style segmentation).
+  std::uint32_t mtu_bytes = 2048;
+  std::uint64_t max_cycles = 50'000'000;
+  /// Abort as deadlocked after this many cycles without any flit movement.
+  std::uint32_t deadlock_cycles = 50'000;
+};
+
+struct SimResult {
+  bool completed = false;
+  bool deadlocked = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t flit_hops = 0;
+  /// delivered payload per cycle, in units of one channel's capacity.
+  double aggregate_flits_per_cycle = 0.0;
+  /// aggregate divided by terminal count: mean fraction of terminal line
+  /// rate achieved — the figure-of-merit used for Figs. 1a and 10.
+  double normalized_throughput = 0.0;
+  /// Packet network latency (first flit leaves the NIC -> tail delivered),
+  /// in cycles, over delivered packets.
+  double avg_packet_latency = 0.0;
+  std::uint64_t max_packet_latency = 0;
+  double p99_packet_latency = 0.0;
+  /// Link utilization over inter-switch channels (flits sent / cycles):
+  /// the hottest channel and the mean — the dynamic counterpart of the
+  /// edge forwarding index.
+  double max_link_utilization = 0.0;
+  double avg_link_utilization = 0.0;
+};
+
+/// Run the given per-terminal message sequences to completion. Each
+/// terminal injects its messages in order at line rate (saturation).
+SimResult simulate(const Network& net, const RoutingResult& rr,
+                   const std::vector<Message>& messages,
+                   const SimConfig& cfg);
+
+/// Duato-protocol adaptive routing (the concept Nue's escape paths adapt
+/// to oblivious routing, §4.2): packet headers may take ANY minimal output
+/// on the adaptive virtual lanes [0, adaptive_vls); when every minimal
+/// adaptive option is blocked, the packet drops to a dedicated escape lane
+/// (VL = adaptive_vls) and follows the deadlock-free `escape` routing
+/// (e.g. Up*/Down*) for the rest of its journey — the conservative
+/// stay-on-escape variant, which is deadlock-free whenever the escape
+/// routing's CDG is acyclic. Body flits always follow their header's
+/// per-hop decision (wormhole).
+SimResult simulate_adaptive(const Network& net, const RoutingResult& escape,
+                            std::uint32_t adaptive_vls,
+                            const std::vector<Message>& messages,
+                            const SimConfig& cfg);
+
+/// All-to-all exchange with varying shift distances (the paper's traffic
+/// pattern): in sub-phase s, terminal i sends `message_bytes` to terminal
+/// (i + s) mod T. `shift_samples` > 0 simulates only that many evenly
+/// spaced shifts (scaled-down default for the bench harnesses; 0 = all).
+std::vector<Message> alltoall_shift_messages(const Network& net,
+                                             std::uint32_t message_bytes,
+                                             std::uint32_t shift_samples = 0);
+
+/// Uniform random traffic: `count` messages between random terminal pairs.
+std::vector<Message> uniform_random_messages(const Network& net,
+                                             std::size_t count,
+                                             std::uint32_t message_bytes,
+                                             Rng& rng);
+
+}  // namespace nue

@@ -1,0 +1,89 @@
+#include "sim/traffic.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+namespace {
+
+/// Number of bits needed to index T terminals.
+std::uint32_t index_bits(std::size_t t) {
+  std::uint32_t b = 0;
+  while ((1ull << b) < t) ++b;
+  return b;
+}
+
+std::size_t pattern_target(TrafficPattern p, std::size_t i, std::size_t t) {
+  const std::uint32_t bits = index_bits(t);
+  switch (p) {
+    case TrafficPattern::kBitComplement:
+      return (~i) & ((1ull << bits) - 1);
+    case TrafficPattern::kTranspose: {
+      const std::uint32_t half = bits / 2;
+      const std::size_t lo = i & ((1ull << half) - 1);
+      const std::size_t hi = i >> half;
+      return (lo << (bits - half)) | hi;
+    }
+    case TrafficPattern::kTornado:
+      return (i + t / 2 - (t > 2 ? 1 : 0)) % t;
+    case TrafficPattern::kNeighbor:
+      return (i + 1) % t;
+    case TrafficPattern::kReverse: {
+      std::size_t r = 0;
+      for (std::uint32_t b = 0; b < bits; ++b) {
+        r = (r << 1) | ((i >> b) & 1);
+      }
+      return r;
+    }
+  }
+  NUE_CHECK(false);
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Message> pattern_messages(const Network& net,
+                                      TrafficPattern pattern,
+                                      std::uint32_t message_bytes,
+                                      std::uint32_t repetitions) {
+  const auto terminals = net.terminals();
+  const std::size_t t = terminals.size();
+  NUE_CHECK(t >= 2);
+  std::vector<Message> msgs;
+  for (std::uint32_t rep = 0; rep < repetitions; ++rep) {
+    for (std::size_t i = 0; i < t; ++i) {
+      const std::size_t target = pattern_target(pattern, i, t);
+      if (target >= t || target == i) continue;  // out of range / self
+      msgs.push_back({terminals[i], terminals[target], message_bytes});
+    }
+  }
+  return msgs;
+}
+
+std::vector<Message> hotspot_messages(const Network& net, std::size_t count,
+                                      std::uint32_t message_bytes,
+                                      double hot_fraction,
+                                      std::size_t hot_index, Rng& rng) {
+  const auto terminals = net.terminals();
+  NUE_CHECK(terminals.size() >= 2);
+  NUE_CHECK(hot_index < terminals.size());
+  NUE_CHECK(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  std::vector<Message> msgs;
+  msgs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId s = terminals[rng.next_below(terminals.size())];
+    NodeId d;
+    if (rng.next_bool(hot_fraction)) {
+      d = terminals[hot_index];
+    } else {
+      d = terminals[rng.next_below(terminals.size())];
+    }
+    if (d == s) continue;
+    msgs.push_back({s, d, message_bytes});
+  }
+  return msgs;
+}
+
+}  // namespace nue

@@ -1,0 +1,39 @@
+// Standard synthetic traffic patterns (Dally & Towles ch. 3) on the
+// terminal index space [0, T): complements the all-to-all shift exchange
+// used for the paper's figures, and backs the NoC example and the
+// footnote-7 uniform-injection cross-check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "sim/flit_sim.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+
+enum class TrafficPattern : std::uint8_t {
+  kBitComplement,  // i -> ~i          (worst-case bisection load)
+  kTranspose,      // (hi,lo) -> (lo,hi) on the index's bit halves
+  kTornado,        // i -> i + T/2 - 1 (adversarial for rings/tori)
+  kNeighbor,       // i -> i + 1       (best case, nearest neighbor)
+  kReverse,        // i -> bit-reversed i
+};
+
+/// One message of `message_bytes` per terminal, destination given by the
+/// pattern (self-messages are dropped). Index-space patterns use the
+/// position of a terminal within net.terminals().
+std::vector<Message> pattern_messages(const Network& net,
+                                      TrafficPattern pattern,
+                                      std::uint32_t message_bytes,
+                                      std::uint32_t repetitions = 1);
+
+/// Hotspot traffic: `count` uniform-random messages, of which a fraction
+/// `hot_fraction` is redirected to one hot terminal (index hot_index).
+std::vector<Message> hotspot_messages(const Network& net, std::size_t count,
+                                      std::uint32_t message_bytes,
+                                      double hot_fraction,
+                                      std::size_t hot_index, Rng& rng);
+
+}  // namespace nue

@@ -1,0 +1,32 @@
+// Plain-text fabric description format (a minimal stand-in for
+// `ibnetdiscover` output), so real or hand-written topologies can be fed
+// to the routing engines without recompiling:
+//
+//   # comment
+//   switch   <name>
+//   terminal <name>            (exactly one link, to a switch)
+//   link     <name> <name> [multiplicity]
+//
+// Nodes must be declared before they are linked. Multiplicity adds
+// parallel duplex links (multigraph). write_fabric() emits the same
+// format with generated names (s<i> / t<i>), round-trip stable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/network.hpp"
+
+namespace nue {
+
+/// Parse a fabric description. Throws std::logic_error with a line number
+/// on malformed input.
+Network read_fabric(std::istream& is);
+
+/// Emit `net` (alive nodes/links only) in the fabric format.
+void write_fabric(std::ostream& os, const Network& net);
+
+Network load_fabric_file(const std::string& path);
+void save_fabric_file(const std::string& path, const Network& net);
+
+}  // namespace nue

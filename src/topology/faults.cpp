@@ -1,0 +1,73 @@
+#include "topology/faults.hpp"
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace nue {
+
+namespace {
+
+/// True if removing the given duplex link keeps the alive fabric connected.
+bool link_removal_safe(const Network& net, ChannelId c) {
+  Network copy = net;
+  copy.remove_link(c);
+  return is_connected(copy);
+}
+
+bool switch_removal_safe(const Network& net, NodeId sw) {
+  Network copy = net;
+  std::vector<NodeId> orphans;
+  for (ChannelId c : copy.out(sw)) {
+    const NodeId nb = copy.dst(c);
+    if (copy.is_terminal(nb)) orphans.push_back(nb);
+  }
+  copy.remove_node(sw);
+  for (NodeId t : orphans) copy.remove_node(t);
+  return copy.num_alive_nodes() > 0 && is_connected(copy);
+}
+
+}  // namespace
+
+std::size_t inject_link_failures(Network& net, std::size_t count, Rng& rng) {
+  std::size_t removed = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * (count + 1);
+  while (removed < count && attempts < max_attempts) {
+    ++attempts;
+    // Draw an alive switch-to-switch link (even channel of the pair).
+    const auto c =
+        static_cast<ChannelId>(rng.next_below(net.num_channels()) & ~1ull);
+    if (!net.channel_alive(c)) continue;
+    if (net.is_terminal(net.src(c)) || net.is_terminal(net.dst(c))) continue;
+    if (!link_removal_safe(net, c)) continue;
+    net.remove_link(c);
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t inject_switch_failures(Network& net, std::size_t count,
+                                   Rng& rng) {
+  std::size_t removed = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * (count + 1);
+  while (removed < count && attempts < max_attempts) {
+    ++attempts;
+    const auto v = static_cast<NodeId>(rng.next_below(net.num_nodes()));
+    if (!net.node_alive(v) || net.is_terminal(v)) continue;
+    if (!switch_removal_safe(net, v)) continue;
+    std::vector<NodeId> orphans;
+    for (ChannelId c : net.out(v)) {
+      const NodeId nb = net.dst(c);
+      if (net.is_terminal(nb)) orphans.push_back(nb);
+    }
+    net.remove_node(v);
+    for (NodeId t : orphans) net.remove_node(t);
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace nue

@@ -1,0 +1,26 @@
+// Fault injection for the fail-in-place experiments (Figs. 1 and 11):
+// remove random switch-to-switch links or whole switches while keeping the
+// fabric connected and every terminal attached.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/network.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+
+/// Remove `count` switch-to-switch links chosen uniformly at random.
+/// Links whose removal would disconnect the alive fabric are skipped and
+/// redrawn (up to a bounded number of attempts). Returns the number of
+/// links actually removed.
+std::size_t inject_link_failures(Network& net, std::size_t count, Rng& rng);
+
+/// Remove `count` random switches (with all their links, including the
+/// terminals' access links — the terminals become orphans and are removed
+/// too, matching a dead switch taking its nodes offline). Switches whose
+/// removal would disconnect the remaining fabric are redrawn. Returns the
+/// number of switches actually removed.
+std::size_t inject_switch_failures(Network& net, std::size_t count, Rng& rng);
+
+}  // namespace nue

@@ -1,0 +1,280 @@
+#include "topology/misc_topologies.hpp"
+
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+namespace {
+
+/// Kautz string <-> dense id encoding. Strings s_0..s_{k-1} over alphabet
+/// {0..d} with s_i != s_{i+1}; each symbol after the first has d choices.
+struct KautzCode {
+  std::uint32_t d, k;
+
+  std::uint32_t encode(const std::vector<std::uint32_t>& s) const {
+    std::uint32_t id = s[0];
+    for (std::uint32_t i = 1; i < k; ++i) {
+      const std::uint32_t t = s[i] - (s[i] > s[i - 1] ? 1 : 0);
+      id = id * d + t;
+    }
+    return id;
+  }
+
+  std::vector<std::uint32_t> decode(std::uint32_t id) const {
+    std::vector<std::uint32_t> rel(k);
+    for (std::uint32_t i = k; i-- > 1;) {
+      rel[i] = id % d;
+      id /= d;
+    }
+    rel[0] = id;
+    std::vector<std::uint32_t> s(k);
+    s[0] = rel[0];
+    for (std::uint32_t i = 1; i < k; ++i) {
+      s[i] = rel[i] + (rel[i] >= s[i - 1] ? 1 : 0);
+    }
+    return s;
+  }
+
+  std::uint32_t num_vertices() const {
+    std::uint32_t n = d + 1;
+    for (std::uint32_t i = 1; i < k; ++i) n *= d;
+    return n;
+  }
+};
+
+}  // namespace
+
+Network make_kautz(const KautzSpec& spec) {
+  NUE_CHECK(spec.d >= 2 && spec.k >= 2);
+  const KautzCode code{spec.d, spec.k};
+  const std::uint32_t n = code.num_vertices();
+  Network net;
+  for (std::uint32_t i = 0; i < n; ++i) net.add_switch();
+
+  // Arc u=(s0..s_{k-1}) -> v=(s1..s_{k-1}, x), x != s_{k-1}.
+  auto successors = [&](std::uint32_t u) {
+    std::vector<std::uint32_t> succ;
+    const auto s = code.decode(u);
+    std::vector<std::uint32_t> t(s.begin() + 1, s.end());
+    t.push_back(0);
+    for (std::uint32_t x = 0; x <= spec.d; ++x) {
+      if (x == s[spec.k - 1]) continue;
+      t[spec.k - 1] = x;
+      succ.push_back(code.encode(t));
+    }
+    return succ;
+  };
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> added;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v : successors(u)) {
+      if (v == u) continue;  // degenerate (cannot happen for k >= 2)
+      const auto key = std::minmax(u, v);
+      if (added.insert({key.first, key.second}).second) {
+        for (std::uint32_t rep = 0; rep < spec.redundancy; ++rep) {
+          net.add_link(u, v);
+        }
+      }
+    }
+  }
+
+  for (std::uint32_t sw = 0; sw < n; ++sw) {
+    for (std::uint32_t t = 0; t < spec.terminals_per_switch; ++t) {
+      const NodeId term = net.add_terminal();
+      net.add_link(term, sw);
+    }
+  }
+  return net;
+}
+
+Network make_dragonfly(const DragonflySpec& spec) {
+  NUE_CHECK(spec.g >= 2 && spec.a >= 2);
+  Network net;
+  const std::uint32_t nsw = spec.a * spec.g;
+  for (std::uint32_t i = 0; i < nsw; ++i) net.add_switch();
+  auto sw_id = [&](std::uint32_t group, std::uint32_t idx) {
+    return group * spec.a + idx;
+  };
+
+  // Intra-group all-to-all.
+  for (std::uint32_t g = 0; g < spec.g; ++g) {
+    for (std::uint32_t i = 0; i < spec.a; ++i) {
+      for (std::uint32_t j = i + 1; j < spec.a; ++j) {
+        net.add_link(sw_id(g, i), sw_id(g, j));
+      }
+    }
+  }
+
+  // Global links: q parallel links per group pair, endpoints assigned
+  // round-robin over each group's a*h global ports.
+  const std::uint32_t q = (spec.a * spec.h) / (spec.g - 1);
+  std::vector<std::uint32_t> port(spec.g, 0);  // next global port per group
+  for (std::uint32_t g1 = 0; g1 < spec.g; ++g1) {
+    for (std::uint32_t g2 = g1 + 1; g2 < spec.g; ++g2) {
+      for (std::uint32_t l = 0; l < q; ++l) {
+        const std::uint32_t i = (port[g1]++ / spec.h) % spec.a;
+        const std::uint32_t j = (port[g2]++ / spec.h) % spec.a;
+        net.add_link(sw_id(g1, i), sw_id(g2, j));
+      }
+    }
+  }
+
+  for (std::uint32_t sw = 0; sw < nsw; ++sw) {
+    for (std::uint32_t t = 0; t < spec.p; ++t) {
+      const NodeId term = net.add_terminal();
+      net.add_link(term, sw);
+    }
+  }
+  return net;
+}
+
+Network make_cascade(const CascadeSpec& spec) {
+  Network net;
+  const std::uint32_t per_group =
+      spec.chassis_per_group * spec.routers_per_chassis;
+  const std::uint32_t nsw = spec.groups * per_group;
+  for (std::uint32_t i = 0; i < nsw; ++i) net.add_switch();
+  auto sw_id = [&](std::uint32_t group, std::uint32_t chassis,
+                   std::uint32_t pos) {
+    return group * per_group + chassis * spec.routers_per_chassis + pos;
+  };
+
+  for (std::uint32_t g = 0; g < spec.groups; ++g) {
+    // Green: all-to-all within a chassis.
+    for (std::uint32_t c = 0; c < spec.chassis_per_group; ++c) {
+      for (std::uint32_t i = 0; i < spec.routers_per_chassis; ++i) {
+        for (std::uint32_t j = i + 1; j < spec.routers_per_chassis; ++j) {
+          net.add_link(sw_id(g, c, i), sw_id(g, c, j));
+        }
+      }
+    }
+    // Black: same position, different chassis, with redundancy.
+    for (std::uint32_t p = 0; p < spec.routers_per_chassis; ++p) {
+      for (std::uint32_t c1 = 0; c1 < spec.chassis_per_group; ++c1) {
+        for (std::uint32_t c2 = c1 + 1; c2 < spec.chassis_per_group; ++c2) {
+          for (std::uint32_t r = 0; r < spec.black_redundancy; ++r) {
+            net.add_link(sw_id(g, c1, p), sw_id(g, c2, p));
+          }
+        }
+      }
+    }
+  }
+
+  // Blue/global: `global_per_router` links from router i of group g to
+  // router i of group g+1 (mod groups); for 2 groups this is 2 per pair.
+  const std::uint32_t ring_links = spec.groups == 2 ? 1 : spec.groups;
+  for (std::uint32_t g = 0; g < ring_links; ++g) {
+    const std::uint32_t g2 = (g + 1) % spec.groups;
+    for (std::uint32_t i = 0; i < per_group; ++i) {
+      for (std::uint32_t r = 0; r < spec.global_per_router; ++r) {
+        net.add_link(g * per_group + i, g2 * per_group + i);
+      }
+    }
+  }
+
+  for (std::uint32_t sw = 0; sw < nsw; ++sw) {
+    for (std::uint32_t t = 0; t < spec.terminals_per_switch; ++t) {
+      const NodeId term = net.add_terminal();
+      net.add_link(term, sw);
+    }
+  }
+  return net;
+}
+
+Network make_hyperx(const HyperXSpec& spec) {
+  NUE_CHECK(!spec.shape.empty());
+  NUE_CHECK(spec.redundancy >= 1);
+  std::uint32_t nsw = 1;
+  for (auto d : spec.shape) {
+    NUE_CHECK(d >= 2);
+    nsw *= d;
+  }
+  Network net;
+  for (std::uint32_t i = 0; i < nsw; ++i) net.add_switch();
+  // Mixed-radix coordinates, row-major like TorusSpec.
+  auto coord_of = [&](NodeId sw) {
+    std::vector<std::uint32_t> c(spec.shape.size());
+    for (std::size_t i = spec.shape.size(); i-- > 0;) {
+      c[i] = sw % spec.shape[i];
+      sw /= spec.shape[i];
+    }
+    return c;
+  };
+  auto id_of = [&](const std::vector<std::uint32_t>& c) {
+    NodeId id = 0;
+    for (std::size_t i = 0; i < spec.shape.size(); ++i) {
+      id = id * spec.shape[i] + c[i];
+    }
+    return id;
+  };
+  for (NodeId sw = 0; sw < nsw; ++sw) {
+    const auto c = coord_of(sw);
+    for (std::size_t dim = 0; dim < spec.shape.size(); ++dim) {
+      // All-to-all within the line: add each pair once (toward larger
+      // coordinates only).
+      for (std::uint32_t other = c[dim] + 1; other < spec.shape[dim];
+           ++other) {
+        auto nb = c;
+        nb[dim] = other;
+        for (std::uint32_t r = 0; r < spec.redundancy; ++r) {
+          net.add_link(sw, id_of(nb));
+        }
+      }
+    }
+  }
+  for (NodeId sw = 0; sw < nsw; ++sw) {
+    for (std::uint32_t t = 0; t < spec.terminals_per_switch; ++t) {
+      const NodeId term = net.add_terminal();
+      net.add_link(term, sw);
+    }
+  }
+  return net;
+}
+
+Network make_hypercube(std::uint32_t dims,
+                       std::uint32_t terminals_per_switch) {
+  NUE_CHECK(dims >= 1);
+  HyperXSpec spec;
+  spec.shape.assign(dims, 2);
+  spec.terminals_per_switch = terminals_per_switch;
+  return make_hyperx(spec);
+}
+
+Network make_random(const RandomSpec& spec, Rng& rng) {
+  NUE_CHECK(spec.switches >= 2);
+  NUE_CHECK(spec.links + 1 >= spec.switches);
+  Network net;
+  for (std::uint32_t i = 0; i < spec.switches; ++i) net.add_switch();
+
+  // Random spanning tree (random parent among already-wired switches of a
+  // random permutation) guarantees connectivity.
+  std::vector<NodeId> order(spec.switches);
+  for (std::uint32_t i = 0; i < spec.switches; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::uint32_t i = 1; i < spec.switches; ++i) {
+    const NodeId parent = order[rng.next_below(i)];
+    net.add_link(order[i], parent);
+  }
+  // Remaining links uniform over distinct switch pairs (multigraph).
+  for (std::uint32_t l = spec.switches - 1; l < spec.links; ++l) {
+    NodeId u = 0, v = 0;
+    do {
+      u = static_cast<NodeId>(rng.next_below(spec.switches));
+      v = static_cast<NodeId>(rng.next_below(spec.switches));
+    } while (u == v);
+    net.add_link(u, v);
+  }
+
+  for (std::uint32_t sw = 0; sw < spec.switches; ++sw) {
+    for (std::uint32_t t = 0; t < spec.terminals_per_switch; ++t) {
+      const NodeId term = net.add_terminal();
+      net.add_link(term, sw);
+    }
+  }
+  return net;
+}
+
+}  // namespace nue

@@ -1,0 +1,41 @@
+#include "topology/torus.hpp"
+
+#include "util/error.hpp"
+
+namespace nue {
+
+Network make_torus(TorusSpec& spec) {
+  NUE_CHECK(!spec.dims.empty());
+  NUE_CHECK(spec.redundancy >= 1);
+  Network net;
+  const std::uint32_t nsw = spec.num_switches();
+  for (std::uint32_t i = 0; i < nsw; ++i) net.add_switch();
+
+  // Switch-to-switch links: +1 neighbor in every dimension (wrap-around).
+  std::vector<std::uint32_t> coord(spec.dims.size(), 0);
+  for (NodeId sw = 0; sw < nsw; ++sw) {
+    const auto c = spec.coord_of(sw);
+    for (std::size_t d = 0; d < spec.dims.size(); ++d) {
+      if (spec.dims[d] < 2) continue;
+      // Ring of size 2: only the node with coordinate 0 adds the link,
+      // and the wrap link would duplicate it, so skip the wrap.
+      if (spec.dims[d] == 2 && c[d] == 1) continue;
+      auto nb = c;
+      nb[d] = (c[d] + 1) % spec.dims[d];
+      const NodeId other = spec.switch_at(nb);
+      for (std::uint32_t rep = 0; rep < spec.redundancy; ++rep) {
+        net.add_link(sw, other);
+      }
+    }
+  }
+
+  for (NodeId sw = 0; sw < nsw; ++sw) {
+    for (std::uint32_t t = 0; t < spec.terminals_per_switch; ++t) {
+      const NodeId term = net.add_terminal();
+      net.add_link(term, sw);
+    }
+  }
+  return net;
+}
+
+}  // namespace nue

@@ -1,0 +1,49 @@
+// k-dimensional torus/mesh generator with per-switch terminals and
+// switch-to-switch link redundancy (Table 1's `r`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace nue {
+
+/// Geometry of a generated torus; needed by the topology-aware
+/// Torus-2QoS-like routing (coordinates and ring structure).
+struct TorusSpec {
+  std::vector<std::uint32_t> dims;   // e.g. {4,4,3}
+  std::uint32_t terminals_per_switch = 0;
+  std::uint32_t redundancy = 1;
+
+  /// switch node id of grid coordinate (row-major over dims).
+  NodeId switch_at(const std::vector<std::uint32_t>& coord) const {
+    NodeId id = 0;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      id = id * dims[i] + coord[i];
+    }
+    return id;
+  }
+
+  std::vector<std::uint32_t> coord_of(NodeId sw) const {
+    std::vector<std::uint32_t> c(dims.size());
+    for (std::size_t i = dims.size(); i-- > 0;) {
+      c[i] = sw % dims[i];
+      sw /= dims[i];
+    }
+    return c;
+  }
+
+  std::uint32_t num_switches() const {
+    std::uint32_t n = 1;
+    for (auto d : dims) n *= d;
+    return n;
+  }
+};
+
+/// Build a torus. Switches get ids [0, prod(dims)), then terminals.
+/// Rings of size 2 get a single link (not two parallel ones); size-1
+/// dimensions get none. Redundancy r replicates every switch link r times.
+Network make_torus(TorusSpec& spec);
+
+}  // namespace nue

@@ -1,0 +1,89 @@
+#include "topology/trees.hpp"
+
+#include "util/error.hpp"
+
+namespace nue {
+
+Network make_kary_ntree(FatTreeSpec& spec) {
+  NUE_CHECK(spec.k >= 2 && spec.n >= 2);
+  std::uint32_t per_level = 1;
+  for (std::uint32_t i = 0; i + 1 < spec.n; ++i) per_level *= spec.k;
+  spec.switches_per_level = per_level;
+
+  Network net;
+  for (std::uint32_t i = 0; i < spec.n * per_level; ++i) net.add_switch();
+
+  // Stage l switch with address digits (a_0 ... a_{n-2}) links down to the
+  // stage l+1 switches whose addresses agree on every digit except digit l.
+  // Digit j of address w (base k): (w / k^j) % k with digit 0 most
+  // significant is irrelevant — any fixed convention works; we use
+  // digit j = (w / k^(n-2-j)) % k so terminals map naturally.
+  auto digit_weight = [&](std::uint32_t j) {
+    std::uint32_t p = 1;
+    for (std::uint32_t i = 0; i < spec.n - 2 - j; ++i) p *= spec.k;
+    return p;
+  };
+
+  for (std::uint32_t l = 0; l + 1 < spec.n; ++l) {
+    const std::uint32_t wdig = digit_weight(l);
+    for (std::uint32_t w = 0; w < per_level; ++w) {
+      const std::uint32_t cur_digit = (w / wdig) % spec.k;
+      for (std::uint32_t v = 0; v < spec.k; ++v) {
+        const std::uint32_t w2 = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(w) +
+            (static_cast<std::int64_t>(v) - cur_digit) * wdig);
+        net.add_link(spec.switch_id(l, w), spec.switch_id(l + 1, w2));
+      }
+    }
+  }
+
+  const std::uint32_t leaf_level = spec.n - 1;
+  for (std::uint32_t w = 0; w < per_level; ++w) {
+    for (std::uint32_t t = 0; t < spec.terminals_per_leaf; ++t) {
+      const NodeId term = net.add_terminal();
+      net.add_link(term, spec.switch_id(leaf_level, w));
+    }
+  }
+  return net;
+}
+
+Network make_folded_clos(ClosSpec& spec) {
+  NUE_CHECK(spec.stage_sizes.size() >= 2);
+  NUE_CHECK(spec.uplinks.size() == spec.stage_sizes.size() - 1);
+  Network net;
+  spec.stage_first_id.clear();
+  for (std::uint32_t sz : spec.stage_sizes) {
+    spec.stage_first_id.push_back(static_cast<std::uint32_t>(net.num_nodes()));
+    for (std::uint32_t i = 0; i < sz; ++i) net.add_switch();
+  }
+  // Round-robin wiring: the j-th uplink of stage-s switch i goes to
+  // upper-stage switch (i * uplinks + j) % upper_size. This spreads links
+  // evenly and guarantees connectivity when uplinks >= 1.
+  for (std::size_t s = 0; s + 1 < spec.stage_sizes.size(); ++s) {
+    const std::uint32_t upper = spec.stage_sizes[s + 1];
+    for (std::uint32_t i = 0; i < spec.stage_sizes[s]; ++i) {
+      for (std::uint32_t j = 0; j < spec.uplinks[s]; ++j) {
+        const std::uint32_t u =
+            (i * spec.uplinks[s] + j) % upper;
+        net.add_link(spec.stage_first_id[s] + i,
+                     spec.stage_first_id[s + 1] + u);
+      }
+    }
+  }
+  for (std::uint32_t t = 0; t < spec.num_terminals; ++t) {
+    const NodeId term = net.add_terminal();
+    net.add_link(term, spec.stage_first_id[0] + t % spec.stage_sizes[0]);
+  }
+  return net;
+}
+
+Network make_tsubame25_like(ClosSpec& spec) {
+  // 144 + 63 + 36 = 243 switches; 144*12 + 63*26 = 1728 + 1638 = 3366
+  // switch-to-switch links (paper: 3,384); 1,407 terminals.
+  spec.stage_sizes = {144, 63, 36};
+  spec.uplinks = {12, 26};
+  spec.num_terminals = 1407;
+  return make_folded_clos(spec);
+}
+
+}  // namespace nue

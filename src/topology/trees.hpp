@@ -1,0 +1,54 @@
+// Tree-shaped topologies: k-ary n-trees (fat trees) and the folded-Clos
+// approximation of Tsubame2.5's second InfiniBand rail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace nue {
+
+/// Structure of a generated k-ary n-tree, needed by fat-tree routing.
+struct FatTreeSpec {
+  std::uint32_t k = 0;                  // arity
+  std::uint32_t n = 0;                  // levels
+  std::uint32_t terminals_per_leaf = 0;
+  // switch ids by level: level 0 = root stage ... level n-1 = leaf stage.
+  // Each stage holds k^(n-1) switches; switch (l, w) has id
+  // l * k^(n-1) + w where w encodes the (n-1)-digit base-k address.
+  std::uint32_t switches_per_level = 0;
+
+  NodeId switch_id(std::uint32_t level, std::uint32_t w) const {
+    return level * switches_per_level + w;
+  }
+  std::uint32_t level_of(NodeId sw) const { return sw / switches_per_level; }
+  std::uint32_t addr_of(NodeId sw) const { return sw % switches_per_level; }
+};
+
+/// Standard k-ary n-tree: n stages of k^(n-1) switches. Stage l switch w
+/// links down to the k stage-(l+1) switches agreeing with w on all address
+/// digits except digit l. Terminals attach to leaf-stage switches
+/// (`terminals_per_leaf` each; the paper's 10-ary 3-tree uses 11).
+Network make_kary_ntree(FatTreeSpec& spec);
+
+/// Generic folded-Clos with arbitrary stage widths and uplink counts:
+/// stage_sizes = switches per stage (index 0 = leaf), uplinks[i] = number
+/// of up-links from each stage-i switch to stage i+1 (wired round-robin).
+/// Used for the Tsubame2.5-like rail.
+struct ClosSpec {
+  std::vector<std::uint32_t> stage_sizes;
+  std::vector<std::uint32_t> uplinks;  // size = stage_sizes.size() - 1
+  std::uint32_t num_terminals = 0;     // attached round-robin to stage 0
+  // Filled by the generator:
+  std::vector<std::uint32_t> stage_first_id;
+};
+
+Network make_folded_clos(ClosSpec& spec);
+
+/// Tsubame2.5 second-rail approximation (Table 1: 243 switches,
+/// 1,407 terminals, ~3,384 switch-to-switch channels) as a 3-stage Clos
+/// of 36-port-class switches: 144 edge (12 up), 63 mid (~26 up), 36 core.
+Network make_tsubame25_like(ClosSpec& spec);
+
+}  // namespace nue

@@ -1,0 +1,45 @@
+// Error handling helpers.
+//
+// Library invariants are enforced with NUE_CHECK (always on, throws
+// std::logic_error) so that experiment binaries fail loudly instead of
+// producing silently wrong tables. Hot-loop assertions use NUE_DCHECK which
+// compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nue::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NUE_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace nue::detail
+
+#define NUE_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::nue::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define NUE_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream os_;                                        \
+      os_ << msg;                                                    \
+      ::nue::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  os_.str());                        \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define NUE_DCHECK(expr) ((void)0)
+#else
+#define NUE_DCHECK(expr) NUE_CHECK(expr)
+#endif

@@ -1,0 +1,123 @@
+// Minimal command-line flag parsing for the experiment binaries.
+//
+// Supported syntax: --name value, --name=value, and boolean --name.
+// Unknown flags abort with a usage message so typos don't silently run the
+// default configuration.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nue {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) : prog_(argv[0]) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// Register + read an integer flag.
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help) {
+    describe(name, std::to_string(def), help);
+    const auto v = find(name);
+    return v ? std::strtoll(v->c_str(), nullptr, 10) : def;
+  }
+
+  double get_double(const std::string& name, double def,
+                    const std::string& help) {
+    describe(name, std::to_string(def), help);
+    const auto v = find(name);
+    return v ? std::strtod(v->c_str(), nullptr) : def;
+  }
+
+  std::string get_string(const std::string& name, const std::string& def,
+                         const std::string& help) {
+    describe(name, def, help);
+    const auto v = find(name);
+    return v ? *v : def;
+  }
+
+  bool get_bool(const std::string& name, bool def, const std::string& help) {
+    describe(name, def ? "true" : "false", help);
+    const auto v = find(name);
+    if (!v) return def;
+    return *v != "false" && *v != "0";
+  }
+
+  /// Call after all get_* registrations: validates args, handles --help.
+  /// Returns false if the program should exit (help printed / bad flag).
+  bool finish() {
+    bool ok = true;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      std::string a = args_[i];
+      if (a == "--help" || a == "-h") {
+        usage();
+        return false;
+      }
+      if (a.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << a << "\n";
+        ok = false;
+        continue;
+      }
+      std::string name = a.substr(2);
+      auto eq = name.find('=');
+      if (eq != std::string::npos) name = name.substr(0, eq);
+      if (!known_.count(name)) {
+        std::cerr << "unknown flag: --" << name << "\n";
+        ok = false;
+      }
+      // Skip the value of "--name value" style flags.
+      if (eq == std::string::npos && i + 1 < args_.size() &&
+          args_[i + 1].rfind("--", 0) != 0) {
+        ++i;
+      }
+    }
+    if (!ok) usage();
+    return ok;
+  }
+
+ private:
+  void describe(const std::string& name, const std::string& def,
+                const std::string& help) {
+    if (!known_.count(name)) {
+      known_[name] = "  --" + name + " (default " + def + "): " + help;
+    }
+  }
+
+  /// Find the raw value for --name in the argument list.
+  const std::string* find(const std::string& name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string& a = args_[i];
+      if (a == "--" + name) {
+        if (i + 1 < args_.size() && args_[i + 1].rfind("--", 0) != 0) {
+          return &args_[i + 1];
+        }
+        static const std::string kTrue = "true";
+        return &kTrue;  // boolean flag without a value
+      }
+      const std::string prefix = "--" + name + "=";
+      if (a.rfind(prefix, 0) == 0) {
+        values_[name] = a.substr(prefix.size());
+        return &values_[name];
+      }
+    }
+    return nullptr;
+  }
+
+  void usage() const {
+    std::cerr << "usage: " << prog_ << " [flags]\n";
+    for (const auto& [_, desc] : known_) std::cerr << desc << "\n";
+  }
+
+  std::string prog_;
+  std::vector<std::string> args_;
+  std::map<std::string, std::string> known_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace nue

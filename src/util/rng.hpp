@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components of the library (random topologies, fault
+// injection, random partitioning, traffic jitter) take an explicit `Rng`
+// so that every experiment in the paper reproduction is seed-stable across
+// platforms. We deliberately avoid std::mt19937 + std::uniform_*_distribution
+// because distribution implementations differ between standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <algorithm>
+#include <vector>
+
+namespace nue {
+
+/// xoshiro256** by Blackman & Vigna (public domain), seeded via splitmix64.
+/// Fast, high quality, and fully specified so results are portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 to expand the seed into the full state.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) {
+    // For our workloads bound << 2^64, so the rejection loop is ~never taken.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Derive an independent child stream (for nested reproducibility).
+  Rng fork() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace nue

@@ -1,0 +1,103 @@
+// Console table / CSV emitter for experiment harnesses.
+//
+// Every bench binary prints the same rows the paper's figures/tables report;
+// this helper keeps the formatting uniform and optionally mirrors rows to a
+// CSV file for plotting.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  class Row {
+   public:
+    explicit Row(Table* t) : t_(t) {}
+    Row& operator<<(const std::string& s) {
+      cells_.push_back(s);
+      return *this;
+    }
+    Row& operator<<(const char* s) { return *this << std::string(s); }
+    Row& operator<<(double v) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(3) << v;
+      return *this << os.str();
+    }
+    template <typename T>
+      requires std::is_integral_v<T>
+    Row& operator<<(T v) {
+      return *this << std::to_string(v);
+    }
+    ~Row() { t_->add_row(std::move(cells_)); }
+    Row(const Row&) = delete;
+    Row& operator=(const Row&) = delete;
+
+   private:
+    Table* t_;
+    std::vector<std::string> cells_;
+  };
+
+  Row row() { return Row(this); }
+
+  void add_row(std::vector<std::string> cells) {
+    NUE_CHECK_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, expected "
+                             << headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Pretty-print with aligned columns.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << (c ? "  " : "") << std::left << std::setw(static_cast<int>(width[c]))
+           << cells[c];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      rule += std::string(width[c], '-') + (c + 1 < headers_.size() ? "  " : "");
+    os << rule << '\n';
+    for (const auto& r : rows_) emit(r);
+    os.flush();
+  }
+
+  /// Mirror the table to a CSV file (no quoting needed for our content).
+  void write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    NUE_CHECK_MSG(f.good(), "cannot open " << path);
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        f << (c ? "," : "") << cells[c];
+      f << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nue

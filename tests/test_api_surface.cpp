@@ -1,0 +1,112 @@
+// Coverage for the smaller public APIs not exercised elsewhere: Network
+// accessors, pseudo_center, the direct k-way partitioner entry point, and
+// edge cases of the routing-result helpers.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "partition/partition.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/updown.hpp"
+#include "test_helpers.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+using test::make_line;
+using test::make_ring;
+
+TEST(NetworkApi, MaxDegreeAndCollections) {
+  Network net = make_ring(4, 3);  // switches have degree 2 + 3 terminals
+  EXPECT_EQ(net.max_degree(), 5u);
+  EXPECT_EQ(net.alive_nodes().size(), net.num_alive_nodes());
+  EXPECT_EQ(net.alive_channels().size(), net.num_alive_channels());
+  net.remove_node(0);
+  EXPECT_EQ(net.alive_nodes().size(), net.num_alive_nodes());
+  for (ChannelId c : net.alive_channels()) {
+    EXPECT_TRUE(net.channel_alive(c));
+  }
+}
+
+TEST(NetworkApi, RemoveLinkNormalizesToEvenChannel) {
+  Network net = make_line(2, 0);
+  const std::size_t before = net.num_alive_channels();
+  net.remove_link(1);  // odd id of the pair: both directions must die
+  EXPECT_EQ(net.num_alive_channels(), before - 2);
+  EXPECT_FALSE(net.channel_alive(0));
+  EXPECT_FALSE(net.channel_alive(1));
+}
+
+TEST(NetworkApi, DoubleRemovalThrows) {
+  Network net = make_line(2, 0);
+  net.remove_link(0);
+  EXPECT_THROW(net.remove_link(0), std::logic_error);
+}
+
+TEST(PseudoCenter, MiddleOfLine) {
+  Network net = make_line(7, 1);
+  const NodeId c = pseudo_center(net);
+  // The midpoint of the 0..6 line is switch 3 (±1 for tie handling).
+  EXPECT_GE(c, 2u);
+  EXPECT_LE(c, 4u);
+  EXPECT_TRUE(net.is_switch(c));
+}
+
+TEST(PseudoCenter, SurvivesDeadNodes) {
+  Network net = make_ring(8, 1);
+  net.remove_node(net.terminals()[0]);
+  const NodeId c = pseudo_center(net);
+  EXPECT_TRUE(net.node_alive(c));
+  EXPECT_TRUE(net.is_switch(c));
+}
+
+TEST(KwayDirect, PartitionsSwitchGraph) {
+  TorusSpec spec{{4, 4}, 1, 1};
+  Network net = make_torus(spec);
+  const auto switches = net.switches();
+  std::vector<std::uint32_t> weights(switches.size(), 1);
+  Rng rng(5);
+  const auto part = kway_partition_switches(net, switches, weights, 4, rng);
+  ASSERT_EQ(part.size(), switches.size());
+  std::vector<std::size_t> sizes(4, 0);
+  for (const auto p : part) {
+    ASSERT_LT(p, 4u);
+    ++sizes[p];
+  }
+  for (const auto sz : sizes) {
+    EXPECT_GE(sz, 2u);  // 16 switches over 4 parts: roughly balanced
+    EXPECT_LE(sz, 7u);
+  }
+}
+
+TEST(RoutingResultApi, TraceThrowsOnNonDestination) {
+  Network net = make_ring(4);
+  const std::vector<NodeId> dests{net.terminals()[0]};
+  const auto rr = route_minhop(net, dests);
+  EXPECT_THROW(rr.trace(net, net.terminals()[1], net.terminals()[2]),
+               std::logic_error);
+}
+
+TEST(RoutingResultApi, DestIndexRoundTrip) {
+  Network net = make_ring(5);
+  const auto dests = net.terminals();
+  const auto rr = route_minhop(net, dests);
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    EXPECT_EQ(rr.dest_index(dests[i]), i);
+    EXPECT_TRUE(rr.is_destination(dests[i]));
+  }
+  EXPECT_FALSE(rr.is_destination(0));  // switch 0 is not a destination
+}
+
+TEST(Algorithms, DijkstraFromNodeApi) {
+  Network net = make_line(4, 0);
+  std::vector<double> w(net.num_channels(), 1.0);
+  const auto r = dijkstra(net, 1, w);
+  EXPECT_DOUBLE_EQ(r.distance[3], 2.0);
+  EXPECT_EQ(r.used_channel[0], reverse(net.out(0)[0]));
+}
+
+}  // namespace
+}  // namespace nue

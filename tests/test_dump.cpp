@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nue/nue_routing.hpp"
+#include "routing/dump.hpp"
+#include "test_helpers.hpp"
+
+namespace nue {
+namespace {
+
+using test::make_ring;
+
+TEST(Dump, ForwardingTablesListEveryPairOnce) {
+  Network net = make_ring(4);
+  NueOptions opt;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  std::ostringstream os;
+  write_forwarding_tables(os, net, rr);
+  const std::string out = os.str();
+  // 4 switches, 4 destinations each -> 16 table lines.
+  std::size_t lines = 0, pos = 0;
+  while ((pos = out.find("dest ", pos)) != std::string::npos) {
+    ++lines;
+    pos += 5;
+  }
+  EXPECT_EQ(lines, 16u);
+  EXPECT_NE(out.find("switch 0:"), std::string::npos);
+  EXPECT_NE(out.find("vl 0"), std::string::npos);
+}
+
+TEST(Dump, NetworkDotIsWellFormed) {
+  Network net = make_ring(3);
+  std::ostringstream os;
+  write_network_dot(os, net);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("graph fabric {"), 0u);
+  EXPECT_NE(out.find("shape=box"), std::string::npos);     // switches
+  EXPECT_NE(out.find("shape=circle"), std::string::npos);  // terminals
+  EXPECT_NE(out.find("n0 -- n1;"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Dump, CdgDotContainsDependencies) {
+  Network net = make_ring(4);
+  NueOptions opt;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  std::ostringstream os;
+  write_cdg_dot(os, net, rr);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("digraph cdg {"), 0u);
+  EXPECT_NE(out.find(" -> "), std::string::npos);
+  EXPECT_NE(out.find("_vl0"), std::string::npos);
+}
+
+TEST(Dump, DeadNodesExcluded) {
+  Network net = make_ring(5);
+  net.remove_node(4);
+  std::ostringstream os;
+  write_network_dot(os, net);
+  EXPECT_EQ(os.str().find("n4 ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nue
+
+namespace nue {
+namespace serialization_tests {
+
+using test::make_ring;
+
+TEST(RoutingSerialization, RoundTripPerDest) {
+  Network net = make_ring(5, 2);
+  NueOptions opt;
+  opt.num_vls = 3;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  std::ostringstream out;
+  write_routing(out, net, rr);
+  std::istringstream in(out.str());
+  const auto back = read_routing(in, net);
+  ASSERT_EQ(back.destinations(), rr.destinations());
+  EXPECT_EQ(back.num_vls(), rr.num_vls());
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      ASSERT_EQ(back.next(v, static_cast<std::uint32_t>(di)),
+                rr.next(v, static_cast<std::uint32_t>(di)));
+      ASSERT_EQ(back.vl(v, v, static_cast<std::uint32_t>(di)),
+                rr.vl(v, v, static_cast<std::uint32_t>(di)));
+    }
+  }
+}
+
+TEST(RoutingSerialization, RejectsMismatchedFabric) {
+  Network a = make_ring(5, 1);
+  Network b = make_ring(6, 1);
+  NueOptions opt;
+  const auto rr = route_nue(a, a.terminals(), opt);
+  std::ostringstream out;
+  write_routing(out, a, rr);
+  std::istringstream in(out.str());
+  EXPECT_THROW(read_routing(in, b), std::logic_error);
+}
+
+TEST(RoutingSerialization, RejectsGarbage) {
+  Network net = make_ring(4, 1);
+  std::istringstream in("not a routing file");
+  EXPECT_THROW(read_routing(in, net), std::logic_error);
+}
+
+}  // namespace serialization_tests
+}  // namespace nue

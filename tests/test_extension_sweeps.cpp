@@ -1,0 +1,212 @@
+// Parameterized sweeps over the extension subsystems: incremental
+// rerouting, the compiled InfiniBand tables, and the adaptive escape-lane
+// simulator — each across topology families and seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nue/nue_routing.hpp"
+#include "routing/ib_tables.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+#include "sim/flit_sim.hpp"
+#include "topology/faults.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+enum class Fam { kRandom, kTorus, kFatTree, kHyperX, kDragonfly };
+
+const char* fam_name(Fam f) {
+  switch (f) {
+    case Fam::kRandom: return "Random";
+    case Fam::kTorus: return "Torus";
+    case Fam::kFatTree: return "FatTree";
+    case Fam::kHyperX: return "HyperX";
+    default: return "Dragonfly";
+  }
+}
+
+Network build_fam(Fam f, std::uint64_t seed) {
+  switch (f) {
+    case Fam::kRandom: {
+      Rng rng(seed);
+      RandomSpec spec{20, 55, 2};
+      return make_random(spec, rng);
+    }
+    case Fam::kTorus: {
+      TorusSpec spec{{3, 3, 3}, 2, 1};
+      return make_torus(spec);
+    }
+    case Fam::kFatTree: {
+      FatTreeSpec spec{3, 3, 3, 0};
+      return make_kary_ntree(spec);
+    }
+    case Fam::kHyperX: {
+      HyperXSpec spec;
+      spec.shape = {3, 3};
+      spec.terminals_per_switch = 2;
+      return make_hyperx(spec);
+    }
+    case Fam::kDragonfly: {
+      DragonflySpec spec{4, 2, 2, 5};
+      return make_dragonfly(spec);
+    }
+  }
+  NUE_CHECK(false);
+  return Network{};
+}
+
+using SweepParam = std::tuple<Fam, std::uint64_t>;
+
+class RerouteSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RerouteSweep, IncrementalRerouteStaysDeadlockFree) {
+  const auto [fam, seed] = GetParam();
+  Network net = build_fam(fam, seed);
+  NueOptions opt;
+  opt.num_vls = 2;
+  opt.seed = seed;
+  auto rr = route_nue(net, net.terminals(), opt);
+  Rng rng(seed + 50);
+  for (int round = 0; round < 3; ++round) {
+    if (inject_link_failures(net, 1, rng) == 0) break;
+    RerouteStats rs;
+    rr = reroute_nue(net, rr, opt, &rs);
+    const auto rep = validate_routing(net, rr);
+    ASSERT_TRUE(rep.ok())
+        << fam_name(fam) << " seed " << seed << " round " << round << ": "
+        << rep.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RerouteSweep,
+    ::testing::Combine(::testing::Values(Fam::kRandom, Fam::kTorus,
+                                         Fam::kFatTree, Fam::kHyperX,
+                                         Fam::kDragonfly),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const auto& info) {
+      return std::string(fam_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class IbTableSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(IbTableSweep, CompilationFaithfulForNue) {
+  const auto [fam, seed] = GetParam();
+  Network net = build_fam(fam, seed);
+  for (std::uint32_t k : {1u, 3u}) {
+    NueOptions opt;
+    opt.num_vls = k;
+    opt.seed = seed;
+    const auto rr = route_nue(net, net.terminals(), opt);
+    EXPECT_TRUE(verify_compiled(net, rr, compile_ib_tables(net, rr)))
+        << fam_name(fam) << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IbTableSweep,
+    ::testing::Combine(::testing::Values(Fam::kRandom, Fam::kTorus,
+                                         Fam::kFatTree, Fam::kHyperX,
+                                         Fam::kDragonfly),
+                       ::testing::Values(4ull, 5ull)),
+    [](const auto& info) {
+      return std::string(fam_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class AdaptiveSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AdaptiveSweep, EscapeLaneGuaranteesCompletion) {
+  const auto [fam, seed] = GetParam();
+  Network net = build_fam(fam, seed);
+  const auto escape = route_updown(net, net.terminals());
+  ASSERT_TRUE(validate_routing(net, escape).ok());
+  SimConfig cfg;
+  cfg.buffer_flits = 2;
+  cfg.deadlock_cycles = 20000;
+  const auto msgs = alltoall_shift_messages(net, 1024, 6);
+  const auto res = simulate_adaptive(net, escape, 2, msgs, cfg);
+  EXPECT_TRUE(res.completed) << fam_name(fam) << " seed " << seed;
+  EXPECT_EQ(res.delivered_packets, msgs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdaptiveSweep,
+    ::testing::Combine(::testing::Values(Fam::kRandom, Fam::kTorus,
+                                         Fam::kFatTree, Fam::kHyperX,
+                                         Fam::kDragonfly),
+                       ::testing::Values(7ull, 8ull)),
+    [](const auto& info) {
+      return std::string(fam_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- simulator conservation / determinism properties ------------------------
+
+TEST(SimProperties, DeterministicAcrossRuns) {
+  Network net = build_fam(Fam::kTorus, 0);
+  NueOptions opt;
+  opt.num_vls = 2;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  const auto msgs = alltoall_shift_messages(net, 1024, 4);
+  const auto r1 = simulate(net, rr, msgs, SimConfig{});
+  const auto r2 = simulate(net, rr, msgs, SimConfig{});
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.flit_hops, r2.flit_hops);
+  EXPECT_EQ(r1.delivered_bytes, r2.delivered_bytes);
+}
+
+TEST(SimProperties, ByteConservationAcrossConfigs) {
+  Network net = build_fam(Fam::kRandom, 2);
+  NueOptions opt;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  const auto msgs = alltoall_shift_messages(net, 1500, 5);
+  std::uint64_t expect = 0;
+  for (const auto& m : msgs) expect += m.bytes;
+  for (std::uint32_t buf : {1u, 4u, 16u}) {
+    SimConfig cfg;
+    cfg.buffer_flits = buf;
+    const auto res = simulate(net, rr, msgs, cfg);
+    ASSERT_TRUE(res.completed) << "buffer " << buf;
+    EXPECT_EQ(res.delivered_bytes, expect) << "buffer " << buf;
+  }
+}
+
+TEST(SimProperties, SmallerBuffersNeverSpeedThingsUp) {
+  Network net = build_fam(Fam::kHyperX, 3);
+  NueOptions opt;
+  opt.num_vls = 2;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  const auto msgs = alltoall_shift_messages(net, 2048, 8);
+  SimConfig small;
+  small.buffer_flits = 1;
+  SimConfig big;
+  big.buffer_flits = 32;
+  const auto rs = simulate(net, rr, msgs, small);
+  const auto rb = simulate(net, rr, msgs, big);
+  ASSERT_TRUE(rs.completed && rb.completed);
+  EXPECT_GE(rs.cycles, rb.cycles);
+}
+
+TEST(SimProperties, UtilizationBoundsAreSane) {
+  Network net = build_fam(Fam::kTorus, 4);
+  NueOptions opt;
+  opt.num_vls = 2;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  const auto res =
+      simulate(net, rr, alltoall_shift_messages(net, 2048, 8), SimConfig{});
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.max_link_utilization, 0.0);
+  EXPECT_LE(res.max_link_utilization, 1.0);
+  EXPECT_LE(res.avg_link_utilization, res.max_link_utilization);
+}
+
+}  // namespace
+}  // namespace nue

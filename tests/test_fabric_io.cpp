@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/fabric_io.hpp"
+#include "topology/torus.hpp"
+#include "test_helpers.hpp"
+
+namespace nue {
+namespace {
+
+TEST(FabricIo, ParsesBasicFabric) {
+  std::istringstream in(R"(# tiny fabric
+switch a
+switch b
+terminal t0
+terminal t1
+link a b 2
+link t0 a
+link t1 b
+)");
+  Network net = read_fabric(in);
+  EXPECT_EQ(net.num_alive_switches(), 2u);
+  EXPECT_EQ(net.num_alive_terminals(), 2u);
+  EXPECT_EQ(net.num_alive_channels(), 8u);  // 4 duplex links
+  EXPECT_EQ(net.degree(0), 3u);             // 2 parallel to b + terminal
+}
+
+TEST(FabricIo, RejectsUnknownNode) {
+  std::istringstream in("switch a\nlink a b\n");
+  EXPECT_THROW(read_fabric(in), std::logic_error);
+}
+
+TEST(FabricIo, RejectsDuplicateName) {
+  std::istringstream in("switch a\nswitch a\n");
+  EXPECT_THROW(read_fabric(in), std::logic_error);
+}
+
+TEST(FabricIo, RejectsUnknownKeyword) {
+  std::istringstream in("router a\n");
+  EXPECT_THROW(read_fabric(in), std::logic_error);
+}
+
+TEST(FabricIo, RejectsMultiLinkTerminal) {
+  std::istringstream in(R"(switch a
+switch b
+terminal t
+link t a
+link t b
+)");
+  EXPECT_THROW(read_fabric(in), std::logic_error);
+}
+
+TEST(FabricIo, RoundTripPreservesStructure) {
+  TorusSpec spec{{3, 4}, 2, 2};
+  Network orig = make_torus(spec);
+  std::ostringstream out;
+  write_fabric(out, orig);
+  std::istringstream in(out.str());
+  Network back = read_fabric(in);
+  EXPECT_EQ(back.num_alive_switches(), orig.num_alive_switches());
+  EXPECT_EQ(back.num_alive_terminals(), orig.num_alive_terminals());
+  EXPECT_EQ(back.num_alive_channels(), orig.num_alive_channels());
+  // Degree multiset must match.
+  auto degrees = [](const Network& n) {
+    std::vector<std::size_t> d;
+    for (NodeId v = 0; v < n.num_nodes(); ++v) {
+      if (n.node_alive(v)) d.push_back(n.degree(v));
+    }
+    std::sort(d.begin(), d.end());
+    return d;
+  };
+  EXPECT_EQ(degrees(back), degrees(orig));
+}
+
+TEST(FabricIo, RoundTripAfterFailures) {
+  Network orig = test::make_ring(6, 2);
+  // Kill switch 0 and its now-orphaned terminals (as fault injection does).
+  std::vector<NodeId> orphans;
+  for (ChannelId c : orig.out(0)) {
+    if (orig.is_terminal(orig.dst(c))) orphans.push_back(orig.dst(c));
+  }
+  orig.remove_node(0);
+  for (NodeId t : orphans) orig.remove_node(t);
+  std::ostringstream out;
+  write_fabric(out, orig);
+  std::istringstream in(out.str());
+  Network back = read_fabric(in);
+  // Dead nodes and their links are simply absent from the file.
+  EXPECT_EQ(back.num_alive_switches(), 5u);
+  EXPECT_EQ(back.num_alive_terminals(), 10u);
+}
+
+}  // namespace
+}  // namespace nue

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/network.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+using test::make_line;
+using test::make_paper_ring;
+using test::make_ring;
+
+TEST(Network, ChannelPairsAreReverses) {
+  Network net;
+  const NodeId a = net.add_switch();
+  const NodeId b = net.add_switch();
+  const ChannelId c = net.add_link(a, b);
+  EXPECT_EQ(net.src(c), a);
+  EXPECT_EQ(net.dst(c), b);
+  EXPECT_EQ(net.src(reverse(c)), b);
+  EXPECT_EQ(net.dst(reverse(c)), a);
+  EXPECT_EQ(reverse(reverse(c)), c);
+}
+
+TEST(Network, TerminalAndSwitchClassification) {
+  Network net = make_ring(4);
+  EXPECT_EQ(net.num_alive_terminals(), 4u);
+  EXPECT_EQ(net.num_alive_switches(), 4u);
+  for (NodeId t : net.terminals()) {
+    EXPECT_TRUE(net.is_terminal(t));
+    EXPECT_EQ(net.degree(t), 1u);
+    EXPECT_TRUE(net.is_switch(net.terminal_switch(t)));
+  }
+}
+
+TEST(Network, MultigraphParallelLinks) {
+  Network net;
+  net.add_switch();
+  net.add_switch();
+  net.add_link(0, 1);
+  net.add_link(0, 1);
+  EXPECT_EQ(net.degree(0), 2u);
+  EXPECT_EQ(net.num_channels(), 4u);
+}
+
+TEST(Network, SelfLoopRejected) {
+  Network net;
+  net.add_switch();
+  EXPECT_THROW(net.add_link(0, 0), std::logic_error);
+}
+
+TEST(Network, RemoveLinkUpdatesAdjacency) {
+  Network net = make_ring(4, 0);
+  const std::size_t before = net.num_alive_channels();
+  net.remove_link(net.out(0)[0]);
+  EXPECT_EQ(net.num_alive_channels(), before - 2);
+  for (ChannelId c : net.out(0)) EXPECT_TRUE(net.channel_alive(c));
+  EXPECT_TRUE(is_connected(net));  // ring minus one link is a line
+}
+
+TEST(Network, RemoveNodeKillsAllItsChannels) {
+  Network net = make_ring(5);
+  const auto before_nodes = net.num_alive_nodes();
+  net.remove_node(0);
+  EXPECT_EQ(net.num_alive_nodes(), before_nodes - 1);
+  EXPECT_FALSE(net.node_alive(0));
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    if (net.channel_alive(c)) {
+      EXPECT_NE(net.src(c), 0u);
+      EXPECT_NE(net.dst(c), 0u);
+    }
+  }
+}
+
+TEST(Bfs, DistancesOnRing) {
+  Network net = make_ring(6, 0);
+  const auto d = bfs_distances(net, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[3], 3u);
+  EXPECT_EQ(d[5], 1u);
+}
+
+TEST(Bfs, TreePointsTowardRoot) {
+  Network net = make_line(5, 0);
+  const auto tree = bfs_tree(net, 0);
+  EXPECT_EQ(tree[0], kInvalidChannel);
+  for (NodeId v = 1; v < 5; ++v) {
+    ASSERT_NE(tree[v], kInvalidChannel);
+    EXPECT_EQ(net.src(tree[v]), v);
+    EXPECT_EQ(net.dst(tree[v]), v - 1);
+  }
+}
+
+TEST(Bfs, UnreachableAfterSplit) {
+  Network net = make_line(4, 0);
+  net.remove_link(net.out(1)[1]);  // split between 1 and 2
+  EXPECT_FALSE(is_connected(net));
+  const auto d = bfs_distances(net, 0);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Dijkstra, PrefersLightChannels) {
+  // Triangle 0-1-2 where direct 0->2 is expensive.
+  Network net;
+  for (int i = 0; i < 3; ++i) net.add_switch();
+  const ChannelId c01 = net.add_link(0, 1);
+  const ChannelId c12 = net.add_link(1, 2);
+  const ChannelId c02 = net.add_link(0, 2);
+  std::vector<double> w(net.num_channels(), 1.0);
+  w[c02] = 10.0;
+  w[reverse(c02)] = 10.0;
+  const auto r = dijkstra(net, 0, w);
+  EXPECT_DOUBLE_EQ(r.distance[2], 2.0);
+  EXPECT_EQ(r.used_channel[1], c01);
+  EXPECT_EQ(r.used_channel[2], c12);
+}
+
+TEST(Dijkstra, MultigraphPicksCheapParallel) {
+  Network net;
+  net.add_switch();
+  net.add_switch();
+  const ChannelId a = net.add_link(0, 1);
+  const ChannelId b = net.add_link(0, 1);
+  std::vector<double> w(net.num_channels(), 1.0);
+  w[a] = 5.0;
+  const auto r = dijkstra(net, 0, w);
+  EXPECT_EQ(r.used_channel[1], b);
+  EXPECT_DOUBLE_EQ(r.distance[1], 1.0);
+}
+
+/// Brute-force betweenness for verification: enumerate shortest paths by
+/// BFS σ-counting (same definition, independent implementation).
+std::vector<double> brute_betweenness(const Network& net) {
+  const std::size_t n = net.num_nodes();
+  std::vector<double> cb(n, 0.0);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const auto ds = bfs_distances(net, s);
+      const auto dt = bfs_distances(net, t);
+      if (ds[t] == kUnreachable) continue;
+      // sigma via DP over distance levels.
+      std::vector<double> sigma(n, 0.0);
+      sigma[s] = 1.0;
+      // process nodes by increasing ds
+      std::vector<NodeId> order;
+      for (NodeId v = 0; v < n; ++v) {
+        if (ds[v] != kUnreachable) order.push_back(v);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](NodeId a, NodeId b) { return ds[a] < ds[b]; });
+      for (NodeId v : order) {
+        for (ChannelId c : net.out(v)) {
+          const NodeId w = net.dst(c);
+          if (ds[w] == ds[v] + 1) sigma[w] += sigma[v];
+        }
+      }
+      std::vector<double> sigma_t(n, 0.0);
+      sigma_t[t] = 1.0;
+      std::sort(order.begin(), order.end(),
+                [&](NodeId a, NodeId b) { return dt[a] < dt[b]; });
+      for (NodeId v : order) {
+        for (ChannelId c : net.out(v)) {
+          const NodeId w = net.dst(c);
+          if (dt[w] == dt[v] + 1) sigma_t[w] += sigma_t[v];
+        }
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (ds[v] + dt[v] == ds[t]) {
+          cb[v] += sigma[v] * sigma_t[v] / sigma[t];
+        }
+      }
+    }
+  }
+  return cb;
+}
+
+TEST(Betweenness, MatchesBruteForceOnPaperRing) {
+  Network net = make_paper_ring();
+  const auto fast = betweenness_centrality(net);
+  const auto brute = brute_betweenness(net);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_NEAR(fast[v], brute[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(Betweenness, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    Network net;
+    const std::uint32_t n = 8 + trial;
+    for (std::uint32_t i = 0; i < n; ++i) net.add_switch();
+    for (std::uint32_t i = 1; i < n; ++i) {
+      net.add_link(i, static_cast<NodeId>(rng.next_below(i)));
+    }
+    for (int e = 0; e < 6; ++e) {
+      const auto a = static_cast<NodeId>(rng.next_below(n));
+      const auto b = static_cast<NodeId>(rng.next_below(n));
+      if (a != b) net.add_link(a, b);
+    }
+    const auto fast = betweenness_centrality(net);
+    const auto brute = brute_betweenness(net);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_NEAR(fast[v], brute[v], 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Betweenness, CenterOfLineDominates) {
+  Network net = make_line(5, 0);
+  const auto cb = betweenness_centrality(net);
+  for (NodeId v = 0; v < 5; ++v) {
+    if (v != 2) {
+      EXPECT_GT(cb[2], cb[v]);
+    }
+  }
+}
+
+TEST(Betweenness, MaskRestrictsSubgraph) {
+  Network net = make_line(5, 0);
+  std::vector<std::uint8_t> mask(net.num_nodes(), 0);
+  mask[0] = mask[1] = mask[2] = 1;
+  const auto cb = betweenness_centrality(net, mask);
+  EXPECT_GT(cb[1], 0.0);
+  EXPECT_EQ(cb[3], 0.0);
+  EXPECT_EQ(cb[4], 0.0);
+}
+
+TEST(ConvexSubgraph, LineSegmentBetweenDests) {
+  Network net = make_line(6, 0);
+  const auto hull = convex_subgraph(net, {1, 4});
+  EXPECT_FALSE(hull[0]);
+  EXPECT_TRUE(hull[1]);
+  EXPECT_TRUE(hull[2]);
+  EXPECT_TRUE(hull[3]);
+  EXPECT_TRUE(hull[4]);
+  EXPECT_FALSE(hull[5]);
+}
+
+TEST(ConvexSubgraph, IncludesAllShortestPathBranches) {
+  // 4-ring: two shortest paths between opposite corners.
+  Network net = make_ring(4, 0);
+  const auto hull = convex_subgraph(net, {0, 2});
+  EXPECT_TRUE(hull[0]);
+  EXPECT_TRUE(hull[1]);
+  EXPECT_TRUE(hull[2]);
+  EXPECT_TRUE(hull[3]);
+}
+
+TEST(ConvexSubgraph, PaperExampleSubsetN1N2N3) {
+  // Fig. 5: destinations {n1, n2, n3} = ids {0, 1, 2}. The convex hull is
+  // just the chain n1-n2-n3; n4 and n5 lie on no shortest path between
+  // destination pairs (n1-n3 via n2 has length 2; via n5 it is 2 as well:
+  // n1-n5-n3 uses the shortcut!). So n5 is included, n4 is not.
+  Network net = make_paper_ring();
+  const auto hull = convex_subgraph(net, {0, 1, 2});
+  EXPECT_TRUE(hull[0]);
+  EXPECT_TRUE(hull[1]);
+  EXPECT_TRUE(hull[2]);
+  EXPECT_FALSE(hull[3]);  // n4
+  EXPECT_TRUE(hull[4]);   // n5 (on n1-n5-n3, also length 2)
+}
+
+}  // namespace
+}  // namespace nue

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+
+#include "heap/dary_heap.hpp"
+#include "heap/fibonacci_heap.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+template <typename T>
+class AddressableHeapTest : public ::testing::Test {};
+
+using HeapTypes = ::testing::Types<FibonacciHeap<double>, DaryHeap<double>>;
+TYPED_TEST_SUITE(AddressableHeapTest, HeapTypes);
+
+TYPED_TEST(AddressableHeapTest, BasicOrdering) {
+  TypeParam h(16);
+  h.insert(3, 3.0);
+  h.insert(1, 1.0);
+  h.insert(2, 2.0);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.extract_min(), 1u);
+  EXPECT_EQ(h.extract_min(), 2u);
+  EXPECT_EQ(h.extract_min(), 3u);
+  EXPECT_TRUE(h.empty());
+}
+
+TYPED_TEST(AddressableHeapTest, DecreaseKeyReordersItems) {
+  TypeParam h(8);
+  for (std::uint32_t i = 0; i < 8; ++i) h.insert(i, 10.0 + i);
+  h.decrease_key(7, 1.0);
+  h.decrease_key(5, 0.5);
+  EXPECT_EQ(h.extract_min(), 5u);
+  EXPECT_EQ(h.extract_min(), 7u);
+  EXPECT_EQ(h.extract_min(), 0u);
+}
+
+TYPED_TEST(AddressableHeapTest, ContainsTracksMembership) {
+  TypeParam h(4);
+  EXPECT_FALSE(h.contains(2));
+  h.insert(2, 5.0);
+  EXPECT_TRUE(h.contains(2));
+  EXPECT_EQ(h.key(2), 5.0);
+  h.extract_min();
+  EXPECT_FALSE(h.contains(2));
+}
+
+TYPED_TEST(AddressableHeapTest, ReinsertAfterExtract) {
+  TypeParam h(4);
+  h.insert(0, 1.0);
+  EXPECT_EQ(h.extract_min(), 0u);
+  h.insert(0, 2.0);  // non-monotone reinsert (Nue shortcut path)
+  EXPECT_TRUE(h.contains(0));
+  EXPECT_EQ(h.extract_min(), 0u);
+}
+
+TYPED_TEST(AddressableHeapTest, InsertOrDecrease) {
+  TypeParam h(4);
+  EXPECT_TRUE(h.insert_or_decrease(1, 5.0));
+  EXPECT_FALSE(h.insert_or_decrease(1, 9.0));  // larger: no change
+  EXPECT_EQ(h.key(1), 5.0);
+  EXPECT_TRUE(h.insert_or_decrease(1, 2.0));
+  EXPECT_EQ(h.key(1), 2.0);
+}
+
+TYPED_TEST(AddressableHeapTest, DuplicateInsertThrows) {
+  TypeParam h(4);
+  h.insert(1, 1.0);
+  EXPECT_THROW(h.insert(1, 2.0), std::logic_error);
+}
+
+TYPED_TEST(AddressableHeapTest, IncreaseViaDecreaseKeyThrows) {
+  TypeParam h(4);
+  h.insert(1, 1.0);
+  EXPECT_THROW(h.decrease_key(1, 5.0), std::logic_error);
+}
+
+TYPED_TEST(AddressableHeapTest, ClearEmptiesHeap) {
+  TypeParam h(8);
+  for (std::uint32_t i = 0; i < 8; ++i) h.insert(i, double(i));
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(3));
+  h.insert(3, 1.0);  // reusable after clear
+  EXPECT_EQ(h.extract_min(), 3u);
+}
+
+/// Randomized differential test against a reference model.
+TYPED_TEST(AddressableHeapTest, MatchesReferenceModelUnderRandomOps) {
+  constexpr std::uint32_t kIds = 200;
+  TypeParam h(kIds);
+  std::map<std::uint32_t, double> model;  // id -> key
+  Rng rng(1234);
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.next_below(10);
+    if (op < 4) {  // insert
+      const auto id = static_cast<std::uint32_t>(rng.next_below(kIds));
+      if (!model.count(id)) {
+        const double key = static_cast<double>(rng.next_below(100000));
+        h.insert(id, key);
+        model[id] = key;
+      }
+    } else if (op < 7) {  // decrease-key
+      if (model.empty()) continue;
+      auto it = model.begin();
+      std::advance(it, rng.next_below(model.size()));
+      const double nk = it->second * rng.next_double();
+      h.decrease_key(it->first, nk);
+      it->second = nk;
+    } else {  // extract-min
+      if (model.empty()) continue;
+      double best = model.begin()->second;
+      for (const auto& [id, k] : model) best = std::min(best, k);
+      const auto got = h.extract_min();
+      ASSERT_DOUBLE_EQ(model.at(got), best) << "step " << step;
+      model.erase(got);
+    }
+    ASSERT_EQ(h.size(), model.size());
+  }
+  // Drain fully in order.
+  double last = -1.0;
+  while (!h.empty()) {
+    const auto id = h.extract_min();
+    ASSERT_GE(model.at(id), last);
+    last = model.at(id);
+    model.erase(id);
+  }
+  EXPECT_TRUE(model.empty());
+}
+
+}  // namespace
+}  // namespace nue

@@ -1,0 +1,65 @@
+// Shared fixtures: small hand-built networks used across the test suite,
+// including the paper's running example (5-node ring with shortcut,
+// Fig. 2a) and the binary-tree impasse network (Fig. 7a).
+#pragma once
+
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace nue::test {
+
+/// Ring of n switches with one terminal each.
+inline Network make_ring(std::uint32_t n, std::uint32_t terminals = 1) {
+  Network net;
+  for (std::uint32_t i = 0; i < n; ++i) net.add_switch();
+  for (std::uint32_t i = 0; i < n; ++i) net.add_link(i, (i + 1) % n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t t = 0; t < terminals; ++t) {
+      const NodeId term = net.add_terminal();
+      net.add_link(term, i);
+    }
+  }
+  return net;
+}
+
+/// Path (line) of n switches with one terminal each.
+inline Network make_line(std::uint32_t n, std::uint32_t terminals = 1) {
+  Network net;
+  for (std::uint32_t i = 0; i < n; ++i) net.add_switch();
+  for (std::uint32_t i = 0; i + 1 < n; ++i) net.add_link(i, i + 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t t = 0; t < terminals; ++t) {
+      const NodeId term = net.add_terminal();
+      net.add_link(term, i);
+    }
+  }
+  return net;
+}
+
+/// The paper's Fig. 2a: 5-node ring n1..n5 with a shortcut n3–n5.
+/// Node ids: n1 = 0, ..., n5 = 4 (switch-only network).
+inline Network make_paper_ring() {
+  Network net;
+  for (int i = 0; i < 5; ++i) net.add_switch();
+  net.add_link(0, 1);  // n1 - n2
+  net.add_link(1, 2);  // n2 - n3
+  net.add_link(2, 3);  // n3 - n4
+  net.add_link(3, 4);  // n4 - n5
+  net.add_link(4, 0);  // n5 - n1
+  net.add_link(2, 4);  // n3 - n5 shortcut
+  return net;
+}
+
+/// Same topology with one terminal per switch (for routing tests that
+/// need terminal destinations).
+inline Network make_paper_ring_with_terminals() {
+  Network net = make_paper_ring();
+  for (NodeId sw = 0; sw < 5; ++sw) {
+    const NodeId t = net.add_terminal();
+    net.add_link(t, sw);
+  }
+  return net;
+}
+
+}  // namespace nue::test

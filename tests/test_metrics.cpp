@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+#include "routing/dfsssp.hpp"
+#include "test_helpers.hpp"
+
+namespace nue {
+namespace {
+
+using test::make_line;
+using test::make_ring;
+
+TEST(ForwardingIndex, MiddleLinkOfLineCarriesMost) {
+  Network net = make_line(4, 2);  // 8 terminals
+  const auto rr = route_minhop(net, net.terminals());
+  const auto gamma = edge_forwarding_index(net, rr);
+  // Channel (1 -> 2) carries all 4x4 = 16 left-to-right routes.
+  ChannelId mid = kInvalidChannel;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    if (net.src(c) == 1 && net.dst(c) == 2) mid = c;
+  }
+  ASSERT_NE(mid, kInvalidChannel);
+  EXPECT_EQ(gamma[mid], 16u);
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    EXPECT_LE(gamma[c], gamma[mid]);
+  }
+}
+
+TEST(ForwardingIndex, SummaryExcludesTerminalChannels) {
+  Network net = make_line(3, 3);
+  const auto rr = route_minhop(net, net.terminals());
+  const auto gamma = edge_forwarding_index(net, rr);
+  const auto sum = summarize_forwarding_index(net, gamma);
+  // 4 inter-switch channels only; each terminal channel carries 8 routes
+  // but must not enter the summary: max = 3*6 = 18 (edge to middle).
+  EXPECT_EQ(sum.max, 18.0);
+  EXPECT_EQ(sum.min, 18.0);
+  EXPECT_EQ(sum.sd, 0.0);
+}
+
+TEST(PathStats, MinhopMatchesBfsBound) {
+  Network net = make_ring(6, 2);
+  const auto rr = route_minhop(net, net.terminals());
+  const auto pl = path_length_stats(net, rr);
+  EXPECT_DOUBLE_EQ(pl.avg, pl.avg_shortest);
+  EXPECT_EQ(pl.max, pl.max_shortest);
+  EXPECT_GE(pl.max, 5u);  // 2 access hops + up to 3 ring hops
+}
+
+}  // namespace
+}  // namespace nue

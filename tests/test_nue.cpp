@@ -1,0 +1,250 @@
+// Property tests for Nue routing: validity (connected, destination-based,
+// cycle-free) and deadlock-freedom for every topology family, every VL
+// count 1..8, multiple seeds, and with every optimization toggled — the
+// paper's central claim is that Nue never fails regardless of k.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "metrics/metrics.hpp"
+#include "nue/nue_routing.hpp"
+#include "routing/validate.hpp"
+#include "test_helpers.hpp"
+#include "topology/faults.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+using test::make_paper_ring_with_terminals;
+using test::make_ring;
+
+void expect_valid_nue(const Network& net, std::uint32_t k,
+                      const NueOptions& base_opt = {},
+                      NueStats* stats_out = nullptr) {
+  NueOptions opt = base_opt;
+  opt.num_vls = k;
+  NueStats stats;
+  const auto rr = route_nue(net, net.terminals(), opt, &stats);
+  EXPECT_EQ(rr.num_vls(), k);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << "k=" << k << ": " << rep.detail;
+  if (stats_out) *stats_out = stats;
+}
+
+TEST(Nue, SingleVlOnRing) {
+  // k = 1 is the hard case no other VL-based routing supports.
+  expect_valid_nue(make_ring(8), 1);
+}
+
+TEST(Nue, PaperRingAllVlCounts) {
+  Network net = make_paper_ring_with_terminals();
+  for (std::uint32_t k = 1; k <= 4; ++k) expect_valid_nue(net, k);
+}
+
+TEST(Nue, TorusAllVlCounts) {
+  TorusSpec spec{{4, 4, 3}, 2, 1};
+  Network net = make_torus(spec);
+  for (std::uint32_t k = 1; k <= 8; ++k) expect_valid_nue(net, k);
+}
+
+TEST(Nue, Fig1FaultyTorus) {
+  // The exact Fig. 1 network: 4x4x3, 4 terminals/switch, 1 dead switch.
+  TorusSpec spec{{4, 4, 3}, 4, 1};
+  Network net = make_torus(spec);
+  Rng rng(2016);
+  ASSERT_EQ(inject_switch_failures(net, 1, rng), 1u);
+  for (std::uint32_t k = 1; k <= 4; ++k) expect_valid_nue(net, k);
+}
+
+TEST(Nue, RandomTopologiesManySeeds) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed);
+    RandomSpec spec{25, 70, 3};
+    Network net = make_random(spec, rng);
+    for (std::uint32_t k : {1u, 2u, 4u}) {
+      NueOptions opt;
+      opt.seed = seed;
+      expect_valid_nue(net, k, opt);
+    }
+  }
+}
+
+TEST(Nue, KautzAndDragonfly) {
+  {
+    KautzSpec spec{3, 2, 2, 1};
+    Network net = make_kautz(spec);
+    for (std::uint32_t k : {1u, 3u}) expect_valid_nue(net, k);
+  }
+  {
+    DragonflySpec spec{4, 2, 2, 5};
+    Network net = make_dragonfly(spec);
+    for (std::uint32_t k : {1u, 3u}) expect_valid_nue(net, k);
+  }
+}
+
+TEST(Nue, FatTree) {
+  FatTreeSpec spec{4, 2, 4, 0};
+  Network net = make_kary_ntree(spec);
+  for (std::uint32_t k : {1u, 2u}) expect_valid_nue(net, k);
+}
+
+TEST(Nue, FaultyTorusSweep) {
+  // The Fig. 11 scenario in miniature: tori with injected link failures
+  // must always be routable regardless of k (100% applicability).
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    TorusSpec spec{{4, 4, 4}, 2, 1};
+    Network net = make_torus(spec);
+    Rng rng(seed);
+    inject_link_failures(net, 4, rng);
+    for (std::uint32_t k : {1u, 8u}) {
+      NueOptions opt;
+      opt.seed = seed;
+      expect_valid_nue(net, k, opt);
+    }
+  }
+}
+
+TEST(Nue, AllPartitionStrategiesValid) {
+  TorusSpec spec{{4, 4}, 3, 1};
+  Network net = make_torus(spec);
+  for (auto strategy :
+       {PartitionStrategy::kKway, PartitionStrategy::kRandom,
+        PartitionStrategy::kClustered}) {
+    NueOptions opt;
+    opt.partition = strategy;
+    expect_valid_nue(net, 4, opt);
+  }
+}
+
+TEST(Nue, AblationsStayCorrect) {
+  // Disabling the optimizations must never break correctness — only
+  // increase fallbacks / path lengths.
+  Rng rng(7);
+  RandomSpec spec{20, 55, 3};
+  Network net = make_random(spec, rng);
+  {
+    NueOptions opt;
+    opt.backtracking = false;
+    expect_valid_nue(net, 1, opt);
+    expect_valid_nue(net, 4, opt);
+  }
+  {
+    NueOptions opt;
+    opt.shortcuts = false;
+    expect_valid_nue(net, 1, opt);
+  }
+  {
+    NueOptions opt;
+    opt.central_root = false;
+    expect_valid_nue(net, 2, opt);
+  }
+}
+
+TEST(Nue, BacktrackingReducesFallbacks) {
+  // Aggregate over seeds: with local backtracking enabled, strictly fewer
+  // destinations should end on the escape paths.
+  std::size_t with_bt = 0, without_bt = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed + 100);
+    RandomSpec spec{25, 80, 3};
+    Network net = make_random(spec, rng);
+    NueStats s1, s2;
+    NueOptions o1;
+    o1.num_vls = 1;
+    route_nue(net, net.terminals(), o1, &s1);
+    NueOptions o2 = o1;
+    o2.backtracking = false;
+    route_nue(net, net.terminals(), o2, &s2);
+    with_bt += s1.fallbacks;
+    without_bt += s2.fallbacks;
+  }
+  EXPECT_LE(with_bt, without_bt);
+}
+
+TEST(Nue, MoreVlsImproveBalance) {
+  // Section 5.1's headline trend: with more virtual lanes the maximum edge
+  // forwarding index drops (or at least never grows much).
+  Rng rng(3);
+  RandomSpec spec{25, 80, 4};
+  Network net = make_random(spec, rng);
+  NueOptions o1;
+  o1.num_vls = 1;
+  const auto g1 = summarize_forwarding_index(
+      net, edge_forwarding_index(net, route_nue(net, net.terminals(), o1)));
+  NueOptions o8;
+  o8.num_vls = 8;
+  const auto g8 = summarize_forwarding_index(
+      net, edge_forwarding_index(net, route_nue(net, net.terminals(), o8)));
+  EXPECT_LT(g8.max, 1.3 * g1.max);
+}
+
+TEST(Nue, PathLengthsBoundedVsShortest) {
+  // Nue's routes may exceed shortest paths (escape detours) but must stay
+  // within a small factor on healthy topologies (§5.1: worst 7-10 vs 6).
+  TorusSpec spec{{4, 4, 3}, 2, 1};
+  Network net = make_torus(spec);
+  for (std::uint32_t k : {1u, 4u}) {
+    NueOptions opt;
+    opt.num_vls = k;
+    const auto rr = route_nue(net, net.terminals(), opt);
+    const auto pl = path_length_stats(net, rr);
+    EXPECT_LE(pl.avg, 2.0 * pl.avg_shortest) << "k=" << k;
+    EXPECT_LE(pl.max, pl.max_shortest + 6) << "k=" << k;
+  }
+}
+
+TEST(Nue, EscapeRootIsCentral) {
+  // On a line the convex hull's betweenness peak is the middle.
+  Network net = test::make_line(7, 1);
+  const NodeId root = select_escape_root(net, net.terminals());
+  EXPECT_EQ(root, 3u);
+}
+
+TEST(Nue, DestinationSubsetRouting) {
+  // Routing only a subset of terminals (the per-layer situation) works and
+  // routes from ALL nodes to those destinations.
+  Network net = make_ring(6);
+  std::vector<NodeId> dests{net.terminals()[0], net.terminals()[3]};
+  NueOptions opt;
+  const auto rr = route_nue(net, dests, opt);
+  for (NodeId d : dests) {
+    for (NodeId s : net.terminals()) {
+      if (s == d) continue;
+      EXPECT_NO_THROW(rr.trace(net, s, d));
+    }
+  }
+}
+
+TEST(Nue, StatsAreReported) {
+  TorusSpec spec{{4, 4}, 2, 1};
+  Network net = make_torus(spec);
+  NueStats stats;
+  NueOptions opt;
+  opt.num_vls = 2;
+  route_nue(net, net.terminals(), opt, &stats);
+  EXPECT_EQ(stats.roots.size(), 2u);
+  EXPECT_GT(stats.fast_accepts + stats.cycle_searches, 0u);
+}
+
+TEST(Nue, DeterministicForFixedSeed) {
+  Rng rng(42);
+  RandomSpec spec{15, 40, 2};
+  Network net = make_random(spec, rng);
+  NueOptions opt;
+  opt.num_vls = 3;
+  opt.seed = 99;
+  const auto r1 = route_nue(net, net.terminals(), opt);
+  const auto r2 = route_nue(net, net.terminals(), opt);
+  for (std::size_t di = 0; di < r1.destinations().size(); ++di) {
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      ASSERT_EQ(r1.next(v, static_cast<std::uint32_t>(di)),
+                r2.next(v, static_cast<std::uint32_t>(di)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nue

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "partition/partition.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+void expect_valid_partition(const Network& net,
+                            const std::vector<NodeId>& dests,
+                            const std::vector<std::vector<NodeId>>& parts,
+                            std::uint32_t k) {
+  ASSERT_EQ(parts.size(), k);
+  std::set<NodeId> seen;
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    for (NodeId d : p) {
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate destination " << d;
+    }
+  }
+  EXPECT_EQ(total, dests.size());
+  for (NodeId d : dests) EXPECT_TRUE(seen.count(d));
+  (void)net;
+}
+
+class PartitionStrategyTest
+    : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(PartitionStrategyTest, CoversAllDestinationsDisjointly) {
+  TorusSpec spec{{4, 4, 3}, 4, 1};
+  Network net = make_torus(spec);
+  const auto dests = net.terminals();
+  for (std::uint32_t k : {1u, 2u, 3u, 8u}) {
+    Rng rng(42);
+    const auto parts =
+        partition_destinations(net, dests, k, GetParam(), rng);
+    expect_valid_partition(net, dests, parts, k);
+    for (const auto& p : parts) EXPECT_FALSE(p.empty());
+  }
+}
+
+TEST_P(PartitionStrategyTest, RoughBalance) {
+  Rng topo_rng(5);
+  RandomSpec rspec{30, 90, 4};
+  Network net = make_random(rspec, topo_rng);
+  const auto dests = net.terminals();
+  const std::uint32_t k = 4;
+  Rng rng(7);
+  const auto parts = partition_destinations(net, dests, k, GetParam(), rng);
+  const double target = static_cast<double>(dests.size()) / k;
+  for (const auto& p : parts) {
+    EXPECT_GT(static_cast<double>(p.size()), 0.25 * target);
+    EXPECT_LT(static_cast<double>(p.size()), 2.5 * target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PartitionStrategyTest,
+                         ::testing::Values(PartitionStrategy::kKway,
+                                           PartitionStrategy::kRandom,
+                                           PartitionStrategy::kClustered),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case PartitionStrategy::kKway:
+                               return "Kway";
+                             case PartitionStrategy::kRandom:
+                               return "Random";
+                             default:
+                               return "Clustered";
+                           }
+                         });
+
+TEST(Partition, SingleLayerIsIdentity) {
+  TorusSpec spec{{3, 3}, 2, 1};
+  Network net = make_torus(spec);
+  const auto dests = net.terminals();
+  Rng rng(1);
+  const auto parts = partition_destinations(net, dests, 1,
+                                            PartitionStrategy::kKway, rng);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], dests);
+}
+
+TEST(Partition, ClusteredKeepsSwitchGroupsTogether) {
+  TorusSpec spec{{4, 4}, 4, 1};
+  Network net = make_torus(spec);
+  const auto dests = net.terminals();
+  Rng rng(3);
+  const auto parts = partition_destinations(
+      net, dests, 4, PartitionStrategy::kClustered, rng);
+  // Every switch's terminals must land in one part.
+  std::vector<int> part_of(net.num_nodes(), -1);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (NodeId d : parts[p]) part_of[d] = static_cast<int>(p);
+  }
+  for (NodeId sw : net.switches()) {
+    int expected = -2;
+    for (ChannelId c : net.out(sw)) {
+      const NodeId nb = net.dst(c);
+      if (!net.is_terminal(nb)) continue;
+      if (expected == -2) expected = part_of[nb];
+      EXPECT_EQ(part_of[nb], expected) << "switch " << sw;
+    }
+  }
+}
+
+/// Edge cut of a switch partition (for quality comparison).
+std::size_t edge_cut(const Network& net,
+                     const std::vector<std::vector<NodeId>>& parts) {
+  std::vector<int> part_of(net.num_nodes(), -1);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (NodeId d : parts[p]) {
+      const NodeId sw = net.is_terminal(d) ? net.terminal_switch(d) : d;
+      part_of[sw] = static_cast<int>(p);
+    }
+  }
+  std::size_t cut = 0;
+  for (ChannelId c = 0; c < net.num_channels(); c += 2) {
+    if (!net.channel_alive(c)) continue;
+    const NodeId a = net.src(c), b = net.dst(c);
+    if (net.is_switch(a) && net.is_switch(b) && part_of[a] >= 0 &&
+        part_of[b] >= 0 && part_of[a] != part_of[b]) {
+      ++cut;
+    }
+  }
+  return cut;
+}
+
+TEST(Partition, KwayBeatsRandomOnStructuredTopology) {
+  // A torus has strong locality: multilevel k-way should produce a
+  // markedly smaller edge cut than random assignment (averaged to avoid
+  // seed luck).
+  TorusSpec spec{{6, 6}, 2, 1};
+  Network net = make_torus(spec);
+  const auto dests = net.terminals();
+  double kway_cut = 0.0, random_cut = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng r1(seed), r2(seed);
+    kway_cut += static_cast<double>(edge_cut(
+        net, partition_destinations(net, dests, 4, PartitionStrategy::kKway,
+                                    r1)));
+    random_cut += static_cast<double>(edge_cut(
+        net, partition_destinations(net, dests, 4,
+                                    PartitionStrategy::kRandom, r2)));
+  }
+  EXPECT_LT(kway_cut, 0.8 * random_cut);
+}
+
+TEST(Partition, MoreDestinationsThanPartsNeverYieldsEmptyPart) {
+  Rng topo_rng(11);
+  RandomSpec rspec{12, 20, 1};
+  Network net = make_random(rspec, topo_rng);
+  const auto dests = net.terminals();  // 12 dests
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    Rng rng(k);
+    const auto parts = partition_destinations(net, dests, k,
+                                              PartitionStrategy::kKway, rng);
+    for (const auto& p : parts) {
+      EXPECT_FALSE(p.empty()) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nue

@@ -1,0 +1,191 @@
+// Large parameterized property sweeps: every routing engine must uphold
+// its contract across topology families, VL budgets and seeds. These are
+// the "Nue never fails" (Lemmas 1-3) and Theorem-1 guarantees exercised at
+// breadth.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/lash.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+#include "topology/faults.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+enum class Family { kRandom, kTorus, kFatTree, kKautz, kDragonfly, kFaulty };
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kRandom: return "Random";
+    case Family::kTorus: return "Torus";
+    case Family::kFatTree: return "FatTree";
+    case Family::kKautz: return "Kautz";
+    case Family::kDragonfly: return "Dragonfly";
+    default: return "FaultyTorus";
+  }
+}
+
+Network build(Family f, std::uint64_t seed) {
+  switch (f) {
+    case Family::kRandom: {
+      Rng rng(seed);
+      RandomSpec spec{18, 50, 2};
+      return make_random(spec, rng);
+    }
+    case Family::kTorus: {
+      TorusSpec spec{{3, 3, 3}, 2, 1};
+      return make_torus(spec);
+    }
+    case Family::kFatTree: {
+      FatTreeSpec spec{3, 3, 3, 0};
+      return make_kary_ntree(spec);
+    }
+    case Family::kKautz: {
+      KautzSpec spec{3, 2, 2, 1};
+      return make_kautz(spec);
+    }
+    case Family::kDragonfly: {
+      DragonflySpec spec{4, 2, 2, 5};
+      return make_dragonfly(spec);
+    }
+    case Family::kFaulty: {
+      TorusSpec spec{{4, 4}, 2, 2};
+      Network net = make_torus(spec);
+      Rng rng(seed);
+      inject_link_failures(net, 3, rng);
+      return net;
+    }
+  }
+  NUE_CHECK(false);
+  return Network{};
+}
+
+// ---------------------------------------------------------------------------
+
+using NueSweepParam = std::tuple<Family, std::uint32_t /*k*/,
+                                 std::uint64_t /*seed*/>;
+
+class NueSweep : public ::testing::TestWithParam<NueSweepParam> {};
+
+TEST_P(NueSweep, AlwaysValidAndDeadlockFree) {
+  const auto [family, k, seed] = GetParam();
+  Network net = build(family, seed);
+  NueOptions opt;
+  opt.num_vls = k;
+  opt.seed = seed;
+  NueStats stats;
+  const auto rr = route_nue(net, net.terminals(), opt, &stats);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << family_name(family) << " k=" << k
+                        << " seed=" << seed << ": " << rep.detail;
+  // Every destination's VL respects the budget.
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    for (NodeId s : net.terminals()) {
+      EXPECT_LT(rr.vl(s, s, static_cast<std::uint32_t>(di)), k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NueSweep,
+    ::testing::Combine(::testing::Values(Family::kRandom, Family::kTorus,
+                                         Family::kFatTree, Family::kKautz,
+                                         Family::kDragonfly, Family::kFaulty),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const auto& info) {
+      return std::string(family_name(std::get<0>(info.param))) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+
+using BaselineParam = std::tuple<Family, std::uint64_t>;
+
+class UpDownSweep : public ::testing::TestWithParam<BaselineParam> {};
+
+TEST_P(UpDownSweep, ValidWithOneVl) {
+  const auto [family, seed] = GetParam();
+  Network net = build(family, seed);
+  const auto rr = route_updown(net, net.terminals());
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << family_name(family) << ": " << rep.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UpDownSweep,
+    ::testing::Combine(::testing::Values(Family::kRandom, Family::kTorus,
+                                         Family::kFatTree, Family::kKautz,
+                                         Family::kDragonfly, Family::kFaulty),
+                       ::testing::Values(1ull, 2ull, 3ull, 4ull)),
+    [](const auto& info) {
+      return std::string(family_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class DfssspSweep : public ::testing::TestWithParam<BaselineParam> {};
+
+TEST_P(DfssspSweep, ValidWithinReportedDemand) {
+  const auto [family, seed] = GetParam();
+  Network net = build(family, seed);
+  DfssspStats stats;
+  const auto rr = route_dfsssp(
+      net, net.terminals(), {.max_vls = 32, .allow_exceed = true}, &stats);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << family_name(family) << ": " << rep.detail;
+  EXPECT_GE(stats.vls_needed, 1u);
+  // Every path VL lies below the reported demand... after balancing the
+  // spread may use more layers, but never above the table size.
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    for (NodeId s : net.terminals()) {
+      EXPECT_LT(rr.vl(s, s, static_cast<std::uint32_t>(di)), rr.num_vls());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DfssspSweep,
+    ::testing::Combine(::testing::Values(Family::kRandom, Family::kTorus,
+                                         Family::kFatTree, Family::kKautz,
+                                         Family::kDragonfly, Family::kFaulty),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const auto& info) {
+      return std::string(family_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class LashSweep : public ::testing::TestWithParam<BaselineParam> {};
+
+TEST_P(LashSweep, ValidWithinReportedDemand) {
+  const auto [family, seed] = GetParam();
+  Network net = build(family, seed);
+  LashStats stats;
+  const auto rr = route_lash(net, net.terminals(),
+                             {.max_vls = 32, .allow_exceed = true}, &stats);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << family_name(family) << ": " << rep.detail;
+  EXPECT_GE(stats.vls_needed, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LashSweep,
+    ::testing::Combine(::testing::Values(Family::kRandom, Family::kTorus,
+                                         Family::kFatTree, Family::kKautz,
+                                         Family::kDragonfly, Family::kFaulty),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const auto& info) {
+      return std::string(family_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace nue

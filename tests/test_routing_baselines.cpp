@@ -1,0 +1,337 @@
+// Property tests for the baseline routing engines: every engine must
+// produce connected, destination-based, cycle-free and (where claimed)
+// deadlock-free tables on a spread of topologies.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "metrics/metrics.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/fattree_routing.hpp"
+#include "routing/lash.hpp"
+#include "routing/torus_qos.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+#include "test_helpers.hpp"
+#include "topology/faults.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+using test::make_paper_ring_with_terminals;
+using test::make_ring;
+
+TEST(MinHop, ShortestPathsButDeadlocksOnRing) {
+  Network net = make_ring(6);
+  const auto rr = route_minhop(net, net.terminals());
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.connected);
+  EXPECT_TRUE(rep.cycle_free);
+  EXPECT_FALSE(rep.deadlock_free);  // the ring CDG is cyclic
+  const auto pl = path_length_stats(net, rr);
+  EXPECT_DOUBLE_EQ(pl.avg, pl.avg_shortest);  // truly shortest paths
+}
+
+TEST(MinHop, BalancesOverParallelPaths) {
+  // 2x4 torus-ish mesh has path diversity; the balanced SSSP should not
+  // exceed ~2x the ideal max forwarding index.
+  TorusSpec spec{{4, 4}, 2, 1};
+  Network net = make_torus(spec);
+  const auto rr = route_minhop(net, net.terminals());
+  const auto gamma = edge_forwarding_index(net, rr);
+  const auto sum = summarize_forwarding_index(net, gamma);
+  EXPECT_GT(sum.min, 0.0);
+  EXPECT_LT(sum.max, 6.0 * sum.avg);
+}
+
+TEST(UpDown, ValidOnEveryTopologyFamily) {
+  std::vector<Network> nets;
+  nets.push_back(make_ring(8));
+  {
+    TorusSpec t{{4, 4, 3}, 2, 1};
+    nets.push_back(make_torus(t));
+  }
+  {
+    Rng rng(2);
+    RandomSpec r{30, 90, 3};
+    nets.push_back(make_random(r, rng));
+  }
+  {
+    KautzSpec k{3, 2, 2, 1};
+    nets.push_back(make_kautz(k));
+  }
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const auto& net = nets[i];
+    const auto rr = route_updown(net, net.terminals());
+    const auto rep = validate_routing(net, rr);
+    EXPECT_TRUE(rep.ok()) << "net " << i << ": " << rep.detail;
+    EXPECT_EQ(rr.num_vls(), 1u);  // Up*/Down* never needs extra VLs
+  }
+}
+
+TEST(UpDown, NoDownUpTurnOnAnyPath) {
+  Rng rng(5);
+  RandomSpec spec{20, 50, 2};
+  Network net = make_random(spec, rng);
+  const NodeId root = pseudo_center(net);
+  const auto level = bfs_distances(net, root);
+  const auto rr = route_updown(net, net.terminals(), {root});
+  auto is_up = [&](ChannelId c) {
+    const NodeId u = net.src(c), v = net.dst(c);
+    return level[v] < level[u] || (level[v] == level[u] && v < u);
+  };
+  for (NodeId d : net.terminals()) {
+    for (NodeId s : net.terminals()) {
+      if (s == d) continue;
+      bool went_down = false;
+      for (ChannelId c : rr.trace(net, s, d)) {
+        if (is_up(c)) {
+          EXPECT_FALSE(went_down)
+              << "down->up turn on " << s << "->" << d;
+        } else {
+          went_down = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(Dfsssp, DeadlockFreeOnTorusWithinVlBudget) {
+  TorusSpec spec{{4, 4, 3}, 2, 1};
+  Network net = make_torus(spec);
+  DfssspStats stats;
+  const auto rr = route_dfsssp(net, net.terminals(), {.max_vls = 8}, &stats);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << rep.detail;
+  EXPECT_GE(stats.vls_needed, 2u);  // a torus needs more than one layer
+  EXPECT_LE(stats.vls_needed, 8u);
+  // Shortest paths preserved (layering never lengthens routes).
+  const auto pl = path_length_stats(net, rr);
+  EXPECT_DOUBLE_EQ(pl.avg, pl.avg_shortest);
+}
+
+TEST(Dfsssp, RandomTopologiesNeedFewLayers) {
+  // Section 5.1: DFSSSP needs ~4-5 VLs on the 125-switch random
+  // topologies. On smaller random fabrics the demand is lower; we check
+  // the reporting machinery and deadlock-freedom across seeds.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(seed);
+    RandomSpec spec{25, 70, 2};
+    Network net = make_random(spec, rng);
+    DfssspStats stats;
+    const auto rr = route_dfsssp(net, net.terminals(),
+                                 {.max_vls = 8, .allow_exceed = true},
+                                 &stats);
+    const auto rep = validate_routing(net, rr);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.detail;
+    EXPECT_GE(stats.vls_needed, 1u);
+    EXPECT_LE(stats.vls_needed, 8u) << "seed " << seed;
+  }
+}
+
+TEST(Dfsssp, FailsLoudlyWhenVlBudgetTooSmall) {
+  TorusSpec spec{{4, 4, 4}, 2, 1};
+  Network net = make_torus(spec);
+  EXPECT_THROW(route_dfsssp(net, net.terminals(), {.max_vls = 1}),
+               RoutingFailure);
+}
+
+TEST(Lash, DeadlockFreeAndShortestOnTorus) {
+  TorusSpec spec{{3, 3, 3}, 2, 1};
+  Network net = make_torus(spec);
+  LashStats stats;
+  const auto rr = route_lash(net, net.terminals(), {.max_vls = 8}, &stats);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << rep.detail;
+  EXPECT_GE(stats.vls_needed, 2u);
+  EXPECT_LE(stats.vls_needed, 8u);
+  const auto pl = path_length_stats(net, rr);
+  EXPECT_DOUBLE_EQ(pl.avg, pl.avg_shortest);
+}
+
+TEST(Lash, UsesFewerLayersThanDfssspTypically) {
+  // The paper (5.1): LASH's VC requirement (2-4) is lower than DFSSSP's
+  // (4-5) on the random topologies. Verify the trend on a mid-size fabric.
+  Rng rng(9);
+  RandomSpec spec{40, 120, 2};
+  Network net = make_random(spec, rng);
+  DfssspStats ds;
+  LashStats ls;
+  route_dfsssp(net, net.terminals(), {.max_vls = 16, .allow_exceed = true},
+               &ds);
+  route_lash(net, net.terminals(), {.max_vls = 16, .allow_exceed = true},
+             &ls);
+  EXPECT_LE(ls.vls_needed, ds.vls_needed + 1);
+}
+
+TEST(TorusQos, HealthyTorusUsesTwoVls) {
+  TorusSpec spec{{4, 4, 3}, 2, 1};
+  Network net = make_torus(spec);
+  const auto rr = route_torus_qos(net, spec, net.terminals());
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << rep.detail;
+  EXPECT_EQ(rr.num_vls(), 2u);
+  const auto pl = path_length_stats(net, rr);
+  EXPECT_DOUBLE_EQ(pl.avg, pl.avg_shortest);  // DOR is minimal on a torus
+}
+
+TEST(TorusQos, SurvivesSingleSwitchFailure) {
+  TorusSpec spec{{4, 4, 3}, 4, 1};
+  Network net = make_torus(spec);
+  Rng rng(13);
+  ASSERT_EQ(inject_switch_failures(net, 1, rng), 1u);
+  const auto rr = route_torus_qos(net, spec, net.terminals());
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << rep.detail;
+}
+
+TEST(TorusQos, SurvivesSingleLinkFailurePerRing) {
+  TorusSpec spec{{5, 5}, 2, 1};
+  Network net = make_torus(spec);
+  // Break one link in one x-ring.
+  NodeId a = spec.switch_at({0, 0});
+  NodeId b = spec.switch_at({0, 1});
+  for (ChannelId c : net.out(a)) {
+    if (net.dst(c) == b) {
+      net.remove_link(c);
+      break;
+    }
+  }
+  const auto rr = route_torus_qos(net, spec, net.terminals());
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << rep.detail;
+}
+
+TEST(TorusQos, FailsOnTwoFailuresInOneRing) {
+  // Two dead switches in the same x-ring cut it in two: DOR cannot route
+  // within that ring anymore — the engine must refuse, like Torus-2QoS.
+  TorusSpec spec{{5, 4}, 1, 1};
+  Network net = make_torus(spec);
+  // Kill switches (1,0) and (3,0): the x-ring at y=0 is split.
+  for (auto coord : {std::vector<std::uint32_t>{1, 0}, {3, 0}}) {
+    const NodeId sw = spec.switch_at(coord);
+    std::vector<NodeId> orphans;
+    for (ChannelId c : net.out(sw)) {
+      if (net.is_terminal(net.dst(c))) orphans.push_back(net.dst(c));
+    }
+    net.remove_node(sw);
+    for (NodeId t : orphans) net.remove_node(t);
+  }
+  ASSERT_TRUE(is_connected(net));  // still connected via other rings
+  EXPECT_THROW(route_torus_qos(net, spec, net.terminals()),
+               RoutingFailure);
+}
+
+TEST(TorusQos, RedundantChannelsSpreadByDestination) {
+  TorusSpec spec{{4, 3}, 2, 4};  // r = 4 parallel links
+  Network net = make_torus(spec);
+  const auto rr = route_torus_qos(net, spec, net.terminals());
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << rep.detail;
+  // Different destinations should use different parallel channels: more
+  // distinct switch-to-switch channels must carry load than a redundancy-1
+  // torus even has.
+  const auto gamma = edge_forwarding_index(net, rr);
+  std::size_t loaded = 0;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    if (gamma[c] > 0 && net.is_switch(net.src(c)) &&
+        net.is_switch(net.dst(c))) {
+      ++loaded;
+    }
+  }
+  const std::size_t r1_channels = 2 * 2 * 12;  // 2 dims * 12 switches, duplex
+  EXPECT_GT(loaded, r1_channels);
+}
+
+TEST(FatTreeRouting, ValidAndMinimalOnKaryNtree) {
+  FatTreeSpec spec{4, 3, 4, 0};
+  Network net = make_kary_ntree(spec);
+  const auto rr = route_fattree(net, spec, net.terminals());
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << rep.detail;
+  EXPECT_EQ(rr.num_vls(), 1u);
+  const auto pl = path_length_stats(net, rr);
+  EXPECT_DOUBLE_EQ(pl.avg, pl.avg_shortest);
+}
+
+TEST(FatTreeRouting, SpreadsUpwardLoad) {
+  FatTreeSpec spec{4, 2, 4, 0};
+  Network net = make_kary_ntree(spec);
+  const auto rr = route_fattree(net, spec, net.terminals());
+  const auto gamma = edge_forwarding_index(net, rr);
+  const auto sum = summarize_forwarding_index(net, gamma);
+  EXPECT_GT(sum.min, 0.0);
+  EXPECT_LT(sum.max, 4.0 * sum.avg);
+}
+
+TEST(Baselines, PaperRingAllValid) {
+  Network net = make_paper_ring_with_terminals();
+  const auto dests = net.terminals();
+  {
+    const auto rep = validate_routing(net, route_updown(net, dests));
+    EXPECT_TRUE(rep.ok()) << "updown: " << rep.detail;
+  }
+  {
+    DfssspStats st;
+    const auto rep = validate_routing(
+        net, route_dfsssp(net, dests, {.max_vls = 4}, &st));
+    EXPECT_TRUE(rep.ok()) << "dfsssp: " << rep.detail;
+  }
+  {
+    const auto rep = validate_routing(net, route_lash(net, dests));
+    EXPECT_TRUE(rep.ok()) << "lash: " << rep.detail;
+  }
+}
+
+}  // namespace
+}  // namespace nue
+
+namespace nue {
+namespace updn_dfs {
+
+TEST(UpDownDfs, ValidAcrossTopologies) {
+  // The UD_DFS variant [28] must satisfy the same contract as classic
+  // Up*/Down*: valid, deadlock-free, one VL.
+  std::vector<Network> nets;
+  nets.push_back(nue::test::make_ring(8));
+  {
+    TorusSpec t{{4, 4}, 2, 1};
+    nets.push_back(make_torus(t));
+  }
+  {
+    Rng rng(8);
+    RandomSpec r{25, 70, 2};
+    nets.push_back(make_random(r, rng));
+  }
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    UpDownOptions opt;
+    opt.dfs_tree = true;
+    const auto rr = route_updown(nets[i], nets[i].terminals(), opt);
+    const auto rep = validate_routing(nets[i], rr);
+    EXPECT_TRUE(rep.ok()) << "net " << i << ": " << rep.detail;
+    EXPECT_EQ(rr.num_vls(), 1u);
+  }
+}
+
+TEST(UpDownDfs, DiffersFromBfsVariant) {
+  Rng rng(15);
+  RandomSpec spec{20, 60, 2};
+  Network net = make_random(spec, rng);
+  const NodeId root = pseudo_center(net);
+  const auto bfs = route_updown(net, net.terminals(), {root, false});
+  const auto dfs = route_updown(net, net.terminals(), {root, true});
+  bool any_difference = false;
+  for (std::size_t di = 0; di < bfs.destinations().size(); ++di) {
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      any_difference |= bfs.next(v, static_cast<std::uint32_t>(di)) !=
+                        dfs.next(v, static_cast<std::uint32_t>(di));
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace updn_dfs
+}  // namespace nue

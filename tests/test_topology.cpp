@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "topology/faults.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+/// Switch-to-switch duplex link count (what Table 1 reports as "Channels").
+std::size_t switch_links(const Network& net) {
+  std::size_t n = 0;
+  for (ChannelId c = 0; c < net.num_channels(); c += 2) {
+    if (net.channel_alive(c) && net.is_switch(net.src(c)) &&
+        net.is_switch(net.dst(c))) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Torus, Fig1Configuration) {
+  // 4x4x3 torus, 4 terminals per switch (Fig. 1's network, pre-failure).
+  TorusSpec spec{{4, 4, 3}, 4, 1};
+  Network net = make_torus(spec);
+  EXPECT_EQ(net.num_alive_switches(), 48u);
+  EXPECT_EQ(net.num_alive_terminals(), 192u);
+  EXPECT_TRUE(is_connected(net));
+  // 3D torus: 3 links per switch-dim, dims {4,4,3} all >= 3 -> 3*48 links.
+  EXPECT_EQ(switch_links(net), 3u * 48u);
+}
+
+TEST(Torus, Table1TorusWithRedundancy) {
+  TorusSpec spec{{6, 5, 5}, 7, 4};
+  Network net = make_torus(spec);
+  EXPECT_EQ(net.num_alive_switches(), 150u);
+  EXPECT_EQ(switch_links(net), 1800u);  // Table 1
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(Torus, DimensionOfSizeTwoGetsSingleLink) {
+  TorusSpec spec{{2, 2, 2}, 1, 1};
+  Network net = make_torus(spec);
+  EXPECT_EQ(net.num_alive_switches(), 8u);
+  EXPECT_EQ(switch_links(net), 12u);  // cube, no doubled wrap links
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(Torus, CoordinateRoundTrip) {
+  TorusSpec spec{{4, 4, 3}, 0, 1};
+  make_torus(spec);
+  for (NodeId sw = 0; sw < spec.num_switches(); ++sw) {
+    EXPECT_EQ(spec.switch_at(spec.coord_of(sw)), sw);
+  }
+}
+
+TEST(Torus, NeighborsDifferInOneCoordinate) {
+  TorusSpec spec{{3, 3, 3}, 0, 1};
+  Network net = make_torus(spec);
+  for (NodeId sw = 0; sw < spec.num_switches(); ++sw) {
+    const auto c = spec.coord_of(sw);
+    for (ChannelId ch : net.out(sw)) {
+      const auto d = spec.coord_of(net.dst(ch));
+      int diffs = 0;
+      for (std::size_t i = 0; i < 3; ++i) diffs += c[i] != d[i];
+      EXPECT_EQ(diffs, 1);
+    }
+  }
+}
+
+TEST(FatTree, Tenary3TreeMatchesTable1) {
+  FatTreeSpec spec{10, 3, 11, 0};
+  Network net = make_kary_ntree(spec);
+  EXPECT_EQ(net.num_alive_switches(), 300u);   // 3 * 10^2
+  EXPECT_EQ(net.num_alive_terminals(), 1100u);  // Table 1
+  EXPECT_EQ(switch_links(net), 2000u);          // Table 1
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(FatTree, SmallTreeStructure) {
+  FatTreeSpec spec{2, 3, 2, 0};
+  Network net = make_kary_ntree(spec);
+  EXPECT_EQ(net.num_alive_switches(), 12u);  // 3 levels * 4
+  EXPECT_TRUE(is_connected(net));
+  // Leaf switches carry terminals; top stage none.
+  for (NodeId t : net.terminals()) {
+    EXPECT_EQ(spec.level_of(net.terminal_switch(t)), spec.n - 1);
+  }
+}
+
+TEST(Kautz, MatchesTable1Counts) {
+  KautzSpec spec;  // d=5, k=3, 7 terminals, r=2
+  Network net = make_kautz(spec);
+  EXPECT_EQ(net.num_alive_switches(), 150u);
+  EXPECT_EQ(net.num_alive_terminals(), 1050u);
+  EXPECT_TRUE(is_connected(net));
+  // ~750 arcs deduplicated to undirected links, times redundancy 2.
+  EXPECT_NEAR(static_cast<double>(switch_links(net)), 1500.0, 30.0);
+}
+
+TEST(Dragonfly, MatchesTable1Counts) {
+  DragonflySpec spec;  // a=12, p=6, h=6, g=15
+  Network net = make_dragonfly(spec);
+  EXPECT_EQ(net.num_alive_switches(), 180u);
+  EXPECT_EQ(net.num_alive_terminals(), 1080u);
+  EXPECT_EQ(switch_links(net), 1515u);  // 990 local + 525 global
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(Dragonfly, GroupsAreFullyConnectedInternally) {
+  DragonflySpec spec{4, 1, 2, 3};
+  Network net = make_dragonfly(spec);
+  for (std::uint32_t g = 0; g < spec.g; ++g) {
+    for (std::uint32_t i = 0; i < spec.a; ++i) {
+      for (std::uint32_t j = i + 1; j < spec.a; ++j) {
+        const NodeId a = g * spec.a + i, b = g * spec.a + j;
+        bool linked = false;
+        for (ChannelId c : net.out(a)) linked |= net.dst(c) == b;
+        EXPECT_TRUE(linked) << "group " << g;
+      }
+    }
+  }
+}
+
+TEST(Cascade, MatchesTable1Counts) {
+  CascadeSpec spec;
+  Network net = make_cascade(spec);
+  EXPECT_EQ(net.num_alive_switches(), 192u);
+  EXPECT_EQ(net.num_alive_terminals(), 1536u);
+  EXPECT_EQ(switch_links(net), 3072u);  // 2*1440 intra + 192 global
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(Tsubame, ApproximatesTable1Counts) {
+  ClosSpec spec;
+  Network net = make_tsubame25_like(spec);
+  EXPECT_EQ(net.num_alive_switches(), 243u);
+  EXPECT_EQ(net.num_alive_terminals(), 1407u);
+  EXPECT_NEAR(static_cast<double>(switch_links(net)), 3384.0, 40.0);
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(RandomTopology, MatchesSection51Configuration) {
+  Rng rng(17);
+  RandomSpec spec;  // 125 switches, 1000 links, 8 terminals
+  Network net = make_random(spec, rng);
+  EXPECT_EQ(net.num_alive_switches(), 125u);
+  EXPECT_EQ(net.num_alive_terminals(), 1000u);
+  EXPECT_EQ(switch_links(net), 1000u);
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(RandomTopology, SeedDeterminism) {
+  RandomSpec spec{20, 60, 2};
+  Rng r1(5), r2(5);
+  Network a = make_random(spec, r1);
+  Network b = make_random(spec, r2);
+  ASSERT_EQ(a.num_channels(), b.num_channels());
+  for (ChannelId c = 0; c < a.num_channels(); ++c) {
+    EXPECT_EQ(a.src(c), b.src(c));
+    EXPECT_EQ(a.dst(c), b.dst(c));
+  }
+}
+
+TEST(RandomTopology, AlwaysConnectedAcrossSeeds) {
+  RandomSpec spec{30, 45, 1};
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    Network net = make_random(spec, rng);
+    EXPECT_TRUE(is_connected(net)) << "seed " << seed;
+  }
+}
+
+TEST(Faults, LinkFailuresKeepConnectivity) {
+  TorusSpec spec{{4, 4, 3}, 2, 1};
+  Network net = make_torus(spec);
+  Rng rng(3);
+  const std::size_t removed = inject_link_failures(net, 10, rng);
+  EXPECT_EQ(removed, 10u);
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(Faults, LinkFailuresNeverTouchTerminalLinks) {
+  TorusSpec spec{{3, 3, 3}, 2, 1};
+  Network net = make_torus(spec);
+  const std::size_t terminals = net.num_alive_terminals();
+  Rng rng(4);
+  inject_link_failures(net, 15, rng);
+  EXPECT_EQ(net.num_alive_terminals(), terminals);
+  for (NodeId t : net.terminals()) EXPECT_EQ(net.degree(t), 1u);
+}
+
+TEST(Faults, SwitchFailureRemovesOrphanedTerminals) {
+  TorusSpec spec{{4, 4, 3}, 4, 1};
+  Network net = make_torus(spec);
+  Rng rng(7);
+  const std::size_t removed = inject_switch_failures(net, 1, rng);
+  EXPECT_EQ(removed, 1u);
+  // Fig. 1's network: 47 switches and 188 terminals remain.
+  EXPECT_EQ(net.num_alive_switches(), 47u);
+  EXPECT_EQ(net.num_alive_terminals(), 188u);
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(Faults, RefusesToDisconnect) {
+  // A line: every interior link is a bridge, so no removal is safe.
+  Network net;
+  for (int i = 0; i < 4; ++i) net.add_switch();
+  for (int i = 0; i < 3; ++i) net.add_link(i, i + 1);
+  Rng rng(1);
+  EXPECT_EQ(inject_link_failures(net, 2, rng), 0u);
+  EXPECT_TRUE(is_connected(net));
+}
+
+}  // namespace
+}  // namespace nue
+
+namespace nue {
+namespace hyperx_tests {
+
+TEST(HyperX, StructureAndDegrees) {
+  HyperXSpec spec;
+  spec.shape = {3, 4};
+  spec.terminals_per_switch = 1;
+  Network net = make_hyperx(spec);
+  EXPECT_EQ(net.num_alive_switches(), 12u);
+  EXPECT_TRUE(is_connected(net));
+  // Each switch: (3-1) + (4-1) line neighbors + 1 terminal.
+  for (NodeId sw : net.switches()) {
+    EXPECT_EQ(net.degree(sw), 2u + 3u + 1u);
+  }
+}
+
+TEST(HyperX, DiameterEqualsDimensionCount) {
+  HyperXSpec spec;
+  spec.shape = {4, 4, 4};
+  spec.terminals_per_switch = 0;
+  Network net = make_hyperx(spec);
+  // One hop fixes a whole coordinate: diameter = #dims = 3.
+  const auto d = bfs_distances(net, 0);
+  std::uint32_t maxd = 0;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) maxd = std::max(maxd, d[v]);
+  EXPECT_EQ(maxd, 3u);
+}
+
+TEST(HyperX, HypercubeIsTwoAryHyperX) {
+  Network net = make_hypercube(4, 1);  // 4-cube
+  EXPECT_EQ(net.num_alive_switches(), 16u);
+  for (NodeId sw : net.switches()) {
+    EXPECT_EQ(net.degree(sw), 4u + 1u);  // 4 cube links + terminal
+  }
+  EXPECT_TRUE(is_connected(net));
+}
+
+TEST(HyperX, RedundancyMultipliesLinks) {
+  HyperXSpec one;
+  one.shape = {3, 3};
+  one.terminals_per_switch = 0;
+  HyperXSpec two = one;
+  two.redundancy = 2;
+  EXPECT_EQ(make_hyperx(two).num_channels(), 2 * make_hyperx(one).num_channels());
+}
+
+}  // namespace hyperx_tests
+}  // namespace nue

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nue/nue_routing.hpp"
+#include "sim/traffic.hpp"
+#include "test_helpers.hpp"
+#include "topology/torus.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+using test::make_ring;
+
+TEST(Traffic, NeighborPattern) {
+  Network net = make_ring(4, 2);  // 8 terminals
+  const auto msgs = pattern_messages(net, TrafficPattern::kNeighbor, 256);
+  ASSERT_EQ(msgs.size(), 8u);
+  const auto terminals = net.terminals();
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(msgs[i].src, terminals[i]);
+    EXPECT_EQ(msgs[i].dst, terminals[(i + 1) % 8]);
+  }
+}
+
+TEST(Traffic, BitComplementIsAnInvolutionOnPow2) {
+  Network net = make_ring(8, 2);  // 16 terminals (power of two)
+  const auto msgs =
+      pattern_messages(net, TrafficPattern::kBitComplement, 256);
+  EXPECT_EQ(msgs.size(), 16u);
+  // Every terminal appears exactly once as src and once as dst.
+  std::set<NodeId> srcs, dsts;
+  for (const auto& m : msgs) {
+    EXPECT_TRUE(srcs.insert(m.src).second);
+    EXPECT_TRUE(dsts.insert(m.dst).second);
+  }
+}
+
+TEST(Traffic, TornadoOffset) {
+  Network net = make_ring(10, 1);  // 10 terminals
+  const auto msgs = pattern_messages(net, TrafficPattern::kTornado, 256);
+  const auto terminals = net.terminals();
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(msgs[i].dst, terminals[(i + 4) % 10]);  // T/2 - 1 = 4
+  }
+}
+
+TEST(Traffic, ReversePatternBijectiveOnPow2) {
+  Network net = make_ring(8, 2);  // 16 terminals
+  const auto msgs = pattern_messages(net, TrafficPattern::kReverse, 128);
+  std::set<NodeId> dsts;
+  for (const auto& m : msgs) dsts.insert(m.dst);
+  // Bit reversal is a bijection; self-targets (palindromes) are dropped.
+  EXPECT_EQ(dsts.size(), msgs.size());
+}
+
+TEST(Traffic, RepetitionsMultiplyMessageCount) {
+  Network net = make_ring(4, 1);
+  const auto one = pattern_messages(net, TrafficPattern::kNeighbor, 64, 1);
+  const auto three = pattern_messages(net, TrafficPattern::kNeighbor, 64, 3);
+  EXPECT_EQ(three.size(), 3 * one.size());
+}
+
+TEST(Traffic, HotspotConcentratesOnHotTerminal) {
+  Network net = make_ring(6, 2);
+  Rng rng(5);
+  const auto msgs = hotspot_messages(net, 2000, 64, 0.5, 0, rng);
+  const NodeId hot = net.terminals()[0];
+  std::size_t to_hot = 0;
+  for (const auto& m : msgs) to_hot += m.dst == hot;
+  // ~50% redirected + ~1/12 uniform: expect far above uniform share.
+  EXPECT_GT(to_hot, msgs.size() / 3);
+  EXPECT_LT(to_hot, 2 * msgs.size() / 3);
+}
+
+TEST(Traffic, PatternsSimulateToCompletion) {
+  TorusSpec spec{{3, 3}, 2, 1};
+  Network net = make_torus(spec);
+  NueOptions opt;
+  opt.num_vls = 2;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  SimConfig cfg;
+  cfg.deadlock_cycles = 5000;
+  for (auto p : {TrafficPattern::kBitComplement, TrafficPattern::kTranspose,
+                 TrafficPattern::kTornado, TrafficPattern::kNeighbor,
+                 TrafficPattern::kReverse}) {
+    const auto msgs = pattern_messages(net, p, 1024);
+    const auto res = simulate(net, rr, msgs, cfg);
+    EXPECT_TRUE(res.completed) << "pattern " << static_cast<int>(p);
+    EXPECT_GT(res.avg_packet_latency, 0.0);
+    EXPECT_GE(res.max_packet_latency,
+              static_cast<std::uint64_t>(res.avg_packet_latency));
+  }
+}
+
+TEST(Traffic, LatencyStatsOrdering) {
+  Network net = make_ring(6, 2);
+  NueOptions opt;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  const auto msgs = alltoall_shift_messages(net, 2048);
+  const auto res = simulate(net, rr, msgs, SimConfig{});
+  ASSERT_TRUE(res.completed);
+  EXPECT_LE(res.avg_packet_latency,
+            static_cast<double>(res.max_packet_latency));
+  EXPECT_LE(res.p99_packet_latency,
+            static_cast<double>(res.max_packet_latency));
+  EXPECT_GE(res.p99_packet_latency, res.avg_packet_latency * 0.5);
+}
+
+TEST(Traffic, MtuSegmentationDeliversLargeMessages) {
+  Network net = make_ring(4, 1);
+  NueOptions opt;
+  const auto rr = route_nue(net, net.terminals(), opt);
+  SimConfig cfg;
+  cfg.mtu_bytes = 512;
+  const std::vector<Message> msgs{
+      {net.terminals()[0], net.terminals()[2], 4096}};
+  const auto res = simulate(net, rr, msgs, cfg);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.delivered_packets, 8u);  // 4096 / 512
+  EXPECT_EQ(res.delivered_bytes, 4096u);
+}
+
+}  // namespace
+}  // namespace nue

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "routing/routing.hpp"
+#include "routing/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace nue {
+namespace {
+
+using test::make_line;
+using test::make_ring;
+
+ChannelId chan(const Network& net, NodeId a, NodeId b) {
+  for (ChannelId c : net.out(a)) {
+    if (net.dst(c) == b) return c;
+  }
+  ADD_FAILURE() << "no channel " << a << "->" << b;
+  return kInvalidChannel;
+}
+
+TEST(IsAcyclic, Basics) {
+  EXPECT_TRUE(is_acyclic({}));
+  EXPECT_TRUE(is_acyclic({{1}, {2}, {}}));
+  EXPECT_FALSE(is_acyclic({{1}, {2}, {0}}));
+  EXPECT_FALSE(is_acyclic({{0}}));  // self loop
+  EXPECT_TRUE(is_acyclic({{1, 2}, {3}, {3}, {}}));  // diamond
+}
+
+/// Hand-build a routing on a 3-switch line (terminals 3,4,5 on switches
+/// 0,1,2) that routes everything along the line.
+RoutingResult line_routing(const Network& net) {
+  std::vector<NodeId> dests = net.terminals();
+  RoutingResult rr(net.num_nodes(), dests, 1, VlMode::kPerDest);
+  for (std::size_t di = 0; di < dests.size(); ++di) {
+    const NodeId d = dests[di];
+    const NodeId dsw = net.terminal_switch(d);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v == d) continue;
+      if (net.is_terminal(v)) {
+        rr.set_next(v, di, net.out(v)[0]);
+      } else if (v == dsw) {
+        rr.set_next(v, di, chan(net, v, d));
+      } else {
+        const NodeId toward = v < dsw ? v + 1 : v - 1;
+        rr.set_next(v, di, chan(net, v, toward));
+      }
+    }
+  }
+  return rr;
+}
+
+TEST(Validate, AcceptsCorrectLineRouting) {
+  Network net = make_line(3);
+  const auto rr = line_routing(net);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.ok()) << rep.detail;
+  EXPECT_TRUE(rep.connected);
+  EXPECT_TRUE(rep.deadlock_free);
+  EXPECT_EQ(rep.num_paths, 6u);  // 3 terminals * 2 peers
+  EXPECT_EQ(rep.max_path_length, 4u);
+}
+
+TEST(Validate, DetectsHole) {
+  Network net = make_line(3);
+  auto rr = line_routing(net);
+  rr.set_next(1, 0, kInvalidChannel);  // punch a hole
+  const auto rep = validate_routing(net, rr);
+  EXPECT_FALSE(rep.connected);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Validate, DetectsForwardingLoop) {
+  Network net = make_line(3);
+  auto rr = line_routing(net);
+  // Destination terminal of switch 2; make switches 0 and 1 ping-pong.
+  const std::uint32_t di = rr.dest_index(net.terminals()[2]);
+  rr.set_next(0, di, chan(net, 0, 1));
+  rr.set_next(1, di, chan(net, 1, 0));
+  const auto rep = validate_routing(net, rr);
+  EXPECT_FALSE(rep.connected);  // the walk never completes
+}
+
+TEST(Validate, DetectsCyclicCdgOnRing) {
+  // Clockwise-only routing on a 4-ring: connected & cycle-free paths but
+  // the CDG is the full directed ring -> not deadlock-free (Theorem 1).
+  Network net = make_ring(4);
+  std::vector<NodeId> dests = net.terminals();
+  RoutingResult rr(net.num_nodes(), dests, 1, VlMode::kPerDest);
+  for (std::size_t di = 0; di < dests.size(); ++di) {
+    const NodeId d = dests[di];
+    const NodeId dsw = net.terminal_switch(d);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v == d) continue;
+      if (net.is_terminal(v)) {
+        rr.set_next(v, di, net.out(v)[0]);
+      } else if (v == dsw) {
+        rr.set_next(v, di, chan(net, v, d));
+      } else {
+        rr.set_next(v, di, chan(net, v, (v + 1) % 4));  // always clockwise
+      }
+    }
+  }
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.connected);
+  EXPECT_TRUE(rep.cycle_free);
+  EXPECT_FALSE(rep.deadlock_free);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Validate, VlSplitBreaksRingCycle) {
+  // Same clockwise ring, but odd destinations use VL 1: each VL's CDG is
+  // only half the dependencies... still cyclic per VL unless the split is
+  // chosen well. Use the dateline rule instead: paths crossing edge 3->0
+  // get VL 1 — we emulate with per-hop VLs and expect acyclicity.
+  Network net = make_ring(4);
+  std::vector<NodeId> dests = net.terminals();
+  RoutingResult rr(net.num_nodes(), dests, 2, VlMode::kPerHop);
+  for (std::size_t di = 0; di < dests.size(); ++di) {
+    const NodeId d = dests[di];
+    const NodeId dsw = net.terminal_switch(d);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v == d) continue;
+      if (net.is_terminal(v)) {
+        rr.set_next(v, di, net.out(v)[0]);
+        rr.set_hop_vl(v, di, 0);
+      } else if (v == dsw) {
+        rr.set_next(v, di, chan(net, v, d));
+        rr.set_hop_vl(v, di, 0);
+      } else {
+        rr.set_next(v, di, chan(net, v, (v + 1) % 4));
+        // Remaining clockwise path v -> dsw crosses boundary 3->0 iff
+        // v > dsw; VL0 before crossing, VL1 after.
+        rr.set_hop_vl(v, di, v > dsw ? 0 : 1);
+      }
+    }
+  }
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.connected);
+  EXPECT_TRUE(rep.deadlock_free) << rep.detail;
+}
+
+TEST(Validate, ReportsVlOutOfRange) {
+  Network net = make_line(3);
+  auto rr = line_routing(net);
+  // num_vls is 1; force an out-of-range VL via dest_vl.
+  rr.set_dest_vl(0, 3);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_FALSE(rep.vl_in_range);
+}
+
+TEST(InducedCdg, LineHasChainDependencies) {
+  Network net = make_line(3);
+  const auto rr = line_routing(net);
+  const auto adj = induced_cdg(net, rr, net.terminals());
+  EXPECT_TRUE(is_acyclic(adj));
+  std::size_t edges = 0;
+  for (const auto& a : adj) edges += a.size();
+  EXPECT_GT(edges, 0u);
+}
+
+}  // namespace
+}  // namespace nue

@@ -1,0 +1,285 @@
+// nue_route — command-line routing tool (the repo's "OpenSM stand-in"):
+// load or generate a fabric, optionally degrade it, run a routing engine,
+// validate deadlock-freedom, dump tables/CDG/fabric, and optionally push
+// an all-to-all exchange through the flit simulator.
+//
+// Examples:
+//   nue_route --generate torus:4x4x3:4 --fail-switches 1 --routing nue --vls 4
+//   nue_route --topology fabric.txt --routing dfsssp --dump-tables tables.txt
+//   nue_route --generate random:125:1000:8 --routing nue --vls 2 --simulate
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "metrics/metrics.hpp"
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/dump.hpp"
+#include "routing/ib_tables.hpp"
+#include "routing/fattree_routing.hpp"
+#include "routing/lash.hpp"
+#include "routing/torus_qos.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+#include "sim/flit_sim.hpp"
+#include "topology/fabric_io.hpp"
+#include "topology/faults.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/flags.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace nue;
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, sep)) out.push_back(item);
+  return out;
+}
+
+std::uint32_t to_u32(const std::string& s, const char* what) {
+  NUE_CHECK_MSG(!s.empty(), "missing " << what);
+  return static_cast<std::uint32_t>(std::strtoul(s.c_str(), nullptr, 10));
+}
+
+struct GeneratedTopology {
+  Network net;
+  std::optional<TorusSpec> torus;
+  std::optional<FatTreeSpec> fattree;
+};
+
+GeneratedTopology generate(const std::string& spec) {
+  GeneratedTopology g;
+  const auto parts = split(spec, ':');
+  NUE_CHECK_MSG(!parts.empty(), "empty --generate spec");
+  const std::string& kind = parts[0];
+  auto arg = [&](std::size_t i, std::uint32_t def) {
+    return parts.size() > i ? to_u32(parts[i], "generate argument") : def;
+  };
+  if (kind == "torus") {
+    NUE_CHECK_MSG(parts.size() >= 2, "torus needs dims, e.g. torus:4x4x3");
+    TorusSpec t;
+    for (const auto& d : split(parts[1], 'x')) {
+      t.dims.push_back(to_u32(d, "torus dimension"));
+    }
+    t.terminals_per_switch = arg(2, 1);
+    t.redundancy = arg(3, 1);
+    g.net = make_torus(t);
+    g.torus = t;
+  } else if (kind == "random") {
+    RandomSpec r;
+    r.switches = arg(1, 125);
+    r.links = arg(2, 1000);
+    r.terminals_per_switch = arg(3, 8);
+    Rng rng(arg(4, 1));
+    g.net = make_random(r, rng);
+  } else if (kind == "fattree") {
+    FatTreeSpec f;
+    f.k = arg(1, 4);
+    f.n = arg(2, 3);
+    f.terminals_per_leaf = arg(3, f.k);
+    g.net = make_kary_ntree(f);
+    g.fattree = f;
+  } else if (kind == "kautz") {
+    KautzSpec k;
+    k.d = arg(1, 5);
+    k.k = arg(2, 3);
+    k.terminals_per_switch = arg(3, 7);
+    k.redundancy = arg(4, 2);
+    g.net = make_kautz(k);
+  } else if (kind == "dragonfly") {
+    DragonflySpec d;
+    d.a = arg(1, 12);
+    d.p = arg(2, 6);
+    d.h = arg(3, 6);
+    d.g = arg(4, 15);
+    g.net = make_dragonfly(d);
+  } else if (kind == "hyperx") {
+    HyperXSpec h;
+    h.shape.clear();
+    NUE_CHECK_MSG(parts.size() >= 2, "hyperx needs a shape, e.g. hyperx:4x4");
+    for (const auto& d : split(parts[1], 'x')) {
+      h.shape.push_back(to_u32(d, "hyperx dimension"));
+    }
+    h.terminals_per_switch = arg(2, 2);
+    g.net = make_hyperx(h);
+  } else if (kind == "hypercube") {
+    g.net = make_hypercube(arg(1, 4), arg(2, 1));
+  } else if (kind == "cascade") {
+    CascadeSpec c;
+    g.net = make_cascade(c);
+  } else if (kind == "tsubame") {
+    ClosSpec c;
+    g.net = make_tsubame25_like(c);
+  } else {
+    NUE_CHECK_MSG(false, "unknown topology kind '" << kind << "'");
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nue;
+  Flags flags(argc, argv);
+  const std::string topo_file =
+      flags.get_string("topology", "", "fabric file to load");
+  const std::string gen =
+      flags.get_string("generate", "", "generator spec, e.g. torus:4x4x3:4");
+  const auto fail_links = static_cast<std::size_t>(
+      flags.get_int("fail-links", 0, "random link failures to inject"));
+  const auto fail_switches = static_cast<std::size_t>(
+      flags.get_int("fail-switches", 0, "random switch failures to inject"));
+  const auto fault_seed = static_cast<std::uint64_t>(
+      flags.get_int("fault-seed", 1, "failure-injection seed"));
+  const std::string engine = flags.get_string(
+      "routing", "nue", "nue|dfsssp|lash|updown|minhop|torus-qos|fattree");
+  const auto vls = static_cast<std::uint32_t>(
+      flags.get_int("vls", 1, "virtual lanes for deadlock freedom"));
+  const std::string dump_tables =
+      flags.get_string("dump-tables", "", "write forwarding tables ('-' = stdout)");
+  const std::string dump_cdg =
+      flags.get_string("dump-cdg", "", "write induced CDG as GraphViz dot");
+  const std::string dump_fabric =
+      flags.get_string("dump-fabric", "", "write the (degraded) fabric");
+  const std::string save_routing =
+      flags.get_string("save-routing", "", "serialize the routing tables");
+  const bool compile_ib = flags.get_bool(
+      "compile-ib", false,
+      "compile LFT/SL/SL2VL state and cross-check it against the routing");
+  const bool do_sim =
+      flags.get_bool("simulate", false, "run an all-to-all flit simulation");
+  const auto msg_bytes = static_cast<std::uint32_t>(
+      flags.get_int("message-bytes", 2048, "simulated message size"));
+  const auto shifts = static_cast<std::uint32_t>(flags.get_int(
+      "shift-samples", 8, "all-to-all shift phases to simulate (0 = all)"));
+  if (!flags.finish()) return 1;
+
+  try {
+    // --- fabric -------------------------------------------------------------
+    GeneratedTopology topo;
+    if (!topo_file.empty()) {
+      topo.net = load_fabric_file(topo_file);
+    } else if (!gen.empty()) {
+      topo = generate(gen);
+    } else {
+      std::cerr << "need --topology FILE or --generate SPEC (see --help)\n";
+      return 1;
+    }
+    Network& net = topo.net;
+    Rng fault_rng(fault_seed);
+    if (fail_switches > 0) {
+      inject_switch_failures(net, fail_switches, fault_rng);
+    }
+    if (fail_links > 0) inject_link_failures(net, fail_links, fault_rng);
+    std::cout << "fabric: " << net.num_alive_switches() << " switches, "
+              << net.num_alive_terminals() << " terminals, "
+              << net.num_alive_channels() / 2 << " duplex links\n";
+    NUE_CHECK_MSG(is_connected(net), "fabric is disconnected");
+    if (!dump_fabric.empty()) save_fabric_file(dump_fabric, net);
+
+    // --- routing ------------------------------------------------------------
+    const auto dests = net.terminals();
+    Timer timer;
+    std::optional<RoutingResult> rr;
+    std::string vl_note = "";
+    if (engine == "nue") {
+      NueOptions opt;
+      opt.num_vls = vls;
+      NueStats stats;
+      rr.emplace(route_nue(net, dests, opt, &stats));
+      vl_note = " (fallbacks: " + std::to_string(stats.fallbacks) + ")";
+    } else if (engine == "dfsssp") {
+      DfssspStats stats;
+      rr.emplace(route_dfsssp(net, dests, {.max_vls = std::max(vls, 1u)},
+                              &stats));
+      vl_note = " (VLs needed: " + std::to_string(stats.vls_needed) + ")";
+    } else if (engine == "lash") {
+      LashStats stats;
+      rr.emplace(
+          route_lash(net, dests, {.max_vls = std::max(vls, 1u)}, &stats));
+      vl_note = " (VLs needed: " + std::to_string(stats.vls_needed) + ")";
+    } else if (engine == "updown") {
+      rr.emplace(route_updown(net, dests));
+    } else if (engine == "minhop") {
+      rr.emplace(route_minhop(net, dests));
+    } else if (engine == "torus-qos") {
+      NUE_CHECK_MSG(topo.torus.has_value(),
+                    "torus-qos needs --generate torus:...");
+      rr.emplace(route_torus_qos(net, *topo.torus, dests));
+    } else if (engine == "fattree") {
+      NUE_CHECK_MSG(topo.fattree.has_value(),
+                    "fattree routing needs --generate fattree:...");
+      rr.emplace(route_fattree(net, *topo.fattree, dests));
+    } else {
+      std::cerr << "unknown routing engine '" << engine << "'\n";
+      return 1;
+    }
+    std::cout << "routing: " << engine << " in " << timer.seconds() << "s"
+              << vl_note << "\n";
+
+    // --- validation + metrics ------------------------------------------------
+    const auto rep = validate_routing(net, *rr);
+    std::cout << "validation: connected=" << rep.connected
+              << " cycle_free=" << rep.cycle_free
+              << " deadlock_free=" << rep.deadlock_free
+              << " (avg path " << rep.avg_path_length << ", max "
+              << rep.max_path_length << ")\n";
+    const auto gamma =
+        summarize_forwarding_index(net, edge_forwarding_index(net, *rr));
+    std::cout << "edge forwarding index: min " << gamma.min << " avg "
+              << gamma.avg << " max " << gamma.max << "\n";
+
+    // --- dumps ---------------------------------------------------------------
+    if (dump_tables == "-") {
+      write_forwarding_tables(std::cout, net, *rr);
+    } else if (!dump_tables.empty()) {
+      std::ofstream f(dump_tables);
+      write_forwarding_tables(f, net, *rr);
+    }
+    if (!dump_cdg.empty()) {
+      std::ofstream f(dump_cdg);
+      write_cdg_dot(f, net, *rr);
+    }
+    if (!save_routing.empty()) {
+      std::ofstream f(save_routing);
+      write_routing(f, net, *rr);
+    }
+    if (compile_ib) {
+      const auto tables = compile_ib_tables(net, *rr);
+      const bool ok = verify_compiled(net, *rr, tables);
+      std::cout << "ib tables: " << (tables.node_of_lid.size() - 1)
+                << " LIDs, " << tables.total_lft_entries()
+                << " LFT entries, cross-check "
+                << (ok ? "passed" : "FAILED") << "\n";
+      if (!ok) return 2;
+    }
+
+    // --- simulation ------------------------------------------------------------
+    if (do_sim) {
+      SimConfig cfg;
+      const auto msgs = alltoall_shift_messages(net, msg_bytes, shifts);
+      const auto res = simulate(net, *rr, msgs, cfg);
+      std::cout << "simulation: " << res.delivered_packets << " packets, "
+                << res.cycles << " cycles, normalized throughput "
+                << res.normalized_throughput << ", avg latency "
+                << res.avg_packet_latency << " cycles"
+                << (res.deadlocked ? "  [DEADLOCK]" : "") << "\n";
+      if (!res.completed) return 2;
+    }
+    return rep.ok() ? 0 : 2;
+  } catch (const RoutingFailure& e) {
+    std::cerr << "routing failed: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
