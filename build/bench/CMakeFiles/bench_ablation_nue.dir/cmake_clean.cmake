@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nue.dir/bench_ablation_nue.cpp.o"
+  "CMakeFiles/bench_ablation_nue.dir/bench_ablation_nue.cpp.o.d"
+  "bench_ablation_nue"
+  "bench_ablation_nue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_failinplace.dir/bench_ext_failinplace.cpp.o"
+  "CMakeFiles/bench_ext_failinplace.dir/bench_ext_failinplace.cpp.o.d"
+  "bench_ext_failinplace"
+  "bench_ext_failinplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_failinplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_forwarding_index.dir/bench_fig09_forwarding_index.cpp.o"
+  "CMakeFiles/bench_fig09_forwarding_index.dir/bench_fig09_forwarding_index.cpp.o.d"
+  "bench_fig09_forwarding_index"
+  "bench_fig09_forwarding_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_forwarding_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

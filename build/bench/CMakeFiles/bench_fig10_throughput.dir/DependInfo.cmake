@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_throughput.cpp" "bench/CMakeFiles/bench_fig10_throughput.dir/bench_fig10_throughput.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_throughput.dir/bench_fig10_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nue/CMakeFiles/nue_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nue_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/nue_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nue_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nue_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/nue_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nue_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_heap.dir/bench_micro_heap.cpp.o"
+  "CMakeFiles/bench_micro_heap.dir/bench_micro_heap.cpp.o.d"
+  "bench_micro_heap"
+  "bench_micro_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

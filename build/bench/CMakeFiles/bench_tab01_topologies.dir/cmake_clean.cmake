@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_topologies.dir/bench_tab01_topologies.cpp.o"
+  "CMakeFiles/bench_tab01_topologies.dir/bench_tab01_topologies.cpp.o.d"
+  "bench_tab01_topologies"
+  "bench_tab01_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

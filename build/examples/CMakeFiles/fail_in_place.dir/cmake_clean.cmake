@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fail_in_place.dir/fail_in_place.cpp.o"
+  "CMakeFiles/fail_in_place.dir/fail_in_place.cpp.o.d"
+  "fail_in_place"
+  "fail_in_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fail_in_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

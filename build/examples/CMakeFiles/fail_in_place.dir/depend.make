@@ -1,0 +1,2 @@
+# Empty dependencies file for fail_in_place.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_budget_planning.dir/vc_budget_planning.cpp.o"
+  "CMakeFiles/vc_budget_planning.dir/vc_budget_planning.cpp.o.d"
+  "vc_budget_planning"
+  "vc_budget_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_budget_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

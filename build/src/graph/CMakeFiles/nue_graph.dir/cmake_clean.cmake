@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nue_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/nue_graph.dir/algorithms.cpp.o.d"
+  "libnue_graph.a"
+  "libnue_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nue_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nue_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/nue_metrics.dir/metrics.cpp.o.d"
+  "libnue_metrics.a"
+  "libnue_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nue_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnue_metrics.a"
+)

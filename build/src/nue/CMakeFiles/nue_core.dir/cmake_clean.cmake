@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nue_core.dir/nue_routing.cpp.o"
+  "CMakeFiles/nue_core.dir/nue_routing.cpp.o.d"
+  "libnue_core.a"
+  "libnue_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nue_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

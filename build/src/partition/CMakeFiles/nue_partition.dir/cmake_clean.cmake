@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nue_partition.dir/partition.cpp.o"
+  "CMakeFiles/nue_partition.dir/partition.cpp.o.d"
+  "libnue_partition.a"
+  "libnue_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nue_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

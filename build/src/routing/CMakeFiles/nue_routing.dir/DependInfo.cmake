@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/dfsssp.cpp" "src/routing/CMakeFiles/nue_routing.dir/dfsssp.cpp.o" "gcc" "src/routing/CMakeFiles/nue_routing.dir/dfsssp.cpp.o.d"
+  "/root/repo/src/routing/dump.cpp" "src/routing/CMakeFiles/nue_routing.dir/dump.cpp.o" "gcc" "src/routing/CMakeFiles/nue_routing.dir/dump.cpp.o.d"
+  "/root/repo/src/routing/fattree_routing.cpp" "src/routing/CMakeFiles/nue_routing.dir/fattree_routing.cpp.o" "gcc" "src/routing/CMakeFiles/nue_routing.dir/fattree_routing.cpp.o.d"
+  "/root/repo/src/routing/ib_tables.cpp" "src/routing/CMakeFiles/nue_routing.dir/ib_tables.cpp.o" "gcc" "src/routing/CMakeFiles/nue_routing.dir/ib_tables.cpp.o.d"
+  "/root/repo/src/routing/lash.cpp" "src/routing/CMakeFiles/nue_routing.dir/lash.cpp.o" "gcc" "src/routing/CMakeFiles/nue_routing.dir/lash.cpp.o.d"
+  "/root/repo/src/routing/sssp_engine.cpp" "src/routing/CMakeFiles/nue_routing.dir/sssp_engine.cpp.o" "gcc" "src/routing/CMakeFiles/nue_routing.dir/sssp_engine.cpp.o.d"
+  "/root/repo/src/routing/torus_qos.cpp" "src/routing/CMakeFiles/nue_routing.dir/torus_qos.cpp.o" "gcc" "src/routing/CMakeFiles/nue_routing.dir/torus_qos.cpp.o.d"
+  "/root/repo/src/routing/updown.cpp" "src/routing/CMakeFiles/nue_routing.dir/updown.cpp.o" "gcc" "src/routing/CMakeFiles/nue_routing.dir/updown.cpp.o.d"
+  "/root/repo/src/routing/validate.cpp" "src/routing/CMakeFiles/nue_routing.dir/validate.cpp.o" "gcc" "src/routing/CMakeFiles/nue_routing.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/nue_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nue_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

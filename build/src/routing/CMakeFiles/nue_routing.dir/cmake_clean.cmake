@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nue_routing.dir/dfsssp.cpp.o"
+  "CMakeFiles/nue_routing.dir/dfsssp.cpp.o.d"
+  "CMakeFiles/nue_routing.dir/dump.cpp.o"
+  "CMakeFiles/nue_routing.dir/dump.cpp.o.d"
+  "CMakeFiles/nue_routing.dir/fattree_routing.cpp.o"
+  "CMakeFiles/nue_routing.dir/fattree_routing.cpp.o.d"
+  "CMakeFiles/nue_routing.dir/ib_tables.cpp.o"
+  "CMakeFiles/nue_routing.dir/ib_tables.cpp.o.d"
+  "CMakeFiles/nue_routing.dir/lash.cpp.o"
+  "CMakeFiles/nue_routing.dir/lash.cpp.o.d"
+  "CMakeFiles/nue_routing.dir/sssp_engine.cpp.o"
+  "CMakeFiles/nue_routing.dir/sssp_engine.cpp.o.d"
+  "CMakeFiles/nue_routing.dir/torus_qos.cpp.o"
+  "CMakeFiles/nue_routing.dir/torus_qos.cpp.o.d"
+  "CMakeFiles/nue_routing.dir/updown.cpp.o"
+  "CMakeFiles/nue_routing.dir/updown.cpp.o.d"
+  "CMakeFiles/nue_routing.dir/validate.cpp.o"
+  "CMakeFiles/nue_routing.dir/validate.cpp.o.d"
+  "libnue_routing.a"
+  "libnue_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nue_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

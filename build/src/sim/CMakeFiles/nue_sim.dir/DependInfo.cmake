@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/flit_sim.cpp" "src/sim/CMakeFiles/nue_sim.dir/flit_sim.cpp.o" "gcc" "src/sim/CMakeFiles/nue_sim.dir/flit_sim.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/nue_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/nue_sim.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/nue_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nue_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nue_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

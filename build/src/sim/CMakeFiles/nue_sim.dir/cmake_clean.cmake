@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nue_sim.dir/flit_sim.cpp.o"
+  "CMakeFiles/nue_sim.dir/flit_sim.cpp.o.d"
+  "CMakeFiles/nue_sim.dir/traffic.cpp.o"
+  "CMakeFiles/nue_sim.dir/traffic.cpp.o.d"
+  "libnue_sim.a"
+  "libnue_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nue_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/fabric_io.cpp" "src/topology/CMakeFiles/nue_topology.dir/fabric_io.cpp.o" "gcc" "src/topology/CMakeFiles/nue_topology.dir/fabric_io.cpp.o.d"
+  "/root/repo/src/topology/faults.cpp" "src/topology/CMakeFiles/nue_topology.dir/faults.cpp.o" "gcc" "src/topology/CMakeFiles/nue_topology.dir/faults.cpp.o.d"
+  "/root/repo/src/topology/misc_topologies.cpp" "src/topology/CMakeFiles/nue_topology.dir/misc_topologies.cpp.o" "gcc" "src/topology/CMakeFiles/nue_topology.dir/misc_topologies.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/topology/CMakeFiles/nue_topology.dir/torus.cpp.o" "gcc" "src/topology/CMakeFiles/nue_topology.dir/torus.cpp.o.d"
+  "/root/repo/src/topology/trees.cpp" "src/topology/CMakeFiles/nue_topology.dir/trees.cpp.o" "gcc" "src/topology/CMakeFiles/nue_topology.dir/trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/nue_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nue_topology.dir/fabric_io.cpp.o"
+  "CMakeFiles/nue_topology.dir/fabric_io.cpp.o.d"
+  "CMakeFiles/nue_topology.dir/faults.cpp.o"
+  "CMakeFiles/nue_topology.dir/faults.cpp.o.d"
+  "CMakeFiles/nue_topology.dir/misc_topologies.cpp.o"
+  "CMakeFiles/nue_topology.dir/misc_topologies.cpp.o.d"
+  "CMakeFiles/nue_topology.dir/torus.cpp.o"
+  "CMakeFiles/nue_topology.dir/torus.cpp.o.d"
+  "CMakeFiles/nue_topology.dir/trees.cpp.o"
+  "CMakeFiles/nue_topology.dir/trees.cpp.o.d"
+  "libnue_topology.a"
+  "libnue_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nue_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

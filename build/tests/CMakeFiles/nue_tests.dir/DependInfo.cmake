@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_sim.cpp" "tests/CMakeFiles/nue_tests.dir/test_adaptive_sim.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_adaptive_sim.cpp.o.d"
+  "/root/repo/tests/test_api_surface.cpp" "tests/CMakeFiles/nue_tests.dir/test_api_surface.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_api_surface.cpp.o.d"
+  "/root/repo/tests/test_cdg.cpp" "tests/CMakeFiles/nue_tests.dir/test_cdg.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_cdg.cpp.o.d"
+  "/root/repo/tests/test_complete_cdg_property.cpp" "tests/CMakeFiles/nue_tests.dir/test_complete_cdg_property.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_complete_cdg_property.cpp.o.d"
+  "/root/repo/tests/test_dump.cpp" "tests/CMakeFiles/nue_tests.dir/test_dump.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_dump.cpp.o.d"
+  "/root/repo/tests/test_extension_sweeps.cpp" "tests/CMakeFiles/nue_tests.dir/test_extension_sweeps.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_extension_sweeps.cpp.o.d"
+  "/root/repo/tests/test_fabric_io.cpp" "tests/CMakeFiles/nue_tests.dir/test_fabric_io.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_fabric_io.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/nue_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_heap.cpp" "tests/CMakeFiles/nue_tests.dir/test_heap.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_heap.cpp.o.d"
+  "/root/repo/tests/test_ib_tables.cpp" "tests/CMakeFiles/nue_tests.dir/test_ib_tables.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_ib_tables.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/nue_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_nue.cpp" "tests/CMakeFiles/nue_tests.dir/test_nue.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_nue.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/nue_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/nue_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/nue_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_reroute.cpp" "tests/CMakeFiles/nue_tests.dir/test_reroute.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_reroute.cpp.o.d"
+  "/root/repo/tests/test_routing_baselines.cpp" "tests/CMakeFiles/nue_tests.dir/test_routing_baselines.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_routing_baselines.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/nue_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/nue_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/nue_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/nue_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/nue_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/nue_tests.dir/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nue/CMakeFiles/nue_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nue_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/nue_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nue_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nue_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/nue_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nue_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

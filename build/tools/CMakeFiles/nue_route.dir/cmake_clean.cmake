@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nue_route.dir/nue_route.cpp.o"
+  "CMakeFiles/nue_route.dir/nue_route.cpp.o.d"
+  "nue_route"
+  "nue_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nue_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_nue_torus "/root/repo/build/tools/nue_route" "--generate" "torus:3x3x3:2" "--routing" "nue" "--vls" "2" "--compile-ib")
+set_tests_properties(cli_nue_torus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dfsssp_random "/root/repo/build/tools/nue_route" "--generate" "random:20:50:2" "--routing" "dfsssp" "--vls" "8" "--simulate" "--shift-samples" "2")
+set_tests_properties(cli_dfsssp_random PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_torus_qos "/root/repo/build/tools/nue_route" "--generate" "torus:4x4:2" "--routing" "torus-qos" "--compile-ib")
+set_tests_properties(cli_torus_qos PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_updown_fattree "/root/repo/build/tools/nue_route" "--generate" "fattree:3:3:3" "--routing" "updown")
+set_tests_properties(cli_updown_fattree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hyperx "/root/repo/build/tools/nue_route" "--generate" "hyperx:3x3:2" "--routing" "nue" "--vls" "1" "--simulate" "--shift-samples" "2")
+set_tests_properties(cli_hyperx PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
