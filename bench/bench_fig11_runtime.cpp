@@ -11,9 +11,15 @@
 //   --max-switches N  largest torus (switch count) to run (default 343 =
 //                     7x7x7; paper goes to 1000 = 10x10x10)
 //   --fault-pct P     link failure percentage (default 1.0)
+//   --threads LIST    comma-separated worker-thread counts to sweep
+//                     (default "1"; e.g. 1,2,8 reports parallel speedups)
 //   --csv FILE
+//   --json FILE       per-(topology, engine, threads) wall-time records
+//                     (default BENCH_runtime.json)
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "nue/nue_routing.hpp"
@@ -26,6 +32,43 @@
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+struct JsonRecord {
+  std::string topology;
+  std::string engine;
+  std::uint32_t threads;
+  double wall_ms;
+  bool applicable;
+};
+
+std::vector<std::uint32_t> parse_thread_list(const std::string& s) {
+  std::vector<std::uint32_t> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
+  std::ofstream os(path);
+  os << "[\n";
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    os << "  {\"topology\": \"" << r.topology << "\", \"engine\": \""
+       << r.engine << "\", \"threads\": " << r.threads
+       << ", \"wall_ms\": " << r.wall_ms
+       << ", \"applicable\": " << (r.applicable ? "true" : "false") << "}"
+       << (i + 1 < recs.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace nue;
   using namespace nue::bench;
@@ -37,6 +80,11 @@ int main(int argc, char** argv) {
   const auto seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 11, "fault seed"));
   const std::string csv = flags.get_string("csv", "", "CSV output path");
+  const auto thread_list = parse_thread_list(flags.get_string(
+      "threads", "1", "comma-separated worker-thread counts to sweep"));
+  const std::string json_path = flags.get_string(
+      "json", "BENCH_runtime.json",
+      "per-(topology, engine, threads) wall-time JSON ('' = skip)");
   if (!flags.finish()) return 1;
 
   // The paper's dimension sequence: 2x2x2, 2x2x3, 2x3x3, 3x3x3, ...
@@ -50,6 +98,7 @@ int main(int argc, char** argv) {
 
   Table table({"torus", "terminals", "faults", "torus-2qos [s]", "lash [s]",
                "dfsssp [s]", "nue-8 [s]"});
+  std::vector<JsonRecord> records;
   for (const auto& dims : sizes) {
     const std::uint32_t nsw = dims[0] * dims[1] * dims[2];
     if (nsw > max_switches) break;
@@ -74,27 +123,58 @@ int main(int argc, char** argv) {
       return buf;
     };
 
-    const auto qos = run_routing(
-        "qos", [&] { return route_torus_qos(net, spec, dests); });
-    const auto lash = run_routing(
-        "lash", [&] { return route_lash(net, dests, {.max_vls = 8}); });
-    const auto dfsssp = run_routing(
-        "dfsssp", [&] { return route_dfsssp(net, dests, {.max_vls = 8}); });
-    const auto nue = run_routing("nue", [&] {
-      NueOptions opt;
-      opt.num_vls = 8;
-      return route_nue(net, dests, opt);
-    });
-
     const std::string label = std::to_string(dims[0]) + "x" +
                               std::to_string(dims[1]) + "x" +
                               std::to_string(dims[2]);
+
+    // Torus-2QoS has no parallel phase: one serial run per fabric.
+    const auto qos = run_routing(
+        "qos", [&] { return route_torus_qos(net, spec, dests); });
+    records.push_back(
+        {label, "torus-2qos", 1, qos.seconds * 1e3, qos.rr.has_value()});
+
+    // The threaded engines sweep every requested worker count; the table
+    // shows the first entry (default 1 = the legacy serial measurement).
+    RoutingRun lash, dfsssp, nue;
+    for (std::size_t ti = 0; ti < thread_list.size(); ++ti) {
+      const std::uint32_t t = thread_list[ti];
+      const auto lash_t = run_routing("lash", [&] {
+        return route_lash(net, dests, {.max_vls = 8, .num_threads = t});
+      });
+      const auto dfsssp_t = run_routing("dfsssp", [&] {
+        return route_dfsssp(net, dests, {.max_vls = 8, .num_threads = t});
+      });
+      const auto nue_t = run_routing("nue", [&] {
+        NueOptions opt;
+        opt.num_vls = 8;
+        opt.num_threads = t;
+        return route_nue(net, dests, opt);
+      });
+      records.push_back(
+          {label, "lash", t, lash_t.seconds * 1e3, lash_t.rr.has_value()});
+      records.push_back({label, "dfsssp", t, dfsssp_t.seconds * 1e3,
+                         dfsssp_t.rr.has_value()});
+      records.push_back(
+          {label, "nue", t, nue_t.seconds * 1e3, nue_t.rr.has_value()});
+      if (ti == 0) {
+        lash = lash_t;
+        dfsssp = dfsssp_t;
+        nue = nue_t;
+      } else if (nue_t.rr) {
+        std::cerr << label << " nue threads=" << t << ": "
+                  << nue_t.seconds * 1e3 << " ms ("
+                  << (nue.seconds / nue_t.seconds) << "x vs threads="
+                  << thread_list[0] << ")\n";
+      }
+    }
+
     table.row() << label << dests.size() << faults << cell(qos) << cell(lash)
                 << cell(dfsssp) << cell(nue);
     std::cerr << label << " done\n";
   }
   table.print();
   if (!csv.empty()) table.write_csv(csv);
+  if (!json_path.empty()) write_json(json_path, records);
   std::cout << "\n('fail' = engine inapplicable: VL demand above 8 for "
                "LASH/DFSSSP, broken ring for Torus-2QoS —\n the paper's "
                "missing dots. Nue must never fail.)\n";

@@ -55,6 +55,7 @@ void BM_RouteNue(benchmark::State& state) {
   const auto dests = net.terminals();
   NueOptions opt;
   opt.num_vls = static_cast<std::uint32_t>(state.range(0));
+  opt.num_threads = static_cast<std::uint32_t>(state.range(1));
   NueStats stats;
   for (auto _ : state) {
     benchmark::DoNotOptimize(route_nue(net, dests, opt, &stats));
@@ -69,7 +70,37 @@ void BM_RouteNue(benchmark::State& state) {
   state.counters["dfs_steps"] =
       static_cast<double>(stats.cycle_search_steps);
 }
-BENCHMARK(BM_RouteNue)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RouteNue)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({4, 4})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Scratch-reuse case: a low-diameter Kautz fabric is the worst topology
+// for the old full-size per-destination scratch fills — each search step
+// touches only a small fraction of the channel array, so the O(1)
+// generation-stamped reset in LayerRouter::reset_scratch() dominates the
+// step-setup saving. Serial run to isolate the effect from threading.
+void BM_RouteNueKautzScratch(benchmark::State& state) {
+  KautzSpec spec;
+  spec.d = 4;
+  spec.k = 2;
+  spec.terminals_per_switch = 4;
+  const Network net = make_kautz(spec);
+  const auto dests = net.terminals();
+  NueOptions opt;
+  opt.num_vls = static_cast<std::uint32_t>(state.range(0));
+  opt.num_threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_nue(net, dests, opt));
+  }
+}
+BENCHMARK(BM_RouteNueKautzScratch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer build running the parallel-determinism suite (the tests
+# that exercise the thread pool across engines; see docs/PARALLELISM.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+cmake -B build-tsan -S . -DSANITIZE=thread
+cmake --build build-tsan -j --target nue_tests
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tests/nue_tests --gtest_filter='ParallelDeterminism.*'
+
+echo "tier-1 OK"

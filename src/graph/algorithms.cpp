@@ -1,10 +1,12 @@
 #include "graph/algorithms.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 
 #include "heap/dary_heap.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nue {
 
@@ -97,56 +99,114 @@ SsspResult dijkstra(const Network& net, NodeId src,
   return r;
 }
 
-std::vector<double> betweenness_centrality(
-    const Network& net, const std::vector<std::uint8_t>& mask) {
+namespace {
+
+/// Per-source scratch of Brandes' algorithm; reused across the sources one
+/// execution agent processes.
+struct BrandesScratch {
+  explicit BrandesScratch(std::size_t n) : dist(n), sigma(n), delta(n) {
+    order.reserve(n);
+  }
+  std::vector<std::uint32_t> dist;
+  std::vector<double> sigma;      // # shortest paths (multigraph: each
+                                  // parallel channel counts as a path)
+  std::vector<double> delta;
+  std::vector<NodeId> order;      // visit order for the backward pass
+};
+
+/// One source of Brandes' algorithm: BFS forward, dependency accumulation
+/// backward. Leaves the source's dependency vector in scratch.delta
+/// (delta[w] = 0 for unreached nodes and for w == s).
+template <typename InGraph>
+void brandes_source(const Network& net, const InGraph& in_graph, NodeId s,
+                    BrandesScratch& sc) {
+  std::fill(sc.dist.begin(), sc.dist.end(), kUnreachable);
+  std::fill(sc.sigma.begin(), sc.sigma.end(), 0.0);
+  std::fill(sc.delta.begin(), sc.delta.end(), 0.0);
+  sc.order.clear();
+  sc.dist[s] = 0;
+  sc.sigma[s] = 1.0;
+  std::queue<NodeId> q;
+  q.push(s);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    sc.order.push_back(v);
+    for (ChannelId c : net.out(v)) {
+      const NodeId w = net.dst(c);
+      if (!in_graph(w)) continue;
+      if (sc.dist[w] == kUnreachable) {
+        sc.dist[w] = sc.dist[v] + 1;
+        q.push(w);
+      }
+      if (sc.dist[w] == sc.dist[v] + 1) sc.sigma[w] += sc.sigma[v];
+    }
+  }
+  // Backward accumulation.
+  for (auto it = sc.order.rbegin(); it != sc.order.rend(); ++it) {
+    const NodeId w = *it;
+    for (ChannelId c : net.out(w)) {
+      // Predecessor relation: v -> w with dist[v] + 1 == dist[w].
+      const NodeId v = net.dst(c);  // neighbor; check if predecessor
+      if (!in_graph(v) || sc.dist[v] == kUnreachable) continue;
+      if (sc.dist[v] + 1 == sc.dist[w]) {
+        sc.delta[v] += sc.sigma[v] / sc.sigma[w] * (1.0 + sc.delta[w]);
+      }
+    }
+  }
+  sc.delta[s] = 0.0;  // a source never scores for itself
+}
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const Network& net,
+                                           const std::vector<std::uint8_t>& mask,
+                                           std::uint32_t threads) {
   const std::size_t n = net.num_nodes();
   auto in_graph = [&](NodeId v) {
     return net.node_alive(v) && (mask.empty() || mask[v]);
   };
   std::vector<double> cb(n, 0.0);
-  // Brandes' algorithm, one BFS per source, accumulating pair dependencies.
-  std::vector<std::uint32_t> dist(n);
-  std::vector<double> sigma(n);   // # shortest paths (multigraph: each
-                                  // parallel channel counts as a path)
-  std::vector<double> delta(n);
-  std::vector<NodeId> order;      // visit order for the backward pass
-  order.reserve(n);
-  for (NodeId s = 0; s < n; ++s) {
-    if (!in_graph(s)) continue;
-    std::fill(dist.begin(), dist.end(), kUnreachable);
-    std::fill(sigma.begin(), sigma.end(), 0.0);
-    std::fill(delta.begin(), delta.end(), 0.0);
-    order.clear();
-    dist[s] = 0;
-    sigma[s] = 1.0;
-    std::queue<NodeId> q;
-    q.push(s);
-    while (!q.empty()) {
-      const NodeId v = q.front();
-      q.pop();
-      order.push_back(v);
-      for (ChannelId c : net.out(v)) {
-        const NodeId w = net.dst(c);
-        if (!in_graph(w)) continue;
-        if (dist[w] == kUnreachable) {
-          dist[w] = dist[v] + 1;
-          q.push(w);
-        }
-        if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
-      }
+  const unsigned agents = resolve_threads(threads);
+  if (agents <= 1) {
+    BrandesScratch sc(n);
+    for (NodeId s = 0; s < n; ++s) {
+      if (!in_graph(s)) continue;
+      brandes_source(net, in_graph, s, sc);
+      for (NodeId w = 0; w < n; ++w) cb[w] += sc.delta[w];
     }
-    // Backward accumulation.
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      const NodeId w = *it;
-      for (ChannelId c : net.out(w)) {
-        // Predecessor relation: v -> w with dist[v] + 1 == dist[w].
-        const NodeId v = net.dst(c);  // neighbor; check if predecessor
-        if (!in_graph(v) || dist[v] == kUnreachable) continue;
-        if (dist[v] + 1 == dist[w]) {
-          delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
-        }
-      }
-      if (w != s) cb[w] += delta[w];
+    return cb;
+  }
+  // Parallel: sources are independent; only the reduction into cb orders
+  // floating-point additions across sources. Each cb[w] is its own
+  // accumulator chain, so adding the per-source dependency vectors on one
+  // thread in ascending source order reproduces the serial operation
+  // sequence exactly (delta[w] = 0 contributions are exact no-ops on the
+  // non-negative accumulators). The window only bounds the memory holding
+  // completed dependency vectors; its size never affects the result.
+  std::vector<NodeId> sources;
+  sources.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    if (in_graph(s)) sources.push_back(s);
+  }
+  const std::size_t window = static_cast<std::size_t>(agents) * 4;
+  std::vector<std::vector<double>> deltas(
+      std::min<std::size_t>(window, sources.size()));
+  for (std::size_t base = 0; base < sources.size(); base += window) {
+    const std::size_t count =
+        std::min(window, sources.size() - base);
+    parallel_for_chunks(agents, count, 1,
+                        [&](std::size_t begin, std::size_t end) {
+                          BrandesScratch sc(n);
+                          for (std::size_t i = begin; i < end; ++i) {
+                            brandes_source(net, in_graph,
+                                           sources[base + i], sc);
+                            deltas[i] = sc.delta;
+                          }
+                        });
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::vector<double>& d = deltas[i];
+      for (NodeId w = 0; w < n; ++w) cb[w] += d[w];
     }
   }
   return cb;

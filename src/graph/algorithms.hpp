@@ -40,8 +40,16 @@ SsspResult dijkstra(const Network& net, NodeId src,
 /// If `mask` is non-empty, the computation is restricted to the subgraph
 /// induced by nodes v with mask[v] != 0 (both as path endpoints and as
 /// intermediate nodes). Dead nodes always score 0.
+///
+/// `threads` > 1 computes the per-source dependency vectors concurrently
+/// (each source is an independent BFS + backward accumulation) and reduces
+/// them into the result on one thread in ascending source order — the
+/// identical floating-point operation sequence as the serial sweep, so the
+/// output is bit-identical for every thread count. 0 = the process-wide
+/// default installed by --threads (see util/thread_pool.hpp).
 std::vector<double> betweenness_centrality(
-    const Network& net, const std::vector<std::uint8_t>& mask = {});
+    const Network& net, const std::vector<std::uint8_t>& mask = {},
+    std::uint32_t threads = 1);
 
 /// Convex subgraph (Definition 8) of a destination set: marks every node
 /// that lies on at least one shortest path between two nodes of `dests`

@@ -10,7 +10,9 @@
 #include "nue/complete_cdg.hpp"
 #include "routing/cdg_index.hpp"
 #include "routing/sssp_engine.hpp"
+#include "util/epoch.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nue {
 
@@ -34,8 +36,8 @@ class LayerRouter {
         tree_adj_(net.num_nodes()),
         node_dist_(net.num_nodes(), kInf),
         used_channel_(net.num_nodes(), kInvalidChannel),
-        settled_(net.num_nodes(), 0),
         alts_(net.num_nodes()),
+        alt_gen_(net.num_nodes(), 0),
         chan_dist_(net.num_channels(), kInf),
         heap_(net.num_channels()),
         escape_next_(net.num_nodes(), kInvalidChannel),
@@ -205,25 +207,36 @@ class LayerRouter {
 
   // --- Algorithm 1 ----------------------------------------------------------
 
+  /// O(1) per-destination reset: the scratch vectors are generation-
+  /// stamped, so bumping the epoch invalidates every slot without the
+  /// full-size fills the serial engine performed (which dominate step
+  /// setup on large low-diameter fabrics).
   void reset_scratch() {
-    std::fill(node_dist_.begin(), node_dist_.end(), kInf);
-    std::fill(used_channel_.begin(), used_channel_.end(), kInvalidChannel);
-    std::fill(settled_.begin(), settled_.end(), 0);
-    std::fill(chan_dist_.begin(), chan_dist_.end(), kInf);
-    for (auto& a : alts_) a.clear();
+    node_dist_.next_epoch();
+    used_channel_.next_epoch();
+    chan_dist_.next_epoch();
+    if (++alts_epoch_ == 0) {
+      std::fill(alt_gen_.begin(), alt_gen_.end(), 0);
+      alts_epoch_ = 1;
+    }
     heap_.clear();
     dest_ = kInvalidNode;
   }
 
+  /// Backtracking alternatives of v recorded this step (empty if stale).
+  const std::vector<ChannelId>& alts_of(NodeId v) const {
+    return alt_gen_[v] == alts_epoch_ ? alts_[v] : kNoAlts;
+  }
+
   void seed_search(NodeId d) {
     dest_ = d;
-    node_dist_[d] = 0.0;
+    node_dist_.set(d, 0.0);
     if (net_.is_terminal(d)) {
       const ChannelId c0 = net_.out(d)[0];
       cdg_.mark_channel_used(c0);
-      chan_dist_[c0] = 0.0;
-      used_channel_[net_.dst(c0)] = c0;
-      node_dist_[net_.dst(c0)] = 0.0;
+      chan_dist_.set(c0, 0.0);
+      used_channel_.set(net_.dst(c0), c0);
+      node_dist_.set(net_.dst(c0), 0.0);
       heap_.insert(c0, 0.0);
     } else {
       // Switch source: the paper's fake channel (∅, n_0) feeding every
@@ -236,9 +249,9 @@ class LayerRouter {
             push_alt(w, used_channel_[w]);
           }
           cdg_.mark_channel_used(c);
-          used_channel_[w] = c;
-          node_dist_[w] = nd;
-          chan_dist_[c] = nd;
+          used_channel_.set(w, c);
+          node_dist_.set(w, nd);
+          chan_dist_.set(c, nd);
           heap_.insert_or_decrease(c, nd);
         } else {
           push_alt(w, c);  // losing parallel channel; backtracking option
@@ -257,7 +270,6 @@ class LayerRouter {
         push_alt(v, cp);
         continue;
       }
-      settled_[v] = 1;
       relax_from(cp);
     }
   }
@@ -292,14 +304,13 @@ class LayerRouter {
         if (!cdg_.switch_feasible(cp, cq, children_)) continue;
         cdg_.commit_switch(cp, cq, children_);
         ++stats_.shortcuts_taken;
-        settled_[w] = 0;  // re-settles when cq pops
       }
       if (used_channel_[w] != kInvalidChannel && used_channel_[w] != cq) {
         push_alt(w, used_channel_[w]);
       }
-      used_channel_[w] = cq;
-      node_dist_[w] = nd;
-      chan_dist_[cq] = nd;
+      used_channel_.set(w, cq);
+      node_dist_.set(w, nd);
+      chan_dist_.set(cq, nd);
       heap_.insert_or_decrease(cq, nd);
     }
   }
@@ -342,7 +353,7 @@ class LayerRouter {
         return true;
       }
       // Option 2: switch u's inbound to a remembered alternative.
-      for (const ChannelId a : alts_[u]) {
+      for (const ChannelId a : alts_of(u)) {
         if (a == used_channel_[u]) continue;
         const NodeId x = net_.src(a);
         const ChannelId chain_in =
@@ -364,9 +375,9 @@ class LayerRouter {
             (x == d ? 0.0 : node_dist_[x]) + weights_[a];
         ++stats_.backtrack_option2;
         push_alt(u, used_channel_[u]);
-        used_channel_[u] = a;
-        node_dist_[u] = std::min(node_dist_[u], u_dist);
-        chan_dist_[a] = node_dist_[u];
+        used_channel_.set(u, a);
+        node_dist_.set(u, std::min(node_dist_[u], u_dist));
+        chan_dist_.set(a, node_dist_[u]);
         reach_island(v, c, node_dist_[u] + weights_[c]);
         return true;
       }
@@ -396,14 +407,18 @@ class LayerRouter {
 
   void reach_island(NodeId v, ChannelId c, double nd) {
     if (used_channel_[v] != kInvalidChannel) push_alt(v, used_channel_[v]);
-    used_channel_[v] = c;
-    node_dist_[v] = nd;
-    chan_dist_[c] = nd;
+    used_channel_.set(v, c);
+    node_dist_.set(v, nd);
+    chan_dist_.set(c, nd);
     heap_.insert_or_decrease(c, nd);
   }
 
   void push_alt(NodeId v, ChannelId c) {
     if (c == kInvalidChannel) return;
+    if (alt_gen_[v] != alts_epoch_) {
+      alt_gen_[v] = alts_epoch_;
+      alts_[v].clear();
+    }
     auto& a = alts_[v];
     for (ChannelId existing : a) {
       if (existing == c) return;
@@ -449,12 +464,14 @@ class LayerRouter {
   std::vector<ChannelId> tree_parent_;
   std::vector<std::vector<ChannelId>> tree_adj_;
 
-  // per-destination scratch
-  std::vector<double> node_dist_;
-  std::vector<ChannelId> used_channel_;
-  std::vector<std::uint8_t> settled_;
+  // per-destination scratch (generation-stamped: reset_scratch is O(1))
+  EpochVector<double> node_dist_;
+  EpochVector<ChannelId> used_channel_;
   std::vector<std::vector<ChannelId>> alts_;
-  std::vector<double> chan_dist_;
+  std::vector<std::uint32_t> alt_gen_;
+  std::uint32_t alts_epoch_ = 1;
+  inline static const std::vector<ChannelId> kNoAlts{};
+  EpochVector<double> chan_dist_;
   FibonacciHeap<double> heap_;
   std::vector<ChannelId> escape_next_;
   std::vector<std::uint8_t> escape_seen_;
@@ -465,6 +482,23 @@ class LayerRouter {
   NodeId dest_ = kInvalidNode;
   std::size_t alt_rr_ = 0;
 };
+
+/// Fold one layer's stats into the run total. Called in ascending layer
+/// order after the (possibly concurrent) layer tasks finish, so the
+/// aggregate — including the order of `roots` — matches the serial engine
+/// exactly at every thread count.
+void merge_stats(NueStats& into, const NueStats& from) {
+  into.fallbacks += from.fallbacks;
+  into.islands_resolved += from.islands_resolved;
+  into.islands_unresolved += from.islands_unresolved;
+  into.backtrack_option1 += from.backtrack_option1;
+  into.backtrack_option2 += from.backtrack_option2;
+  into.shortcuts_taken += from.shortcuts_taken;
+  into.cycle_searches += from.cycle_searches;
+  into.cycle_search_steps += from.cycle_search_steps;
+  into.fast_accepts += from.fast_accepts;
+  into.roots.insert(into.roots.end(), from.roots.begin(), from.roots.end());
+}
 
 }  // namespace
 
@@ -564,69 +598,86 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
     (intact ? kept : affected)[layer].push_back(d);
   }
 
+  // Layers keep their original destination partition, so they stay
+  // independent and recompute concurrently — same argument as route_nue,
+  // and reroute draws no random numbers at all. Per-layer stats slots are
+  // merged in layer order below.
   const CdgIndex idx(net);
+  std::vector<NueStats> layer_stats(old.num_vls());
+  std::vector<RerouteStats> layer_rs(old.num_vls());
+  parallel_for(
+      resolve_threads(opt.num_threads), old.num_vls(),
+      [&](std::size_t layer) {
+        if (kept[layer].empty() && affected[layer].empty()) return;
+        NueStats& ls = layer_stats[layer];
+        RerouteStats& lrs = layer_rs[layer];
+        if (affected[layer].empty()) {
+          // Nothing to recompute: reuse every column verbatim.
+          for (NodeId d : kept[layer]) {
+            const std::uint32_t old_di = old.dest_index(d);
+            const std::uint32_t di = rr.dest_index(d);
+            rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
+            for (NodeId v = 0; v < net.num_nodes(); ++v) {
+              if (v == d || !net.node_alive(v)) continue;
+              rr.set_next(v, di, old.next(v, old_di));
+            }
+          }
+          lrs.dests_kept += kept[layer].size();
+          return;
+        }
+        // Escape paths must be marked for every destination we end up
+        // routing (Lemma 3), and preserved columns must be fully
+        // pre-marked before anything new is placed. A kept column can
+        // clash with the escape tree, which demotes it into the routing
+        // set — and that grows the escape requirement, so iterate to a
+        // fixpoint (bounded by the kept-column count; almost always a
+        // single pass).
+        std::vector<NodeId> to_route = affected[layer];
+        std::vector<NodeId> keep_cols = kept[layer];
+        std::unique_ptr<LayerRouter> router;
+        while (true) {
+          const NodeId root = opt.central_root
+                                  ? select_escape_root(net, to_route)
+                                  : net.switches().front();
+          router = std::make_unique<LayerRouter>(net, idx, root, opt, ls);
+          router->init_escape_paths(to_route);
+          bool demoted = false;
+          std::vector<NodeId> still_kept;
+          for (NodeId d : keep_cols) {
+            if (router->premark_column_checked(old, old.dest_index(d), d)) {
+              still_kept.push_back(d);
+            } else {
+              to_route.push_back(d);
+              ++lrs.dests_demoted;
+              demoted = true;
+            }
+          }
+          keep_cols.swap(still_kept);
+          if (!demoted) break;
+          // Rebuild from scratch with the enlarged routing set.
+        }
+        for (NodeId d : keep_cols) {
+          const std::uint32_t old_di = old.dest_index(d);
+          const std::uint32_t di = rr.dest_index(d);
+          rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
+          for (NodeId v = 0; v < net.num_nodes(); ++v) {
+            if (v == d || !net.node_alive(v)) continue;
+            rr.set_next(v, di, old.next(v, old_di));
+          }
+          ++lrs.dests_kept;
+        }
+        for (NodeId d : to_route) {
+          const std::uint32_t di = rr.dest_index(d);
+          rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
+          router->route_destination(d, rr, di);
+          ++lrs.dests_rerouted;
+        }
+      });
   for (std::uint32_t layer = 0; layer < old.num_vls(); ++layer) {
-    if (kept[layer].empty() && affected[layer].empty()) continue;
-    if (affected[layer].empty()) {
-      // Nothing to recompute: reuse every column verbatim.
-      for (NodeId d : kept[layer]) {
-        const std::uint32_t old_di = old.dest_index(d);
-        const std::uint32_t di = rr.dest_index(d);
-        rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
-        for (NodeId v = 0; v < net.num_nodes(); ++v) {
-          if (v == d || !net.node_alive(v)) continue;
-          rr.set_next(v, di, old.next(v, old_di));
-        }
-      }
-      rs.dests_kept += kept[layer].size();
-      continue;
-    }
-    // Escape paths must be marked for every destination we end up
-    // routing (Lemma 3), and preserved columns must be fully pre-marked
-    // before anything new is placed. A kept column can clash with the
-    // escape tree, which demotes it into the routing set — and that grows
-    // the escape requirement, so iterate to a fixpoint (bounded by the
-    // kept-column count; almost always a single pass).
-    std::vector<NodeId> to_route = affected[layer];
-    std::vector<NodeId> keep_cols = kept[layer];
-    std::unique_ptr<LayerRouter> router;
-    while (true) {
-      const NodeId root = opt.central_root
-                              ? select_escape_root(net, to_route)
-                              : net.switches().front();
-      router = std::make_unique<LayerRouter>(net, idx, root, opt, st);
-      router->init_escape_paths(to_route);
-      bool demoted = false;
-      std::vector<NodeId> still_kept;
-      for (NodeId d : keep_cols) {
-        if (router->premark_column_checked(old, old.dest_index(d), d)) {
-          still_kept.push_back(d);
-        } else {
-          to_route.push_back(d);
-          ++rs.dests_demoted;
-          demoted = true;
-        }
-      }
-      keep_cols.swap(still_kept);
-      if (!demoted) break;
-      // Rebuild from scratch with the enlarged routing set.
-    }
-    for (NodeId d : keep_cols) {
-      const std::uint32_t old_di = old.dest_index(d);
-      const std::uint32_t di = rr.dest_index(d);
-      rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
-      for (NodeId v = 0; v < net.num_nodes(); ++v) {
-        if (v == d || !net.node_alive(v)) continue;
-        rr.set_next(v, di, old.next(v, old_di));
-      }
-      ++rs.dests_kept;
-    }
-    for (NodeId d : to_route) {
-      const std::uint32_t di = rr.dest_index(d);
-      rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
-      router->route_destination(d, rr, di);
-      ++rs.dests_rerouted;
-    }
+    merge_stats(st, layer_stats[layer]);
+    rs.dests_kept += layer_rs[layer].dests_kept;
+    rs.dests_rerouted += layer_rs[layer].dests_rerouted;
+    rs.dests_demoted += layer_rs[layer].dests_demoted;
   }
   return rr;
 }
@@ -638,42 +689,59 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
   NueStats& st = stats ? *stats : local;
   st = NueStats{};
 
+  // Sequential RNG prologue: every draw from the shared generator happens
+  // here, in layer order — the partitioning, then each non-empty subset's
+  // shuffle. The shuffle randomizes the routing order because consecutive
+  // ids are usually terminals of the same switch whose near-identical
+  // trees would pile dependencies onto the same channels before the
+  // balancing weights can react. LayerRouter itself never draws, so the
+  // layers below can run concurrently with output bit-identical to the
+  // serial engine at every thread count (docs/PARALLELISM.md).
   Rng rng(opt.seed);
-  const auto parts = partition_destinations(net, dests, opt.num_vls,
-                                            opt.partition, rng);
+  auto parts = partition_destinations(net, dests, opt.num_vls,
+                                      opt.partition, rng);
+  for (std::uint32_t layer = 0; layer < opt.num_vls; ++layer) {
+    if (!parts[layer].empty()) rng.shuffle(parts[layer]);
+  }
+
   RoutingResult rr(net.num_nodes(), dests, opt.num_vls, VlMode::kPerDest);
   const CdgIndex idx(net);
 
-  for (std::uint32_t layer = 0; layer < opt.num_vls; ++layer) {
-    auto subset = parts[layer];
-    if (subset.empty()) continue;
-    // Route destinations in randomized order: consecutive ids are usually
-    // terminals of the same switch whose near-identical trees would pile
-    // dependencies onto the same channels before the balancing weights
-    // can react.
-    rng.shuffle(subset);
-    NodeId root;
-    if (opt.central_root) {
-      root = select_escape_root(net, subset);
-    } else {
-      // Ablation: arbitrary (first alive switch).
-      root = kInvalidNode;
-      for (NodeId v = 0; v < net.num_nodes() && root == kInvalidNode; ++v) {
-        if (net.node_alive(v) && net.is_switch(v)) root = v;
-      }
-    }
-    st.roots.push_back(root);
+  // One task per virtual layer. Each writes only its own destinations'
+  // table columns (disjoint memory) and its own stats slot; the merge
+  // below runs in layer order, so nothing depends on scheduling.
+  std::vector<NueStats> layer_stats(opt.num_vls);
+  parallel_for(
+      resolve_threads(opt.num_threads), opt.num_vls, [&](std::size_t layer) {
+        const auto& subset = parts[layer];
+        if (subset.empty()) return;
+        NueStats& ls = layer_stats[layer];
+        NodeId root;
+        if (opt.central_root) {
+          root = select_escape_root(net, subset);
+        } else {
+          // Ablation: arbitrary (first alive switch).
+          root = kInvalidNode;
+          for (NodeId v = 0; v < net.num_nodes() && root == kInvalidNode;
+               ++v) {
+            if (net.node_alive(v) && net.is_switch(v)) root = v;
+          }
+        }
+        ls.roots.push_back(root);
 
-    LayerRouter router(net, idx, root, opt, st);
-    router.init_escape_paths(subset);
-    for (NodeId d : subset) {
-      const std::uint32_t di = rr.dest_index(d);
-      rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
-      router.route_destination(d, rr, di);
-    }
-    st.cycle_searches += router.cdg_stats().dfs_searches;
-    st.cycle_search_steps += router.cdg_stats().dfs_steps;
-    st.fast_accepts += router.cdg_stats().fast_accepts;
+        LayerRouter router(net, idx, root, opt, ls);
+        router.init_escape_paths(subset);
+        for (NodeId d : subset) {
+          const std::uint32_t di = rr.dest_index(d);
+          rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
+          router.route_destination(d, rr, di);
+        }
+        ls.cycle_searches += router.cdg_stats().dfs_searches;
+        ls.cycle_search_steps += router.cdg_stats().dfs_steps;
+        ls.fast_accepts += router.cdg_stats().fast_accepts;
+      });
+  for (std::uint32_t layer = 0; layer < opt.num_vls; ++layer) {
+    merge_stats(st, layer_stats[layer]);
   }
   return rr;
 }

@@ -54,6 +54,12 @@ struct NueOptions {
   /// evaluated topology families (swept in the ablation bench).
   double balance_damping = 50.0;
   std::uint64_t seed = 1;
+  /// Worker threads for routing the virtual layers (0 = process default
+  /// from --threads, 1 = serial). Layers are independent by construction
+  /// (§4.5 partitions the destinations), and all RNG draws happen in a
+  /// sequential prologue, so the result is bit-identical to the serial
+  /// engine at every thread count (docs/PARALLELISM.md).
+  std::uint32_t num_threads = 0;
 };
 
 struct NueStats {

@@ -7,28 +7,31 @@
 #include "routing/layer_cdg.hpp"
 #include "routing/sssp_engine.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nue {
 
 namespace {
 
 /// Compute the balanced per-destination trees and fill the next tables.
+/// Trees of one update epoch run concurrently (see build_balanced_trees);
+/// the table fill writes disjoint destination columns, so it is parallel
+/// and exact at any thread count.
 std::vector<DestTree> build_trees(const Network& net,
                                   const std::vector<NodeId>& dests,
-                                  RoutingResult& rr) {
+                                  RoutingResult& rr, std::uint32_t epoch,
+                                  std::uint32_t threads) {
   std::vector<double> weights(net.num_channels(), 1.0);
-  std::vector<DestTree> trees;
-  trees.reserve(dests.size());
-  for (std::size_t di = 0; di < dests.size(); ++di) {
-    DestTree t = dest_tree(net, dests[di], weights);
-    apply_weight_update(weights, tree_channel_usage(net, t));
+  std::vector<DestTree> trees =
+      build_balanced_trees(net, dests, weights, epoch, threads);
+  parallel_for(resolve_threads(threads), dests.size(), [&](std::size_t di) {
+    const DestTree& t = trees[di];
     for (NodeId v = 0; v < net.num_nodes(); ++v) {
       if (t.next[v] != kInvalidChannel) {
         rr.set_next(v, static_cast<std::uint32_t>(di), t.next[v]);
       }
     }
-    trees.push_back(std::move(t));
-  }
+  });
   return trees;
 }
 
@@ -45,7 +48,7 @@ class DfssspSolver {
   DfssspSolver(const Network& net, const std::vector<NodeId>& dests,
                const DfssspOptions& opt, RoutingResult& rr)
       : net_(net), dests_(dests), opt_(opt), rr_(rr), idx_(net) {
-    trees_ = build_trees(net, dests, rr);
+    trees_ = build_trees(net, dests, rr, opt.sssp_epoch, opt.num_threads);
     hard_cap_ = opt.allow_exceed ? 64u : opt.max_vls;
   }
 
@@ -63,23 +66,39 @@ class DfssspSolver {
  private:
   /// All paths start in layer 0; seed its dependency counts from the tree
   /// structure: every source crossing channel e into node v continues via
-  /// next(v), so the pair (e, next(v)) carries usage(e) paths.
+  /// next(v), so the pair (e, next(v)) carries usage(e) paths. The usage
+  /// vectors are pure per-tree reductions and run concurrently in blocks;
+  /// the dependency counts are added serially in destination order.
   void seed_layer0() {
-    for (std::size_t di = 0; di < dests_.size(); ++di) {
-      const auto& t = trees_[di];
-      const auto usage = tree_channel_usage(net_, t);
-      for (NodeId w = 0; w < net_.num_nodes(); ++w) {
-        const ChannelId e = t.next[w];
-        if (e == kInvalidChannel || usage[e] == 0) continue;
-        const NodeId v = net_.dst(e);
-        if (v == t.dest) continue;
-        const ChannelId out = t.next[v];
-        NUE_DCHECK(out != kInvalidChannel);
-        if (touches_terminal(net_, e, out)) continue;
-        const auto eid = idx_.edge_id(e, out);
-        NUE_DCHECK(eid != CdgIndex::kNoEdge);
-        layers_[0]->add(eid, usage[e]);
+    const unsigned agents = resolve_threads(opt_.num_threads);
+    const std::size_t block =
+        std::max<std::size_t>(static_cast<std::size_t>(agents) * 4, 1);
+    std::vector<std::vector<std::uint32_t>> usages(
+        std::min(block, dests_.size()));
+    for (std::size_t base = 0; base < dests_.size(); base += block) {
+      const std::size_t count = std::min(block, dests_.size() - base);
+      parallel_for(agents, count, [&](std::size_t i) {
+        usages[i] = tree_channel_usage(net_, trees_[base + i]);
+      });
+      for (std::size_t i = 0; i < count; ++i) {
+        seed_one_tree(trees_[base + i], usages[i]);
       }
+    }
+  }
+
+  void seed_one_tree(const DestTree& t,
+                     const std::vector<std::uint32_t>& usage) {
+    for (NodeId w = 0; w < net_.num_nodes(); ++w) {
+      const ChannelId e = t.next[w];
+      if (e == kInvalidChannel || usage[e] == 0) continue;
+      const NodeId v = net_.dst(e);
+      if (v == t.dest) continue;
+      const ChannelId out = t.next[v];
+      NUE_DCHECK(out != kInvalidChannel);
+      if (touches_terminal(net_, e, out)) continue;
+      const auto eid = idx_.edge_id(e, out);
+      NUE_DCHECK(eid != CdgIndex::kNoEdge);
+      layers_[0]->add(eid, usage[e]);
     }
   }
 
@@ -290,7 +309,7 @@ class DfssspSolver {
 RoutingResult route_minhop(const Network& net,
                            const std::vector<NodeId>& dests) {
   RoutingResult rr(net.num_nodes(), dests, 1, VlMode::kPerDest);
-  build_trees(net, dests, rr);
+  build_trees(net, dests, rr, /*epoch=*/1, /*threads=*/0);
   return rr;
 }
 

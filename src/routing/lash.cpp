@@ -7,6 +7,7 @@
 #include "routing/layer_cdg.hpp"
 #include "routing/sssp_engine.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nue {
 
@@ -14,6 +15,7 @@ RoutingResult route_lash(const Network& net, const std::vector<NodeId>& dests,
                          const LashOptions& opt, LashStats* stats) {
   const std::uint32_t hard_cap = opt.allow_exceed ? 64 : opt.max_vls;
   RoutingResult rr(net.num_nodes(), dests, hard_cap, VlMode::kPerSource);
+  const unsigned agents = resolve_threads(opt.num_threads);
 
   // Balanced shortest-path tree per destination (tables per destination
   // node; switch-pair layering below reuses the destination switch's tree).
@@ -21,19 +23,17 @@ RoutingResult route_lash(const Network& net, const std::vector<NodeId>& dests,
   const auto switches = net.switches();
   std::vector<std::uint32_t> sw_tree_of(net.num_nodes(),
                                         static_cast<std::uint32_t>(-1));
-  std::vector<DestTree> sw_trees;
-  sw_trees.reserve(switches.size());
-  for (NodeId sw : switches) {
-    sw_tree_of[sw] = static_cast<std::uint32_t>(sw_trees.size());
-    sw_trees.push_back(dest_tree(net, sw, weights));
-    apply_weight_update(weights,
-                        tree_channel_usage(net, sw_trees.back()));
+  std::vector<DestTree> sw_trees = build_balanced_trees(
+      net, switches, weights, opt.sssp_epoch, opt.num_threads);
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    sw_tree_of[switches[i]] = static_cast<std::uint32_t>(i);
   }
 
   // Fill destination tables: route to the destination's switch along the
   // switch tree, then take the access link. For switch destinations use
-  // their own tree directly.
-  for (std::size_t di = 0; di < dests.size(); ++di) {
+  // their own tree directly. Destinations own disjoint table columns, so
+  // the fill parallelizes exactly.
+  parallel_for(agents, dests.size(), [&](std::size_t di) {
     const NodeId d = dests[di];
     const NodeId dsw = net.is_terminal(d) ? net.terminal_switch(d) : d;
     const auto& tree = sw_trees[sw_tree_of[dsw]];
@@ -58,25 +58,30 @@ RoutingResult route_lash(const Network& net, const std::vector<NodeId>& dests,
         rr.set_next(t, static_cast<std::uint32_t>(di), reverse(c));
       }
     }
-  }
+  });
 
   // Layer assignment per (source switch, destination switch) pair,
-  // shortest paths first.
+  // shortest paths first. Path lengths are independent tree walks; the
+  // pair list is laid out by (source index, destination index) so the
+  // stable sort below sees the same sequence at any thread count.
   struct Pair {
     NodeId src_sw, dst_sw;
     std::uint32_t len;
   };
-  std::vector<Pair> pairs;
-  pairs.reserve(switches.size() * (switches.size() - 1));
-  for (NodeId s : switches) {
-    for (NodeId d : switches) {
+  const std::size_t nsw = switches.size();
+  std::vector<Pair> pairs(nsw * (nsw - 1));
+  parallel_for(agents, nsw, [&](std::size_t si) {
+    const NodeId s = switches[si];
+    std::size_t slot = si * (nsw - 1);
+    for (std::size_t dj = 0; dj < nsw; ++dj) {
+      const NodeId d = switches[dj];
       if (s == d) continue;
       const auto& tree = sw_trees[sw_tree_of[d]];
       std::uint32_t len = 0;
       for (NodeId at = s; at != d; at = net.dst(tree.next[at])) ++len;
-      pairs.push_back({s, d, len});
+      pairs[slot++] = {s, d, len};
     }
-  }
+  });
   std::stable_sort(pairs.begin(), pairs.end(),
                    [](const Pair& a, const Pair& b) { return a.len < b.len; });
 
@@ -137,8 +142,9 @@ RoutingResult route_lash(const Network& net, const std::vector<NodeId>& dests,
     }
   }
 
-  // VL per (source, destination): the switch pair's layer.
-  for (std::size_t di = 0; di < dests.size(); ++di) {
+  // VL per (source, destination): the switch pair's layer. Pure reads of
+  // pair_layer into disjoint columns — exact at any thread count.
+  parallel_for(agents, dests.size(), [&](std::size_t di) {
     const NodeId d = dests[di];
     const NodeId dsw = net.is_terminal(d) ? net.terminal_switch(d) : d;
     for (NodeId s = 0; s < net.num_nodes(); ++s) {
@@ -152,7 +158,7 @@ RoutingResult route_lash(const Network& net, const std::vector<NodeId>& dests,
                                   dsw];
       rr.set_source_vl(s, static_cast<std::uint32_t>(di), vl);
     }
-  }
+  });
 
   if (stats) stats->vls_needed = static_cast<std::uint32_t>(layers.size());
   return rr;

@@ -1,23 +1,30 @@
 #include "routing/sssp_engine.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "heap/dary_heap.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nue {
 
-DestTree dest_tree(const Network& net, NodeId dest,
-                   const std::vector<double>& weights) {
+namespace {
+
+/// dest_tree with caller-provided heap scratch (cleared on entry), so one
+/// execution agent can reuse its heap across the trees of an epoch.
+DestTree dest_tree_with(const Network& net, NodeId dest,
+                        const std::vector<double>& weights,
+                        DaryHeap<double>& heap) {
   NUE_CHECK(net.node_alive(dest));
   NUE_CHECK(weights.size() == net.num_channels());
+  heap.clear();
   DestTree t;
   t.dest = dest;
   t.next.assign(net.num_nodes(), kInvalidChannel);
   t.distance.assign(net.num_nodes(),
                     std::numeric_limits<double>::infinity());
   t.settle_order.reserve(net.num_alive_nodes());
-  DaryHeap<double> heap(net.num_nodes());
   t.distance[dest] = 0.0;
   heap.insert(dest, 0.0);
   while (!heap.empty()) {
@@ -38,6 +45,48 @@ DestTree dest_tree(const Network& net, NodeId dest,
     }
   }
   return t;
+}
+
+}  // namespace
+
+DestTree dest_tree(const Network& net, NodeId dest,
+                   const std::vector<double>& weights) {
+  DaryHeap<double> heap(net.num_nodes());
+  return dest_tree_with(net, dest, weights, heap);
+}
+
+std::vector<DestTree> build_balanced_trees(const Network& net,
+                                           const std::vector<NodeId>& dests,
+                                           std::vector<double>& weights,
+                                           std::uint32_t epoch,
+                                           std::uint32_t threads) {
+  if (epoch == 0) epoch = 1;
+  const unsigned agents = resolve_threads(threads);
+  std::vector<DestTree> trees(dests.size());
+  std::vector<std::vector<std::uint32_t>> usages(
+      std::min<std::size_t>(epoch, dests.size()));
+  for (std::size_t base = 0; base < dests.size(); base += epoch) {
+    const std::size_t count =
+        std::min<std::size_t>(epoch, dests.size() - base);
+    // Within the epoch every tree reads the same weight snapshot; the
+    // chunk grain only decides which agent computes which trees (heap
+    // scratch is fully reset per tree), so results are thread-agnostic.
+    const std::size_t grain = (count + agents - 1) / agents;
+    parallel_for_chunks(agents, count, grain,
+                        [&](std::size_t b, std::size_t e) {
+                          DaryHeap<double> heap(net.num_nodes());
+                          for (std::size_t i = b; i < e; ++i) {
+                            trees[base + i] = dest_tree_with(
+                                net, dests[base + i], weights, heap);
+                            usages[i] =
+                                tree_channel_usage(net, trees[base + i]);
+                          }
+                        });
+    for (std::size_t i = 0; i < count; ++i) {
+      apply_weight_update(weights, usages[i]);
+    }
+  }
+  return trees;
 }
 
 std::vector<std::uint32_t> tree_channel_usage(const Network& net,

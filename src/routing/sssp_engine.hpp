@@ -38,6 +38,20 @@ constexpr double kHopWeight = 1e10;
 DestTree dest_tree(const Network& net, NodeId dest,
                    const std::vector<double>& weights);
 
+/// Balanced tree set with the DFSSSP weight feedback, computed in update
+/// epochs: the `epoch` destinations of one epoch all see the weight
+/// snapshot taken at the epoch boundary and are therefore independent —
+/// they run concurrently on up to `threads` workers (0 = global default),
+/// each with its own heap/dist/pred scratch. The weight updates are then
+/// applied serially in destination order, so the result depends only on
+/// `epoch`, never on the thread count. epoch == 1 reproduces the fully
+/// serial feedback loop (update after every tree) bit-for-bit.
+std::vector<DestTree> build_balanced_trees(const Network& net,
+                                           const std::vector<NodeId>& dests,
+                                           std::vector<double>& weights,
+                                           std::uint32_t epoch,
+                                           std::uint32_t threads);
+
 /// Number of terminal sources whose route crosses each channel of the
 /// tree; used for both weight updates and forwarding-index accounting.
 std::vector<std::uint32_t> tree_channel_usage(const Network& net,

@@ -1,0 +1,53 @@
+// Generation-stamped scratch vectors: O(1) bulk reset for per-step scratch
+// that would otherwise be cleared with full-size std::fill calls.
+//
+// Every slot carries the epoch in which it was last written; a read from a
+// slot whose stamp is stale yields the default value, exactly as if the
+// vector had been refilled with the default at the start of the epoch.
+// Used by Nue's LayerRouter, whose per-destination reset was a set of
+// O(|nodes| + |channels|) fills that dominate the step setup on large
+// low-diameter fabrics (Kautz, Dragonfly) where each search step touches
+// only a fraction of the channel array.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace nue {
+
+template <typename T>
+class EpochVector {
+ public:
+  EpochVector(std::size_t n, T def)
+      : val_(n, def), gen_(n, 0), def_(def) {}
+
+  /// O(1) logical reset of every slot to the default value. (On the
+  /// ~2^32-step wraparound the stamps are cleared once, keeping reads
+  /// unambiguous.)
+  void next_epoch() {
+    if (++cur_ == 0) {
+      std::fill(gen_.begin(), gen_.end(), 0);
+      cur_ = 1;
+    }
+  }
+
+  T operator[](std::size_t i) const {
+    return gen_[i] == cur_ ? val_[i] : def_;
+  }
+
+  void set(std::size_t i, T v) {
+    gen_[i] = cur_;
+    val_[i] = v;
+  }
+
+  std::size_t size() const { return val_.size(); }
+
+ private:
+  std::vector<T> val_;
+  std::vector<std::uint32_t> gen_;
+  std::uint32_t cur_ = 1;
+  T def_;
+};
+
+}  // namespace nue

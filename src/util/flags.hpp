@@ -42,6 +42,15 @@ class Flags {
     return v ? *v : def;
   }
 
+  /// Register + read the standard --threads flag shared by every binary:
+  /// 0 = hardware concurrency, 1 = fully serial legacy path. The caller
+  /// passes the result to set_default_threads() (util/thread_pool.hpp).
+  std::uint32_t get_threads() {
+    return static_cast<std::uint32_t>(get_int(
+        "threads", 0,
+        "worker threads (0 = hardware concurrency, 1 = serial)"));
+  }
+
   bool get_bool(const std::string& name, bool def, const std::string& help) {
     describe(name, def ? "true" : "false", help);
     const auto v = find(name);

@@ -1,0 +1,179 @@
+// Parallel determinism: every engine must produce bit-identical results at
+// any thread count. Nue draws all randomness in a sequential prologue and
+// routes its independent layers concurrently; the baselines parallelize
+// within a weight-update epoch; Brandes reduces per-source vectors in
+// source order. None of it may leak scheduling into the output
+// (docs/PARALLELISM.md).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/dump.hpp"
+#include "routing/lash.hpp"
+#include "routing/validate.hpp"
+#include "test_helpers.hpp"
+#include "topology/faults.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+constexpr std::uint32_t kThreadCounts[] = {1, 2, 8};
+
+std::string tables_of(const Network& net, const RoutingResult& rr) {
+  std::ostringstream os;
+  write_forwarding_tables(os, net, rr);
+  return os.str();
+}
+
+Network torus_4x4() {
+  TorusSpec spec{{4, 4}, 2, 1};
+  return make_torus(spec);
+}
+
+Network fat_tree_3level() {
+  FatTreeSpec spec;
+  spec.k = 2;
+  spec.n = 3;
+  spec.terminals_per_leaf = 2;
+  return make_kary_ntree(spec);
+}
+
+void expect_stats_eq(const NueStats& a, const NueStats& b) {
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+  EXPECT_EQ(a.islands_resolved, b.islands_resolved);
+  EXPECT_EQ(a.islands_unresolved, b.islands_unresolved);
+  EXPECT_EQ(a.backtrack_option1, b.backtrack_option1);
+  EXPECT_EQ(a.backtrack_option2, b.backtrack_option2);
+  EXPECT_EQ(a.shortcuts_taken, b.shortcuts_taken);
+  EXPECT_EQ(a.cycle_searches, b.cycle_searches);
+  EXPECT_EQ(a.cycle_search_steps, b.cycle_search_steps);
+  EXPECT_EQ(a.fast_accepts, b.fast_accepts);
+  EXPECT_EQ(a.roots, b.roots);
+}
+
+void check_nue(const Network& net, std::uint32_t num_vls) {
+  NueOptions opt;
+  opt.num_vls = num_vls;
+  opt.num_threads = 1;
+  NueStats base_stats;
+  const auto base = route_nue(net, net.terminals(), opt, &base_stats);
+  ASSERT_TRUE(validate_routing(net, base).ok());
+  const std::string base_tables = tables_of(net, base);
+  for (std::uint32_t t : kThreadCounts) {
+    opt.num_threads = t;
+    NueStats st;
+    const auto rr = route_nue(net, net.terminals(), opt, &st);
+    EXPECT_EQ(tables_of(net, rr), base_tables) << "threads=" << t;
+    expect_stats_eq(st, base_stats);
+  }
+}
+
+TEST(ParallelDeterminism, NueTorus) { check_nue(torus_4x4(), 4); }
+
+TEST(ParallelDeterminism, NueFatTree) { check_nue(fat_tree_3level(), 4); }
+
+TEST(ParallelDeterminism, RerouteNue) {
+  for (const bool fat_tree : {false, true}) {
+    Network net = fat_tree ? fat_tree_3level() : torus_4x4();
+    NueOptions opt;
+    opt.num_vls = 4;
+    const auto old = route_nue(net, net.terminals(), opt);
+    Rng rng(7);
+    ASSERT_GE(inject_link_failures(net, 2, rng), 1u);
+
+    opt.num_threads = 1;
+    RerouteStats base_rs;
+    NueStats base_stats;
+    const auto base = reroute_nue(net, old, opt, &base_rs, &base_stats);
+    ASSERT_TRUE(validate_routing(net, base).ok());
+    const std::string base_tables = tables_of(net, base);
+    for (std::uint32_t t : kThreadCounts) {
+      opt.num_threads = t;
+      RerouteStats rs;
+      NueStats st;
+      const auto rr = reroute_nue(net, old, opt, &rs, &st);
+      EXPECT_EQ(tables_of(net, rr), base_tables)
+          << "threads=" << t << " fat_tree=" << fat_tree;
+      expect_stats_eq(st, base_stats);
+      EXPECT_EQ(rs.dests_kept, base_rs.dests_kept);
+      EXPECT_EQ(rs.dests_rerouted, base_rs.dests_rerouted);
+      EXPECT_EQ(rs.dests_dropped, base_rs.dests_dropped);
+      EXPECT_EQ(rs.dests_demoted, base_rs.dests_demoted);
+    }
+  }
+}
+
+void check_dfsssp(const Network& net, std::uint32_t epoch) {
+  DfssspOptions opt;
+  opt.sssp_epoch = epoch;
+  opt.num_threads = 1;
+  DfssspStats base_stats;
+  const auto base = route_dfsssp(net, net.terminals(), opt, &base_stats);
+  const std::string base_tables = tables_of(net, base);
+  for (std::uint32_t t : kThreadCounts) {
+    opt.num_threads = t;
+    DfssspStats st;
+    const auto rr = route_dfsssp(net, net.terminals(), opt, &st);
+    EXPECT_EQ(tables_of(net, rr), base_tables)
+        << "threads=" << t << " epoch=" << epoch;
+    EXPECT_EQ(st.vls_needed, base_stats.vls_needed);
+    EXPECT_EQ(st.paths_moved, base_stats.paths_moved);
+  }
+}
+
+TEST(ParallelDeterminism, DfssspTorus) { check_dfsssp(torus_4x4(), 1); }
+
+TEST(ParallelDeterminism, DfssspFatTree) {
+  check_dfsssp(fat_tree_3level(), 1);
+}
+
+// Larger epochs change the balance feedback (legitimately, like a solver
+// knob) but still may not depend on the thread count.
+TEST(ParallelDeterminism, DfssspEpochedSweep) {
+  check_dfsssp(torus_4x4(), 4);
+}
+
+TEST(ParallelDeterminism, Lash) {
+  for (const bool fat_tree : {false, true}) {
+    const Network net = fat_tree ? fat_tree_3level() : torus_4x4();
+    LashOptions opt;
+    opt.num_threads = 1;
+    LashStats base_stats;
+    const auto base = route_lash(net, net.terminals(), opt, &base_stats);
+    const std::string base_tables = tables_of(net, base);
+    for (std::uint32_t t : kThreadCounts) {
+      opt.num_threads = t;
+      LashStats st;
+      const auto rr = route_lash(net, net.terminals(), opt, &st);
+      EXPECT_EQ(tables_of(net, rr), base_tables)
+          << "threads=" << t << " fat_tree=" << fat_tree;
+      EXPECT_EQ(st.vls_needed, base_stats.vls_needed);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, Betweenness) {
+  for (const bool fat_tree : {false, true}) {
+    const Network net = fat_tree ? fat_tree_3level() : torus_4x4();
+    const auto base = betweenness_centrality(net, {}, 1);
+    for (std::uint32_t t : kThreadCounts) {
+      const auto cb = betweenness_centrality(net, {}, t);
+      ASSERT_EQ(cb.size(), base.size());
+      for (std::size_t i = 0; i < cb.size(); ++i) {
+        // Bit-exact, not approximate: the reduction order is fixed.
+        EXPECT_EQ(cb[i], base[i]) << "node " << i << " threads=" << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nue

@@ -30,6 +30,7 @@
 #include "topology/torus.hpp"
 #include "topology/trees.hpp"
 #include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -160,7 +161,9 @@ int main(int argc, char** argv) {
       flags.get_int("message-bytes", 2048, "simulated message size"));
   const auto shifts = static_cast<std::uint32_t>(flags.get_int(
       "shift-samples", 8, "all-to-all shift phases to simulate (0 = all)"));
+  const std::uint32_t threads = flags.get_threads();
   if (!flags.finish()) return 1;
+  set_default_threads(threads);
 
   try {
     // --- fabric -------------------------------------------------------------
