@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   Table table({"dead links", "torus-2qos", "nue tput", "nue util_max",
                "nue fallbacks", "reroute [s]", "full [s]"});
   double reroute_seconds = 0.0;
+  std::size_t dead_links = 0;  // achieved count, not the event counter
   for (std::uint32_t event = 0; event <= events; ++event) {
     const auto msgs = alltoall_shift_messages(net, 2048, 16);
     std::string qos_cell = "fail";
@@ -70,12 +71,18 @@ int main(int argc, char** argv) {
     const double full_s = t_full.seconds();
     NUE_CHECK(validate_routing(net, fresh).ok());
     const auto res = simulate(net, fresh, msgs, SimConfig{});
-    table.row() << (event == 0 ? 0u : event) << qos_cell
+    table.row() << dead_links << qos_cell
                 << res.normalized_throughput << res.max_link_utilization
                 << static_cast<std::uint64_t>(nstats.fallbacks)
                 << reroute_seconds << full_s;
     if (event < events) {
-      if (inject_link_failures(net, 1, rng) == 0) break;
+      const std::size_t injected = inject_link_failures(net, 1, rng);
+      if (injected == 0) {
+        std::cerr << "no further link failure injectable after "
+                  << dead_links << " dead links\n";
+        break;
+      }
+      dead_links += injected;
       Timer t_inc;
       RerouteStats rs;
       nue_tables = reroute_nue(net, nue_tables, opt, &rs);

@@ -40,6 +40,11 @@ struct JsonRecord {
   std::uint32_t threads;
   double wall_ms;
   bool applicable;
+  // Fault injection can fall short of the request (inject_link_failures
+  // skips bridges and gives up after a bounded number of attempts); the
+  // records carry the achieved count so the fault rate is never mislabeled.
+  std::size_t faults_requested;
+  std::size_t faults_achieved;
 };
 
 std::vector<std::uint32_t> parse_thread_list(const std::string& s) {
@@ -61,7 +66,9 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
     os << "  {\"topology\": \"" << r.topology << "\", \"engine\": \""
        << r.engine << "\", \"threads\": " << r.threads
        << ", \"wall_ms\": " << r.wall_ms
-       << ", \"applicable\": " << (r.applicable ? "true" : "false") << "}"
+       << ", \"applicable\": " << (r.applicable ? "true" : "false")
+       << ", \"faults_requested\": " << r.faults_requested
+       << ", \"faults_achieved\": " << r.faults_achieved << "}"
        << (i + 1 < recs.size() ? "," : "") << "\n";
   }
   os << "]\n";
@@ -105,11 +112,14 @@ int main(int argc, char** argv) {
     TorusSpec spec{dims, 4, 1};
     Network net = make_torus(spec);
     Rng rng(seed + nsw);
-    const auto faults = inject_link_failures(
-        net,
-        static_cast<std::size_t>(
-            std::ceil(fault_pct / 100.0 * 3.0 * nsw)),
-        rng);
+    const auto faults_requested = static_cast<std::size_t>(
+        std::ceil(fault_pct / 100.0 * 3.0 * nsw));
+    const auto faults = inject_link_failures(net, faults_requested, rng);
+    if (faults < faults_requested) {
+      std::cerr << "warning: only " << faults << "/" << faults_requested
+                << " link failures injectable on " << dims[0] << "x"
+                << dims[1] << "x" << dims[2] << "\n";
+    }
     const auto dests = net.terminals();
 
     auto cell = [&](const RoutingRun& run) -> std::string {
@@ -130,8 +140,8 @@ int main(int argc, char** argv) {
     // Torus-2QoS has no parallel phase: one serial run per fabric.
     const auto qos = run_routing(
         "qos", [&] { return route_torus_qos(net, spec, dests); });
-    records.push_back(
-        {label, "torus-2qos", 1, qos.seconds * 1e3, qos.rr.has_value()});
+    records.push_back({label, "torus-2qos", 1, qos.seconds * 1e3,
+                       qos.rr.has_value(), faults_requested, faults});
 
     // The threaded engines sweep every requested worker count; the table
     // shows the first entry (default 1 = the legacy serial measurement).
@@ -150,12 +160,12 @@ int main(int argc, char** argv) {
         opt.num_threads = t;
         return route_nue(net, dests, opt);
       });
-      records.push_back(
-          {label, "lash", t, lash_t.seconds * 1e3, lash_t.rr.has_value()});
+      records.push_back({label, "lash", t, lash_t.seconds * 1e3,
+                         lash_t.rr.has_value(), faults_requested, faults});
       records.push_back({label, "dfsssp", t, dfsssp_t.seconds * 1e3,
-                         dfsssp_t.rr.has_value()});
-      records.push_back(
-          {label, "nue", t, nue_t.seconds * 1e3, nue_t.rr.has_value()});
+                         dfsssp_t.rr.has_value(), faults_requested, faults});
+      records.push_back({label, "nue", t, nue_t.seconds * 1e3,
+                         nue_t.rr.has_value(), faults_requested, faults});
       if (ti == 0) {
         lash = lash_t;
         dfsssp = dfsssp_t;

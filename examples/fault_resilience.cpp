@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   Rng rng(seed);
 
   Table table({"dead links", "torus-2qos", "nue(2 VLs)", "nue max path"});
+  std::size_t dead_links = 0;  // achieved, not requested (injection can
+                               // fall short on heavily degraded fabrics)
   for (std::uint32_t round = 0; round <= steps; ++round) {
     std::string qos_cell = "-";
     try {
@@ -47,11 +49,18 @@ int main(int argc, char** argv) {
     const auto rr = route_nue(net, net.terminals(), opt);
     const auto rep = validate_routing(net, rr);
     const auto lengths = path_length_stats(net, rr);
-    table.row() << (round * 2) << qos_cell
+    table.row() << dead_links << qos_cell
                 << (rep.ok() ? "ok" : "INVALID")
                 << static_cast<std::uint64_t>(lengths.max);
 
-    if (round < steps) inject_link_failures(net, 2, rng);
+    if (round < steps) {
+      const std::size_t injected = inject_link_failures(net, 2, rng);
+      dead_links += injected;
+      if (injected < 2) {
+        std::cerr << "round " << round << ": only " << injected
+                  << "/2 link failures injectable\n";
+      }
+    }
   }
   table.print();
   std::cout << "\nNue remains applicable on every degraded fabric; the\n"

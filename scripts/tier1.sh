@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer build running the parallel-determinism suite (the tests
-# that exercise the thread pool across engines; see docs/PARALLELISM.md).
+# that exercise the thread pool across engines; see docs/PARALLELISM.md),
+# then a UBSan build running the fixed-seed fuzz smoke corpus (every
+# topology generator x routing engine through the invariant oracle; see
+# docs/FUZZING.md — a larger randomized sweep is `route_fuzz --nightly`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,5 +16,10 @@ cmake -B build-tsan -S . -DSANITIZE=thread
 cmake --build build-tsan -j --target nue_tests
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/nue_tests --gtest_filter='ParallelDeterminism.*'
+
+cmake -B build-ubsan -S . -DSANITIZE=undefined
+cmake --build build-ubsan -j --target route_fuzz
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  ./build-ubsan/tools/route_fuzz --smoke
 
 echo "tier-1 OK"

@@ -1,0 +1,214 @@
+// Greedy failure minimization and the replayable reproducer format.
+//
+// Reproducer files are plain text:
+//
+//   route_fuzz-repro v1
+//   seed <u64>
+//   generate <generator spec>
+//   engine <name>
+//   vls <k>
+//   fail-links <requested>
+//   fail-switches <requested>
+//   mutation <name>
+//   expect <violation kind>
+//   remove switch <node id>      (zero or more, in shrink order)
+//   remove link <channel id>
+//   fabric
+//   <write_fabric dump of the fully degraded network>
+//
+// Replay regenerates the fabric from the generator spec + seed (the ids
+// the removal lists refer to only exist in that original id space) and
+// uses the embedded dump purely as a cross-check that generator, fault
+// injector, and minimizer still reproduce the same degraded network.
+#include "fuzz/fuzz.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "topology/fabric_io.hpp"
+#include "util/error.hpp"
+
+namespace nue::fuzz {
+
+namespace {
+
+/// Re-run the scenario with one more removal; true iff it still fails
+/// with the same violation kind. Unsafe removals (disconnection, last
+/// terminals, dead ids) throw inside build_scenario and count as "no".
+bool still_fails(const ScenarioSpec& spec, const std::vector<Removal>& removals,
+                 const std::string& expect, const OracleConfig& cfg) {
+  try {
+    return violation_kind(run_scenario(spec, removals, cfg)) == expect;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string dump_fabric(const Network& net) {
+  std::stringstream ss;
+  write_fabric(ss, net);
+  return ss.str();
+}
+
+}  // namespace
+
+Reproducer minimize_scenario(const ScenarioSpec& spec,
+                             const MinimizeConfig& cfg) {
+  Reproducer r;
+  r.spec = spec;
+  {
+    const OracleReport rep = run_scenario(spec, {}, cfg.oracle);
+    NUE_CHECK_MSG(!rep.ok(), "minimize_scenario: '" << spec.label()
+                                                    << "' does not fail");
+    r.expect = violation_kind(rep);
+  }
+  // Greedy descent: sweep all candidate removals, keep any that preserves
+  // the violation, and repeat until a full sweep makes no progress (or
+  // the trial budget runs out). The candidate list is re-derived from the
+  // current shrunken fabric each round.
+  std::size_t trials = 0;
+  bool progress = true;
+  while (progress && trials < cfg.max_trials) {
+    progress = false;
+    ScenarioBuild cur = build_scenario(spec, r.removals);
+    for (NodeId v = 0; v < cur.net.num_nodes() && trials < cfg.max_trials;
+         ++v) {
+      if (!cur.net.node_alive(v) || cur.net.is_terminal(v)) continue;
+      auto cand = r.removals;
+      cand.push_back({true, v});
+      ++trials;
+      if (still_fails(spec, cand, r.expect, cfg.oracle)) {
+        r.removals = std::move(cand);
+        cur = build_scenario(spec, r.removals);
+        progress = true;
+      }
+    }
+    for (ChannelId c = 0; c < cur.net.num_channels() && trials < cfg.max_trials;
+         c += 2) {
+      if (!cur.net.channel_alive(c)) continue;
+      if (cur.net.is_terminal(cur.net.src(c)) ||
+          cur.net.is_terminal(cur.net.dst(c))) {
+        continue;
+      }
+      auto cand = r.removals;
+      cand.push_back({false, c});
+      ++trials;
+      if (still_fails(spec, cand, r.expect, cfg.oracle)) {
+        r.removals = std::move(cand);
+        cur = build_scenario(spec, r.removals);
+        progress = true;
+      }
+    }
+  }
+  r.fabric_dump = dump_fabric(build_scenario(spec, r.removals).net);
+  return r;
+}
+
+void write_reproducer(std::ostream& os, const Reproducer& r) {
+  os << "route_fuzz-repro v1\n";
+  os << "seed " << r.spec.seed << "\n";
+  os << "generate " << r.spec.generate << "\n";
+  os << "engine " << engine_name(r.spec.engine) << "\n";
+  os << "vls " << r.spec.vls << "\n";
+  os << "fail-links " << r.spec.fail_links << "\n";
+  os << "fail-switches " << r.spec.fail_switches << "\n";
+  os << "mutation " << mutation_name(r.spec.mutation) << "\n";
+  os << "expect " << r.expect << "\n";
+  for (const Removal& rm : r.removals) {
+    os << "remove " << (rm.is_switch ? "switch" : "link") << " " << rm.id
+       << "\n";
+  }
+  os << "fabric\n";
+  if (!r.fabric_dump.empty()) {
+    os << r.fabric_dump;
+  } else {
+    write_fabric(os, build_scenario(r.spec, r.removals).net);
+  }
+}
+
+Reproducer read_reproducer(std::istream& is) {
+  Reproducer r;
+  std::string line;
+  NUE_CHECK_MSG(std::getline(is, line) && line == "route_fuzz-repro v1",
+                "not a route_fuzz reproducer (bad header)");
+  bool in_fabric = false;
+  std::stringstream fabric;
+  while (std::getline(is, line)) {
+    if (in_fabric) {
+      fabric << line << "\n";
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (key == "seed") {
+      ss >> r.spec.seed;
+    } else if (key == "generate") {
+      ss >> r.spec.generate;
+    } else if (key == "engine") {
+      std::string name;
+      ss >> name;
+      const auto e = engine_from_name(name);
+      NUE_CHECK_MSG(e.has_value(), "reproducer: unknown engine '" << name
+                                                                  << "'");
+      r.spec.engine = *e;
+    } else if (key == "vls") {
+      ss >> r.spec.vls;
+    } else if (key == "fail-links") {
+      ss >> r.spec.fail_links;
+    } else if (key == "fail-switches") {
+      ss >> r.spec.fail_switches;
+    } else if (key == "mutation") {
+      std::string name;
+      ss >> name;
+      const auto m = mutation_from_name(name);
+      NUE_CHECK_MSG(m.has_value(), "reproducer: unknown mutation '" << name
+                                                                    << "'");
+      r.spec.mutation = *m;
+    } else if (key == "expect") {
+      ss >> r.expect;
+    } else if (key == "remove") {
+      std::string what;
+      Removal rm;
+      ss >> what >> rm.id;
+      NUE_CHECK_MSG(what == "switch" || what == "link",
+                    "reproducer: bad removal '" << line << "'");
+      rm.is_switch = what == "switch";
+      r.removals.push_back(rm);
+    } else if (key == "fabric") {
+      in_fabric = true;
+    } else {
+      NUE_CHECK_MSG(false, "reproducer: unknown key '" << key << "'");
+    }
+  }
+  r.fabric_dump = fabric.str();
+  NUE_CHECK_MSG(!r.spec.generate.empty(), "reproducer: missing generate line");
+  NUE_CHECK_MSG(!r.expect.empty(), "reproducer: missing expect line");
+  return r;
+}
+
+Reproducer load_reproducer_file(const std::string& path) {
+  std::ifstream is(path);
+  NUE_CHECK_MSG(is.good(), "cannot open reproducer '" << path << "'");
+  return read_reproducer(is);
+}
+
+void save_reproducer_file(const std::string& path, const Reproducer& r) {
+  std::ofstream os(path);
+  NUE_CHECK_MSG(os.good(), "cannot write reproducer '" << path << "'");
+  write_reproducer(os, r);
+}
+
+ReplayResult replay(const Reproducer& r, const OracleConfig& cfg) {
+  ReplayResult res;
+  ScenarioBuild build;
+  res.report = run_scenario(r.spec, r.removals, cfg, &build);
+  if (!r.fabric_dump.empty()) {
+    res.fabric_matches = dump_fabric(build.net) == r.fabric_dump;
+  }
+  res.reproduced = violation_kind(res.report) == r.expect;
+  return res;
+}
+
+}  // namespace nue::fuzz

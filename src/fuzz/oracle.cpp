@@ -1,0 +1,181 @@
+// The invariant oracle: static validation, engine-promise checks
+// (minimality, deadlock freedom), and the differential flit-sim check.
+#include "fuzz/fuzz.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "sim/flit_sim.hpp"
+#include "util/error.hpp"
+
+namespace nue::fuzz {
+
+namespace {
+
+/// Engines whose tables must be hop-minimal. Fat-tree d-mod-k and the
+/// Torus-2QoS dateline scheme are minimal only on pristine fabrics (fault
+/// avoidance legitimately detours); Nue and Up*/Down* never promise
+/// minimality (routing restrictions forbid some shortest paths).
+bool promises_minimality(Engine e, bool degraded) {
+  switch (e) {
+    case Engine::kMinHop:
+    case Engine::kDfsssp:
+    case Engine::kLash:
+      return true;
+    case Engine::kFatTree:
+    case Engine::kTorusQos:
+      return !degraded;
+    case Engine::kNue:
+    case Engine::kUpDown:
+      return false;
+  }
+  return false;
+}
+
+/// Every engine except the deliberately-unsafe MinHop control promises an
+/// acyclic channel dependency graph.
+bool promises_deadlock_freedom(Engine e) { return e != Engine::kMinHop; }
+
+void add_violation(OracleReport& rep, const std::string& kind,
+                   const std::string& detail) {
+  rep.violations.push_back(kind + ": " + detail);
+}
+
+/// Count source->destination paths longer than the BFS lower bound.
+/// Only called once the table is known connected and cycle-free, so
+/// trace() cannot throw.
+void check_minimality(const Network& net, const RoutingResult& rr,
+                      OracleReport& rep) {
+  rep.minimality_checked = true;
+  const auto sources = net.terminals();
+  for (NodeId d : rr.destinations()) {
+    if (!net.node_alive(d)) continue;
+    const auto dist = bfs_distances(net, d);
+    for (NodeId s : sources) {
+      if (s == d) continue;
+      const auto path = rr.trace(net, s, d);
+      if (path.size() > dist[s]) {
+        if (rep.nonminimal_paths == 0) {
+          std::stringstream ss;
+          ss << "route " << s << " -> " << d << " takes " << path.size()
+             << " hops, BFS lower bound is " << dist[s];
+          add_violation(rep, "non-minimal-path", ss.str());
+        }
+        ++rep.nonminimal_paths;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string violation_kind(const OracleReport& rep) {
+  if (rep.violations.empty()) return "";
+  const std::string& v = rep.violations.front();
+  const auto colon = v.find(':');
+  return colon == std::string::npos ? v : v.substr(0, colon);
+}
+
+OracleReport check_scenario(const ScenarioSpec& spec,
+                            const ScenarioBuild& build,
+                            const EngineOutcome& engine,
+                            const OracleConfig& cfg) {
+  OracleReport rep;
+  const Network& net = build.net;
+
+  if (engine.crashed) {
+    add_violation(rep, "engine-exception", engine.error);
+    return rep;
+  }
+  if (!engine.rr.has_value()) {
+    rep.applicable = false;
+    rep.engine_error = engine.error;
+    if (spec.engine == Engine::kNue) {
+      // Nue's contract (paper Theorem 2 + §4.4): always applicable on a
+      // connected fabric, for any VL count.
+      add_violation(rep, "nue-routing-failure", engine.error);
+    }
+    return rep;
+  }
+  const RoutingResult& rr = *engine.rr;
+
+  rep.validation = validate_routing(net, rr);
+  if (!rep.validation.connected) {
+    add_violation(rep, "unreachable", rep.validation.detail);
+  }
+  if (!rep.validation.cycle_free) {
+    add_violation(rep, "path-revisits-node", rep.validation.detail);
+  }
+  if (!rep.validation.vl_in_range) {
+    add_violation(rep, "vl-overflow",
+                  "table assigns a VL >= num_vls (" +
+                      std::to_string(rr.num_vls()) + ")");
+  }
+  // Torus-2QoS always takes its 2 dateline VLs, even under a 1-VL budget
+  // request (the spec generator never asks it for fewer).
+  const std::uint32_t budget =
+      spec.engine == Engine::kTorusQos ? std::max(spec.vls, 2u) : spec.vls;
+  if (rr.num_vls() > budget) {
+    std::stringstream ss;
+    ss << "table uses " << rr.num_vls() << " VLs, budget is " << budget;
+    add_violation(rep, "vl-budget-exceeded", ss.str());
+  }
+  if (!rep.validation.deadlock_free &&
+      promises_deadlock_freedom(spec.engine)) {
+    add_violation(rep, "cdg-cycle", rep.validation.detail);
+  }
+
+  if (promises_minimality(spec.engine, build.degraded) &&
+      rep.validation.connected && rep.validation.cycle_free) {
+    check_minimality(net, rr, rep);
+  }
+
+  // Differential check: the static acyclicity verdict vs the hardware
+  // model. Only the "statically safe but deadlocks anyway" direction is
+  // an invariant — a cyclic CDG need not deadlock under one finite
+  // traffic pattern. Skipped on tables the static checks already
+  // rejected: the simulator indexes queues by (channel, VL) and follows
+  // next() pointers, so holes or out-of-range VLs would be undefined
+  // behaviour, not a verdict.
+  if (cfg.max_sim_nodes > 0 && net.num_alive_nodes() <= cfg.max_sim_nodes &&
+      net.num_alive_terminals() >= 2 && rep.validation.connected &&
+      rep.validation.cycle_free && rep.validation.vl_in_range) {
+    rep.sim_checked = true;
+    SimConfig scfg;
+    scfg.max_cycles = 5'000'000;
+    scfg.deadlock_cycles = 10'000;
+    const auto msgs = alltoall_shift_messages(net, 256, 4);
+    const SimResult res = simulate(net, rr, msgs, scfg);
+    rep.sim_deadlocked = res.deadlocked;
+    rep.sim_completed = res.completed;
+    if (rep.validation.deadlock_free && res.deadlocked) {
+      add_violation(rep, "sim-deadlock",
+                    "CDG is acyclic but the flit simulator's watchdog "
+                    "fired after " +
+                        std::to_string(res.cycles) + " cycles");
+    }
+  }
+
+  // Oracle self-test: a deliberately broken table that sails through every
+  // check above means the oracle has a blind spot — report it as such.
+  if (spec.mutation != Mutation::kNone && rep.violations.empty()) {
+    add_violation(rep, "mutation-not-caught",
+                  std::string("mutation '") + mutation_name(spec.mutation) +
+                      "' produced no violation");
+  }
+  return rep;
+}
+
+OracleReport run_scenario(const ScenarioSpec& spec,
+                          const std::vector<Removal>& removals,
+                          const OracleConfig& cfg, ScenarioBuild* build_out) {
+  ScenarioBuild build = build_scenario(spec, removals);
+  EngineOutcome engine = run_engine(spec, build);
+  if (engine.rr.has_value()) apply_mutation(spec, build, *engine.rr);
+  OracleReport rep = check_scenario(spec, build, engine, cfg);
+  if (build_out != nullptr) *build_out = std::move(build);
+  return rep;
+}
+
+}  // namespace nue::fuzz

@@ -1,0 +1,464 @@
+// Scenario construction: generator-spec parsing, deterministic fault
+// injection, engine dispatch, deliberate mutations, and batch drawing.
+#include "fuzz/fuzz.hpp"
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/fattree_routing.hpp"
+#include "routing/lash.hpp"
+#include "routing/torus_qos.hpp"
+#include "routing/updown.hpp"
+#include "topology/faults.hpp"
+#include "topology/misc_topologies.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nue::fuzz {
+
+namespace {
+
+// Distinct salts so faults, mutation placement, and engine seeding draw
+// from independent streams of the one scenario seed.
+constexpr std::uint64_t kFaultSalt = 0xFA017C0DEULL;
+constexpr std::uint64_t kMutationSalt = 0x5CA1AB1EULL;
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, sep)) out.push_back(tok);
+  return out;
+}
+
+std::uint32_t parse_u32(const std::string& s, const char* what) {
+  NUE_CHECK_MSG(!s.empty(), "generator spec: empty " << what);
+  for (char ch : s) {
+    NUE_CHECK_MSG(ch >= '0' && ch <= '9',
+                  "generator spec: bad " << what << " '" << s << "'");
+  }
+  return static_cast<std::uint32_t>(std::stoul(s));
+}
+
+std::vector<std::uint32_t> parse_u32_list(const std::string& s, char sep,
+                                          const char* what) {
+  std::vector<std::uint32_t> out;
+  for (const auto& tok : split(s, sep)) out.push_back(parse_u32(tok, what));
+  NUE_CHECK_MSG(!out.empty(), "generator spec: empty " << what << " list");
+  return out;
+}
+
+/// Instantiate the generator spec string. Grammar (defaults in brackets):
+///   torus:AxB[xC...][:tps[:red]]
+///   fattree:k:n[:tpl]
+///   clos:S0,S1,...:U0,U1,...:terminals
+///   kautz:d:k[:tps[:red]]
+///   dragonfly:a:p:h:g
+///   hyperx:AxB[xC...][:tps[:red]]
+///   random:switches:links:tps:seed
+ScenarioBuild instantiate(const std::string& gen) {
+  const auto parts = split(gen, ':');
+  NUE_CHECK_MSG(!parts.empty(), "empty generator spec");
+  const std::string& kind = parts[0];
+  auto arg = [&](std::size_t i, std::uint32_t def) {
+    return parts.size() > i ? parse_u32(parts[i], "argument") : def;
+  };
+
+  ScenarioBuild b;
+  if (kind == "torus") {
+    NUE_CHECK_MSG(parts.size() >= 2, "torus spec needs dimensions");
+    TorusSpec spec;
+    spec.dims = parse_u32_list(parts[1], 'x', "dimension");
+    spec.terminals_per_switch = arg(2, 1);
+    spec.redundancy = arg(3, 1);
+    b.net = make_torus(spec);
+    b.torus = spec;
+  } else if (kind == "fattree") {
+    NUE_CHECK_MSG(parts.size() >= 3, "fattree spec needs k and n");
+    FatTreeSpec spec;
+    spec.k = parse_u32(parts[1], "arity");
+    spec.n = parse_u32(parts[2], "levels");
+    spec.terminals_per_leaf = arg(3, 1);
+    b.net = make_kary_ntree(spec);
+    b.fattree = spec;
+  } else if (kind == "clos") {
+    NUE_CHECK_MSG(parts.size() >= 4, "clos spec needs stages:uplinks:terms");
+    ClosSpec spec;
+    spec.stage_sizes = parse_u32_list(parts[1], ',', "stage size");
+    spec.uplinks = parse_u32_list(parts[2], ',', "uplink count");
+    spec.num_terminals = parse_u32(parts[3], "terminal count");
+    b.net = make_folded_clos(spec);
+  } else if (kind == "kautz") {
+    NUE_CHECK_MSG(parts.size() >= 3, "kautz spec needs d and k");
+    KautzSpec spec;
+    spec.d = parse_u32(parts[1], "degree");
+    spec.k = parse_u32(parts[2], "diameter");
+    spec.terminals_per_switch = arg(3, 1);
+    spec.redundancy = arg(4, 1);
+    b.net = make_kautz(spec);
+  } else if (kind == "dragonfly") {
+    NUE_CHECK_MSG(parts.size() >= 5, "dragonfly spec needs a:p:h:g");
+    DragonflySpec spec;
+    spec.a = parse_u32(parts[1], "a");
+    spec.p = parse_u32(parts[2], "p");
+    spec.h = parse_u32(parts[3], "h");
+    spec.g = parse_u32(parts[4], "g");
+    b.net = make_dragonfly(spec);
+  } else if (kind == "hyperx") {
+    NUE_CHECK_MSG(parts.size() >= 2, "hyperx spec needs a shape");
+    HyperXSpec spec;
+    spec.shape = parse_u32_list(parts[1], 'x', "shape");
+    spec.terminals_per_switch = arg(2, 1);
+    spec.redundancy = arg(3, 1);
+    b.net = make_hyperx(spec);
+  } else if (kind == "random") {
+    NUE_CHECK_MSG(parts.size() >= 5,
+                  "random spec needs switches:links:tps:seed");
+    RandomSpec spec;
+    spec.switches = parse_u32(parts[1], "switch count");
+    spec.links = parse_u32(parts[2], "link count");
+    spec.terminals_per_switch = parse_u32(parts[3], "terminals");
+    Rng topo_rng(parse_u32(parts[4], "seed"));
+    b.net = make_random(spec, topo_rng);
+  } else {
+    NUE_CHECK_MSG(false, "unknown generator kind '" << kind << "'");
+  }
+  // Every engine's contract assumes a connected fabric (a folded Clos
+  // whose uplink count divides the spine count, say, splits into islands);
+  // reject such specs here instead of crashing inside an engine.
+  NUE_CHECK_MSG(is_connected(b.net),
+                "generator spec '" << gen << "' yields a disconnected fabric");
+  return b;
+}
+
+/// Apply one minimizer removal; throws on anything unsafe so trial
+/// removals are rejected instead of producing degenerate fabrics.
+void apply_removal(Network& net, const Removal& r) {
+  if (r.is_switch) {
+    const NodeId v = r.id;
+    NUE_CHECK_MSG(v < net.num_nodes() && net.node_alive(v),
+                  "removal: switch " << v << " not alive");
+    NUE_CHECK_MSG(net.is_switch(v), "removal: node " << v << " not a switch");
+    NUE_CHECK_MSG(net.num_alive_switches() > 1, "removal: last switch");
+    std::vector<NodeId> orphans;
+    for (ChannelId c : net.out(v)) {
+      if (net.is_terminal(net.dst(c))) orphans.push_back(net.dst(c));
+    }
+    net.remove_node(v);
+    for (NodeId t : orphans) net.remove_node(t);
+  } else {
+    const ChannelId c = r.id & ~1u;
+    NUE_CHECK_MSG(c < net.num_channels() && net.channel_alive(c),
+                  "removal: link " << c << " not alive");
+    NUE_CHECK_MSG(net.is_switch(net.src(c)) && net.is_switch(net.dst(c)),
+                  "removal: link " << c << " is a terminal access link");
+    net.remove_link(c);
+  }
+  NUE_CHECK_MSG(net.num_alive_terminals() >= 2,
+                "removal leaves fewer than 2 terminals");
+  NUE_CHECK_MSG(is_connected(net), "removal disconnects the fabric");
+}
+
+}  // namespace
+
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::kNue: return "nue";
+    case Engine::kUpDown: return "updown";
+    case Engine::kMinHop: return "minhop";
+    case Engine::kDfsssp: return "dfsssp";
+    case Engine::kLash: return "lash";
+    case Engine::kTorusQos: return "torus-qos";
+    case Engine::kFatTree: return "fattree";
+  }
+  return "?";
+}
+
+const char* mutation_name(Mutation m) {
+  switch (m) {
+    case Mutation::kNone: return "none";
+    case Mutation::kVlOverflow: return "vl-overflow";
+    case Mutation::kDropEntry: return "drop-entry";
+  }
+  return "?";
+}
+
+std::optional<Engine> engine_from_name(const std::string& s) {
+  for (Engine e : {Engine::kNue, Engine::kUpDown, Engine::kMinHop,
+                   Engine::kDfsssp, Engine::kLash, Engine::kTorusQos,
+                   Engine::kFatTree}) {
+    if (s == engine_name(e)) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<Mutation> mutation_from_name(const std::string& s) {
+  for (Mutation m :
+       {Mutation::kNone, Mutation::kVlOverflow, Mutation::kDropEntry}) {
+    if (s == mutation_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+std::string ScenarioSpec::label() const {
+  std::stringstream ss;
+  ss << generate << " engine=" << engine_name(engine) << " vls=" << vls
+     << " faults=" << fail_links << "L+" << fail_switches << "S"
+     << " seed=" << seed;
+  if (mutation != Mutation::kNone) ss << " mutation=" << mutation_name(mutation);
+  return ss.str();
+}
+
+ScenarioBuild build_scenario(const ScenarioSpec& spec,
+                             const std::vector<Removal>& removals) {
+  ScenarioBuild b = instantiate(spec.generate);
+  Rng fault_rng(spec.seed ^ kFaultSalt);
+  // Switches first: a dead switch changes which links are left to draw.
+  b.switch_faults = inject_switch_failures(b.net, spec.fail_switches,
+                                           fault_rng);
+  b.link_faults = inject_link_failures(b.net, spec.fail_links, fault_rng);
+  for (const Removal& r : removals) apply_removal(b.net, r);
+  b.degraded =
+      b.switch_faults + b.link_faults + removals.size() > 0;
+  return b;
+}
+
+EngineOutcome run_engine(const ScenarioSpec& spec, const ScenarioBuild& build) {
+  EngineOutcome out;
+  const auto dests = build.net.terminals();
+  // Zahavi-style d-mod-k routing assumes the full k-ary n-tree wiring;
+  // a degraded tree is outside its contract, not an engine bug.
+  if (spec.engine == Engine::kFatTree && build.degraded) {
+    out.error = "fat-tree routing requires a pristine k-ary n-tree";
+    return out;
+  }
+  try {
+    switch (spec.engine) {
+      case Engine::kNue: {
+        NueOptions opt;
+        opt.num_vls = spec.vls;
+        opt.seed = spec.seed;
+        opt.num_threads = 1;  // scenarios parallelize across, not within
+        out.rr = route_nue(build.net, dests, opt);
+        break;
+      }
+      case Engine::kUpDown:
+        out.rr = route_updown(build.net, dests);
+        break;
+      case Engine::kMinHop:
+        out.rr = route_minhop(build.net, dests);
+        break;
+      case Engine::kDfsssp: {
+        DfssspOptions opt;
+        opt.max_vls = spec.vls;
+        opt.num_threads = 1;
+        out.rr = route_dfsssp(build.net, dests, opt);
+        break;
+      }
+      case Engine::kLash: {
+        LashOptions opt;
+        opt.max_vls = spec.vls;
+        opt.num_threads = 1;
+        out.rr = route_lash(build.net, dests, opt);
+        break;
+      }
+      case Engine::kTorusQos:
+        NUE_CHECK_MSG(build.torus.has_value(),
+                      "torus-qos scenario on a non-torus generator");
+        out.rr = route_torus_qos(build.net, *build.torus, dests);
+        break;
+      case Engine::kFatTree:
+        NUE_CHECK_MSG(build.fattree.has_value(),
+                      "fattree scenario on a non-fattree generator");
+        out.rr = route_fattree(build.net, *build.fattree, dests);
+        break;
+    }
+  } catch (const RoutingFailure& e) {
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    out.crashed = true;
+  }
+  return out;
+}
+
+void apply_mutation(const ScenarioSpec& spec, const ScenarioBuild& build,
+                    RoutingResult& rr) {
+  if (spec.mutation == Mutation::kNone) return;
+  const Network& net = build.net;
+  Rng rng(spec.seed ^ kMutationSalt);
+  const auto& dests = rr.destinations();
+  NUE_CHECK_MSG(!dests.empty(), "mutation on a routing with no destinations");
+  const auto di = static_cast<std::uint32_t>(rng.next_below(dests.size()));
+  const NodeId d = dests[di];
+  // A source terminal other than the destination: every oracle run walks
+  // src -> d, so breakage placed on that walk is guaranteed visible.
+  std::vector<NodeId> sources;
+  for (NodeId t : net.terminals()) {
+    if (t != d) sources.push_back(t);
+  }
+  NUE_CHECK_MSG(!sources.empty(), "mutation needs a second terminal");
+  const NodeId s = sources[rng.next_below(sources.size())];
+  const NodeId sw = net.terminal_switch(s);
+  switch (spec.mutation) {
+    case Mutation::kNone:
+      break;
+    case Mutation::kVlOverflow: {
+      const auto bad = static_cast<std::uint8_t>(rr.num_vls() + 3);
+      switch (rr.vl_mode()) {
+        case VlMode::kPerDest:
+          rr.set_dest_vl(di, bad);
+          break;
+        case VlMode::kPerSource:
+          rr.set_source_vl(s, di, bad);
+          break;
+        case VlMode::kPerHop:
+          rr.set_hop_vl(sw, di, bad);
+          break;
+      }
+      break;
+    }
+    case Mutation::kDropEntry:
+      // s's first switch hop toward d disappears: s can no longer reach d.
+      rr.set_next(sw, di, kInvalidChannel);
+      break;
+  }
+}
+
+ScenarioSpec draw_scenario(std::uint64_t base_seed, std::uint64_t index) {
+  Rng rng(base_seed ^ ((index + 1) * 0x9E3779B97F4A7C15ULL));
+  ScenarioSpec s;
+  s.seed = rng.next_u64();
+  std::stringstream gen;
+  bool is_torus = false, is_fattree = false;
+  switch (rng.next_below(7)) {
+    case 0: {  // torus, 2-3 dims
+      is_torus = true;
+      const auto nd = 2 + rng.next_below(2);
+      gen << "torus:";
+      for (std::uint64_t i = 0; i < nd; ++i) {
+        gen << (i ? "x" : "") << 2 + rng.next_below(nd == 2 ? 3 : 2);
+      }
+      gen << ":" << 1 + rng.next_below(2);
+      break;
+    }
+    case 1: {  // k-ary n-tree
+      is_fattree = true;
+      gen << "fattree:" << 2 + rng.next_below(2) << ":" << 2 + rng.next_below(2)
+          << ":" << 1 + rng.next_below(2);
+      break;
+    }
+    case 2: {  // 2-stage folded Clos; uplinks >= spines keeps the
+               // round-robin wiring connected (complete bipartite core)
+      const auto leaves = 4 + rng.next_below(5);
+      const auto spines = 2 + rng.next_below(3);
+      gen << "clos:" << leaves << "," << spines << ":"
+          << spines + rng.next_below(2) << ":"
+          << leaves * (1 + rng.next_below(2));
+      break;
+    }
+    case 3:
+      gen << "kautz:" << 2 + rng.next_below(2) << ":2:" << 1 + rng.next_below(2)
+          << ":" << 1 + rng.next_below(2);
+      break;
+    case 4: {  // dragonfly with a*h >= g-1 so every group pair gets a link
+      const auto a = 2 + rng.next_below(3);
+      const auto h = 1 + rng.next_below(2);
+      const auto g = 2 + rng.next_below(std::min<std::uint64_t>(a * h, 5));
+      gen << "dragonfly:" << a << ":" << 1 + rng.next_below(2) << ":" << h
+          << ":" << g;
+      break;
+    }
+    case 5: {  // hyperx, 1-2 dims
+      const auto nd = 1 + rng.next_below(2);
+      gen << "hyperx:";
+      for (std::uint64_t i = 0; i < nd; ++i) {
+        gen << (i ? "x" : "") << (nd == 1 ? 3 + rng.next_below(4)
+                                          : 2 + rng.next_below(3));
+      }
+      gen << ":" << 1 + rng.next_below(2);
+      break;
+    }
+    default: {  // seeded random multigraph
+      const auto sw = 6 + rng.next_below(20);
+      gen << "random:" << sw << ":" << sw - 1 + rng.next_below(2 * sw) << ":"
+          << 1 + rng.next_below(2) << ":" << rng.next_below(1'000'000);
+      break;
+    }
+  }
+  s.generate = gen.str();
+  std::vector<Engine> engines = {Engine::kNue, Engine::kUpDown,
+                                 Engine::kMinHop, Engine::kDfsssp,
+                                 Engine::kLash};
+  if (is_torus) engines.push_back(Engine::kTorusQos);
+  if (is_fattree) engines.push_back(Engine::kFatTree);
+  s.engine = engines[rng.next_below(engines.size())];
+  const std::uint32_t vl_choices[] = {1, 2, 4, 8};
+  s.vls = vl_choices[rng.next_below(4)];
+  if (s.engine == Engine::kTorusQos && s.vls < 2) s.vls = 2;
+  if (rng.next_bool(0.65)) {
+    s.fail_links = rng.next_below(4);
+    s.fail_switches = rng.next_bool(0.3) ? 1 : 0;
+  }
+  return s;
+}
+
+std::vector<ScenarioSpec> smoke_corpus(std::uint64_t base_seed) {
+  struct TopoEntry {
+    const char* gen;
+    bool torus;
+    bool fattree;
+  };
+  // One small instance per generator family; every fabric stays under the
+  // differential-sim size bound so the simulator cross-check runs on the
+  // entire corpus.
+  const TopoEntry topos[] = {
+      {"torus:3x3:2", true, false},
+      {"fattree:2:3:2", false, true},
+      {"clos:6,3:2:12", false, false},
+      {"kautz:2:2:2:1", false, false},
+      {"dragonfly:4:1:2:4", false, false},
+      {"hyperx:3x3:1", false, false},
+      {"random:10:20:2:5", false, false},
+  };
+  std::vector<ScenarioSpec> specs;
+  for (const auto& topo : topos) {
+    std::vector<Engine> engines = {Engine::kNue, Engine::kUpDown,
+                                   Engine::kMinHop, Engine::kDfsssp,
+                                   Engine::kLash};
+    if (topo.torus) engines.push_back(Engine::kTorusQos);
+    if (topo.fattree) engines.push_back(Engine::kFatTree);
+    for (Engine e : engines) {
+      const std::uint32_t vls_low = e == Engine::kTorusQos ? 2 : 1;
+      for (std::uint32_t vls : {vls_low, 4u}) {
+        for (std::size_t faults : {std::size_t{0}, std::size_t{2}}) {
+          ScenarioSpec s;
+          s.seed = base_seed + specs.size();
+          s.generate = topo.gen;
+          s.engine = e;
+          s.vls = vls;
+          s.fail_links = faults;
+          specs.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+std::vector<ScenarioOutcome> run_batch(const std::vector<ScenarioSpec>& specs,
+                                       const FuzzConfig& cfg) {
+  std::vector<ScenarioOutcome> out(specs.size());
+  parallel_for(resolve_threads(cfg.threads), specs.size(), [&](std::size_t i) {
+    ScenarioBuild build;
+    OracleReport rep = run_scenario(specs[i], {}, cfg.oracle, &build);
+    out[i] = {specs[i], build.link_faults, build.switch_faults,
+              std::move(rep)};
+  });
+  return out;
+}
+
+}  // namespace nue::fuzz

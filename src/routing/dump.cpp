@@ -48,10 +48,18 @@ void write_cdg_dot(std::ostream& os, const Network& net,
   if (sources.empty()) sources = net.terminals();
   const auto adj = induced_cdg(net, rr, sources);
   os << "digraph cdg {\n  node [shape=ellipse];\n";
+  // Vertex id = channel * (num_vls + 1) + slot; slot num_vls is the
+  // out-of-range-VL overflow vertex (see induced_cdg).
+  const std::uint32_t stride = rr.num_vls() + 1;
   auto label = [&](std::uint32_t vertex) {
-    const auto c = static_cast<ChannelId>(vertex / rr.num_vls());
-    const auto vl = vertex % rr.num_vls();
-    os << "\"c" << net.src(c) << "_" << net.dst(c) << "_vl" << vl << "\"";
+    const auto c = static_cast<ChannelId>(vertex / stride);
+    const auto vl = vertex % stride;
+    os << "\"c" << net.src(c) << "_" << net.dst(c) << "_";
+    if (vl == rr.num_vls()) {
+      os << "vlOVF\"";
+    } else {
+      os << "vl" << vl << "\"";
+    }
   };
   for (std::uint32_t v = 0; v < adj.size(); ++v) {
     for (const std::uint32_t w : adj[v]) {

@@ -32,7 +32,13 @@ bool walk(const Network& net, const RoutingResult& rr, NodeId src,
 std::vector<std::vector<std::uint32_t>> induced_cdg(
     const Network& net, const RoutingResult& rr,
     const std::vector<NodeId>& sources) {
-  const std::size_t v = net.num_channels() * rr.num_vls();
+  // Slot num_vls of every channel is the overflow vertex: all out-of-range
+  // VLs land there, so a broken table can neither alias onto a legal
+  // (channel, VL) dependency (fabricating a cycle that no legal resource
+  // pair has) nor hide behind one. validate_routing still reports the
+  // breakage itself via vl_in_range.
+  const std::uint32_t stride = rr.num_vls() + 1;
+  const std::size_t v = net.num_channels() * stride;
   std::vector<std::vector<std::uint32_t>> adj(v);
   std::unordered_set<std::uint64_t> seen;
   for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
@@ -42,12 +48,10 @@ std::vector<std::vector<std::uint32_t>> induced_cdg(
       std::uint32_t prev = static_cast<std::uint32_t>(-1);
       walk(net, rr, s, static_cast<std::uint32_t>(di), d,
            [&](ChannelId c, std::uint8_t vl) {
-             // Out-of-range VLs are reported by validate_routing; clamp
-             // here so the CDG vertex id stays in bounds.
-             const std::uint8_t v =
-                 std::min<std::uint8_t>(vl, rr.num_vls() - 1);
+             const std::uint32_t slot =
+                 vl < rr.num_vls() ? vl : rr.num_vls();
              const auto cur =
-                 static_cast<std::uint32_t>(c * rr.num_vls() + v);
+                 static_cast<std::uint32_t>(c * stride + slot);
              if (prev != static_cast<std::uint32_t>(-1)) {
                const std::uint64_t key =
                    (static_cast<std::uint64_t>(prev) << 32) | cur;

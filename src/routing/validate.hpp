@@ -34,9 +34,12 @@ ValidationReport validate_routing(const Network& net, const RoutingResult& rr,
                                   std::vector<NodeId> sources = {});
 
 /// Induced channel dependency graph of `rr` over (channel, VL) vertices
-/// (vertex id = channel * num_vls + vl), as a deduplicated adjacency list.
-/// Only dependencies exercised by (src in sources) -> (dst in destinations)
-/// traffic are included, mirroring Definition 4.
+/// (vertex id = channel * (num_vls + 1) + vl), as a deduplicated adjacency
+/// list. Slot num_vls of each channel is a dedicated overflow vertex: hops
+/// whose VL is out of range land there instead of being clamped onto a
+/// legal layer, so a broken table can never alias onto (or hide behind) a
+/// legal dependency. Only dependencies exercised by (src in sources) ->
+/// (dst in destinations) traffic are included, mirroring Definition 4.
 std::vector<std::vector<std::uint32_t>> induced_cdg(
     const Network& net, const RoutingResult& rr,
     const std::vector<NodeId>& sources);

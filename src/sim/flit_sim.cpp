@@ -6,6 +6,7 @@
 #include <deque>
 
 #include "util/error.hpp"
+#include "util/stats.hpp"
 
 namespace nue {
 
@@ -128,9 +129,10 @@ class Simulator {
       res.avg_packet_latency =
           static_cast<double>(total) / static_cast<double>(latencies_.size());
       res.max_packet_latency = maxv;
-      std::sort(latencies_.begin(), latencies_.end());
-      res.p99_packet_latency = static_cast<double>(
-          latencies_[latencies_.size() * 99 / 100]);
+      // Interpolating percentile (util/stats.hpp) so small-sample p99
+      // agrees with the metrics pipeline instead of a floor index.
+      std::vector<double> lat(latencies_.begin(), latencies_.end());
+      res.p99_packet_latency = percentile(std::move(lat), 99.0);
     }
     if (cycle > 0 && !tx_count_.empty()) {
       std::uint64_t max_tx = 0, total_tx = 0;

@@ -142,16 +142,24 @@ void parallel_for_chunks(unsigned threads, std::size_t n, std::size_t grain,
     return;
   }
 
+  // Helper tasks are *optional*: the region closes as soon as the caller
+  // has drained every chunk and the helpers that actually started have
+  // finished. A helper task that only gets scheduled after the region
+  // closed is a no-op. Waiting instead for every submitted task to run
+  // would deadlock nested regions: a pool worker inside a nested
+  // parallel_for would block on its queued helpers, which can never be
+  // picked up while every worker is itself blocked the same way.
   struct State {
     std::atomic<std::size_t> next{0};
     std::mutex mu;
     std::condition_variable cv;
-    unsigned pending = 0;
+    std::function<void(State&)> drain;  // cleared once the region closes
+    unsigned executing = 0;
+    bool closed = false;
     std::exception_ptr error;
   };
   auto state = std::make_shared<State>();
-
-  auto drain = [&fn, n, grain](State& st) {
+  state->drain = [&fn, n, grain](State& st) {
     try {
       for (;;) {
         const std::size_t begin = st.next.fetch_add(grain);
@@ -166,20 +174,28 @@ void parallel_for_chunks(unsigned threads, std::size_t n, std::size_t grain,
   };
 
   const unsigned helpers = static_cast<unsigned>(agents - 1);
-  state->pending = helpers;
   for (unsigned h = 0; h < helpers; ++h) {
-    ThreadPool::shared().submit([state, &drain] {
+    ThreadPool::shared().submit([state] {
+      std::function<void(State&)> drain;
+      {
+        std::lock_guard<std::mutex> lk(state->mu);
+        if (state->closed) return;  // region already over: nothing to help
+        ++state->executing;
+        drain = state->drain;
+      }
       drain(*state);
       {
         std::lock_guard<std::mutex> lk(state->mu);
-        --state->pending;
+        --state->executing;
       }
       state->cv.notify_one();
     });
   }
-  drain(*state);
+  state->drain(*state);  // the caller always participates
   std::unique_lock<std::mutex> lk(state->mu);
-  state->cv.wait(lk, [&] { return state->pending == 0; });
+  state->closed = true;
+  state->cv.wait(lk, [&] { return state->executing == 0; });
+  state->drain = nullptr;  // drop the references into the caller's frame
   if (state->error) std::rethrow_exception(state->error);
 }
 

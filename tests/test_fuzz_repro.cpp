@@ -1,0 +1,191 @@
+// Fuzzer pipeline tests: the oracle on clean scenarios, achieved-fault
+// accounting, deliberately broken tables being caught -> minimized ->
+// serialized -> replayed, and the reproducer corpus shipped with the repo.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "fuzz/fuzz.hpp"
+
+namespace nue::fuzz {
+namespace {
+
+TEST(FuzzOracle, SmokeSubsetClean) {
+  // A spread of the fixed-seed CI corpus (the full corpus runs as the
+  // route_fuzz --smoke ctest); every scenario must pass every invariant.
+  const auto specs = smoke_corpus(1);
+  std::vector<ScenarioSpec> subset;
+  for (std::size_t i = 0; i < specs.size(); i += 7) subset.push_back(specs[i]);
+  const auto outcomes = run_batch(subset);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.report.ok())
+        << o.spec.label() << ": "
+        << (o.report.violations.empty() ? "" : o.report.violations.front());
+  }
+}
+
+TEST(FuzzOracle, RecordsAchievedFaultShortfall) {
+  // 5 switches, 4 links = a spanning tree: every switch-to-switch link is
+  // a bridge, so no link failure is injectable. The scenario must succeed
+  // while reporting achieved < requested rather than pretending the
+  // requested fault count happened (the silent-shortfall bugfix).
+  ScenarioSpec s;
+  s.seed = 5;
+  s.generate = "random:5:4:1:7";
+  s.engine = Engine::kUpDown;
+  s.vls = 1;
+  s.fail_links = 3;
+  ScenarioBuild b;
+  const OracleReport rep = run_scenario(s, {}, {}, &b);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(b.link_faults, 0u);
+  EXPECT_LT(b.link_faults, s.fail_links);
+  EXPECT_FALSE(b.degraded);
+}
+
+TEST(FuzzOracle, NueFailureIsAViolationButDfssspFailureIsNot) {
+  // DFSSSP with a 1-VL budget on a 4x4 torus legally declines
+  // (RoutingFailure -> inapplicable); the same outcome from Nue would
+  // break its paper contract and must be flagged.
+  ScenarioSpec s;
+  s.seed = 3;
+  s.generate = "torus:4x4:1";
+  s.engine = Engine::kDfsssp;
+  s.vls = 1;
+  const OracleReport rep = run_scenario(s);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_FALSE(rep.applicable);
+  EXPECT_FALSE(rep.engine_error.empty());
+}
+
+TEST(FuzzBatch, ThreadCountInvariant) {
+  std::vector<ScenarioSpec> specs;
+  for (std::uint64_t i = 0; i < 12; ++i) specs.push_back(draw_scenario(3, i));
+  FuzzConfig serial;
+  serial.threads = 1;
+  FuzzConfig wide;
+  wide.threads = 8;
+  const auto a = run_batch(specs, serial);
+  const auto b = run_batch(specs, wide);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].link_faults, b[i].link_faults) << i;
+    EXPECT_EQ(a[i].switch_faults, b[i].switch_faults) << i;
+    EXPECT_EQ(violation_kind(a[i].report), violation_kind(b[i].report)) << i;
+    EXPECT_EQ(a[i].report.violations.size(), b[i].report.violations.size())
+        << i;
+  }
+}
+
+TEST(FuzzRepro, VlOverflowCaughtMinimizedReplayed) {
+  // The acceptance pipeline: a deliberately broken table (VL overflow
+  // grafted onto Nue's output) is caught by the oracle, shrunk by the
+  // minimizer, serialized, parsed back, and replays to the same verdict.
+  ScenarioSpec spec;
+  spec.seed = 21;
+  spec.generate = "torus:3x3:1";
+  spec.engine = Engine::kNue;
+  spec.vls = 2;
+  spec.mutation = Mutation::kVlOverflow;
+  const OracleReport rep = run_scenario(spec);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(violation_kind(rep), "vl-overflow");
+
+  MinimizeConfig mcfg;
+  mcfg.max_trials = 200;
+  const Reproducer r = minimize_scenario(spec, mcfg);
+  EXPECT_EQ(r.expect, "vl-overflow");
+  EXPECT_FALSE(r.removals.empty());
+  const auto original = build_scenario(spec);
+  const auto shrunk = build_scenario(spec, r.removals);
+  EXPECT_LT(shrunk.net.num_alive_nodes(), original.net.num_alive_nodes());
+
+  std::stringstream buf;
+  write_reproducer(buf, r);
+  const Reproducer parsed = read_reproducer(buf);
+  EXPECT_EQ(parsed.spec.generate, spec.generate);
+  EXPECT_EQ(parsed.spec.seed, spec.seed);
+  EXPECT_EQ(parsed.spec.mutation, spec.mutation);
+  EXPECT_EQ(parsed.removals.size(), r.removals.size());
+  const ReplayResult res = replay(parsed);
+  EXPECT_TRUE(res.reproduced)
+      << "expected " << parsed.expect << ", got "
+      << violation_kind(res.report);
+  EXPECT_TRUE(res.fabric_matches);
+}
+
+TEST(FuzzRepro, DropEntryCaughtMinimizedReplayed) {
+  ScenarioSpec spec;
+  spec.seed = 8;
+  spec.generate = "hyperx:3x3:1";
+  spec.engine = Engine::kUpDown;
+  spec.vls = 1;
+  spec.mutation = Mutation::kDropEntry;
+  const OracleReport rep = run_scenario(spec);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(violation_kind(rep), "unreachable");
+
+  MinimizeConfig mcfg;
+  mcfg.max_trials = 200;
+  const Reproducer r = minimize_scenario(spec, mcfg);
+  std::stringstream buf;
+  write_reproducer(buf, r);
+  const ReplayResult res = replay(read_reproducer(buf));
+  EXPECT_TRUE(res.reproduced);
+  EXPECT_TRUE(res.fabric_matches);
+}
+
+TEST(FuzzRepro, ShippedCorpusReplays) {
+  // The .repro files committed under tests/corpus/ — regressions caught,
+  // minimized, and written by route_fuzz — must keep replaying to their
+  // recorded violation kind on the byte-identical regenerated fabric.
+  const std::filesystem::path dir = NUE_TEST_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".repro") continue;
+    const Reproducer r = load_reproducer_file(entry.path().string());
+    const ReplayResult res = replay(r);
+    EXPECT_TRUE(res.reproduced)
+        << entry.path() << ": expected " << r.expect << ", got "
+        << violation_kind(res.report);
+    EXPECT_TRUE(res.fabric_matches) << entry.path();
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 3u);
+}
+
+TEST(FuzzRepro, RejectsMalformedFiles) {
+  std::stringstream not_a_repro("fabric v0\n");
+  EXPECT_THROW(read_reproducer(not_a_repro), std::logic_error);
+  std::stringstream bad_engine(
+      "route_fuzz-repro v1\nseed 1\ngenerate torus:2x2:1\nengine warp\n"
+      "expect vl-overflow\n");
+  EXPECT_THROW(read_reproducer(bad_engine), std::logic_error);
+}
+
+TEST(FuzzScenario, UnsafeRemovalsThrow) {
+  ScenarioSpec s;
+  s.seed = 1;
+  s.generate = "torus:2x2:1";
+  s.engine = Engine::kMinHop;
+  s.vls = 1;
+  const auto base = build_scenario(s);
+  // Removing a terminal access link is never a legal shrink step.
+  ChannelId access = kInvalidChannel;
+  for (ChannelId c = 0; c < base.net.num_channels(); c += 2) {
+    if (base.net.is_terminal(base.net.src(c)) ||
+        base.net.is_terminal(base.net.dst(c))) {
+      access = c;
+      break;
+    }
+  }
+  ASSERT_NE(access, kInvalidChannel);
+  EXPECT_THROW(build_scenario(s, {{false, access}}), std::logic_error);
+  // A dead id is rejected, not silently skipped.
+  EXPECT_THROW(build_scenario(s, {{true, 0}, {true, 0}}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nue::fuzz

@@ -21,6 +21,7 @@
 #include "topology/torus.hpp"
 #include "topology/trees.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nue {
 namespace {
@@ -172,6 +173,30 @@ TEST(ParallelDeterminism, Betweenness) {
         EXPECT_EQ(cb[i], base[i]) << "node " << i << " threads=" << t;
       }
     }
+  }
+}
+
+TEST(ParallelDeterminism, NestedParallelForCompletes) {
+  // Regression: a parallel region opened from inside a pool worker used to
+  // wait for its queued helper tasks to *run*; with every worker blocked in
+  // such a wait the helpers could never be scheduled and the process hung
+  // with zero CPU (found by `route_fuzz --threads 8`, whose batch loop runs
+  // oracle BFS sweeps on pool workers). Nested regions must degrade to the
+  // calling thread plus whatever workers happen to be free.
+  constexpr std::size_t kOuter = 64;
+  constexpr std::size_t kInner = 128;
+  std::vector<std::uint64_t> sums(kOuter, 0);
+  parallel_for(8, kOuter, [&](std::size_t i) {
+    std::vector<std::uint32_t> hits(kInner, 0);
+    parallel_for(8, kInner, [&](std::size_t j) { ++hits[j]; });
+    std::uint64_t s = 0;
+    for (std::size_t j = 0; j < kInner; ++j) {
+      s += hits[j] * (j + 1);  // every inner index exactly once
+    }
+    sums[i] = s;
+  });
+  for (std::size_t i = 0; i < kOuter; ++i) {
+    EXPECT_EQ(sums[i], kInner * (kInner + 1) / 2) << i;
   }
 }
 

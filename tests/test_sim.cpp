@@ -40,6 +40,25 @@ TEST(Sim, DeliversSingleMessage) {
   EXPECT_LE(res.cycles, 80u);
 }
 
+TEST(Sim, P99InterpolatesOnSmallSamples) {
+  // Regression: p99 used the floor index size()*99/100, which for any
+  // sample count below 100 degenerates to the maximum. With two packets
+  // of different latency the interpolating percentile must land strictly
+  // between the mean and the maximum.
+  Network net = make_line(3);
+  const auto rr = route_minhop(net, net.terminals());
+  const auto t = net.terminals();
+  // 3 hops (t0 -> s0 -> s1 -> t1) vs 4 hops (t2 -> s2 -> s1 -> s0 -> t0):
+  // two delivered packets with distinct latencies.
+  const std::vector<Message> msgs{{t[0], t[1], 128}, {t[2], t[0], 128}};
+  const auto res = simulate(net, rr, msgs, quick_config());
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(res.delivered_packets, 2u);
+  EXPECT_LT(res.p99_packet_latency,
+            static_cast<double>(res.max_packet_latency));
+  EXPECT_GT(res.p99_packet_latency, res.avg_packet_latency);
+}
+
 TEST(Sim, SelfMessageLessNetworkStillCompletes) {
   Network net = make_line(2);
   const auto rr = route_minhop(net, net.terminals());

@@ -148,6 +148,60 @@ TEST(Validate, ReportsVlOutOfRange) {
   EXPECT_FALSE(rep.vl_in_range);
 }
 
+/// Clockwise ring routing with an explicit VL per destination (dest_vls
+/// indexed like net.terminals(), values may exceed num_vls on purpose).
+RoutingResult ring_routing_with_vls(const Network& net,
+                                    const std::vector<std::uint8_t>& dest_vls,
+                                    std::uint32_t num_vls) {
+  const std::vector<NodeId> dests = net.terminals();
+  const auto n = static_cast<NodeId>(net.num_nodes() - dests.size());
+  RoutingResult rr(net.num_nodes(), dests, num_vls, VlMode::kPerDest);
+  for (std::size_t di = 0; di < dests.size(); ++di) {
+    const NodeId d = dests[di];
+    const NodeId dsw = net.terminal_switch(d);
+    rr.set_dest_vl(static_cast<std::uint32_t>(di), dest_vls[di]);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v == d) continue;
+      if (net.is_terminal(v)) {
+        rr.set_next(v, di, net.out(v)[0]);
+      } else if (v == dsw) {
+        rr.set_next(v, di, chan(net, v, d));
+      } else {
+        rr.set_next(v, di, chan(net, v, (v + 1) % n));
+      }
+    }
+  }
+  return rr;
+}
+
+TEST(Validate, OutOfRangeVlDoesNotFabricateCycle) {
+  // Regression: induced_cdg used to clamp out-of-range VLs onto the top
+  // legal layer. On this clockwise 4-ring, destination 3's bogus VL 5
+  // would alias onto VL 1 and close the ring cycle among the legitimate
+  // VL-1 dependencies — reporting a deadlock the real VL assignment does
+  // not have. With dedicated overflow vertices the verdict stays acyclic;
+  // the out-of-range VL is still reported via vl_in_range.
+  Network net = make_ring(4);
+  const auto rr = ring_routing_with_vls(net, {1, 1, 0, 5}, 2);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_TRUE(rep.connected);
+  EXPECT_FALSE(rep.vl_in_range);
+  EXPECT_TRUE(rep.deadlock_free) << rep.detail;
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Validate, OutOfRangeVlCycleIsStillDetected) {
+  // All four destinations on the same bogus VL: their dependencies meet
+  // on the per-channel overflow vertices and form the full ring cycle
+  // there — out-of-range hops keep participating in deadlock analysis,
+  // they just cannot alias onto legal layers.
+  Network net = make_ring(4);
+  const auto rr = ring_routing_with_vls(net, {7, 7, 7, 7}, 2);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_FALSE(rep.vl_in_range);
+  EXPECT_FALSE(rep.deadlock_free);
+}
+
 TEST(InducedCdg, LineHasChainDependencies) {
   Network net = make_line(3);
   const auto rr = line_routing(net);

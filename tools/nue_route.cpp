@@ -178,13 +178,28 @@ int main(int argc, char** argv) {
     }
     Network& net = topo.net;
     Rng fault_rng(fault_seed);
+    std::size_t dead_switches = 0, dead_links = 0;
     if (fail_switches > 0) {
-      inject_switch_failures(net, fail_switches, fault_rng);
+      dead_switches = inject_switch_failures(net, fail_switches, fault_rng);
     }
-    if (fail_links > 0) inject_link_failures(net, fail_links, fault_rng);
+    if (fail_links > 0) {
+      dead_links = inject_link_failures(net, fail_links, fault_rng);
+    }
+    if (dead_switches < fail_switches || dead_links < fail_links) {
+      std::cerr << "warning: injected " << dead_switches << "/"
+                << fail_switches << " switch and " << dead_links << "/"
+                << fail_links
+                << " link failures (injection keeps the fabric connected "
+                   "and gives up after a bounded number of redraws)\n";
+    }
     std::cout << "fabric: " << net.num_alive_switches() << " switches, "
               << net.num_alive_terminals() << " terminals, "
-              << net.num_alive_channels() / 2 << " duplex links\n";
+              << net.num_alive_channels() / 2 << " duplex links";
+    if (dead_switches + dead_links > 0) {
+      std::cout << " (" << dead_switches << " failed switches, " << dead_links
+                << " failed links)";
+    }
+    std::cout << "\n";
     NUE_CHECK_MSG(is_connected(net), "fabric is disconnected");
     if (!dump_fabric.empty()) save_fabric_file(dump_fabric, net);
 
