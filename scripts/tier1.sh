@@ -22,4 +22,19 @@ cmake --build build-ubsan -j --target route_fuzz
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   ./build-ubsan/tools/route_fuzz --smoke
 
+# Live-reconfiguration smoke (docs/RESILIENCE.md): replay the committed
+# runtime fault trace through the resilience manager under ASan — the
+# full event -> repair ladder -> union-CDG gate -> swap loop; nue_route
+# exits non-zero unless the final table passes the validation oracle —
+# then a randomized fault/repair sweep through the fuzzer's
+# reconfiguration oracle, which re-validates every committed epoch and
+# re-proves every hitless gate.
+cmake -B build-asan -S . -DSANITIZE=address
+cmake --build build-asan -j --target nue_route
+ASAN_OPTIONS="halt_on_error=1" \
+  ./build-asan/tools/nue_route \
+  --fault-trace tests/corpus/torus-4x4x3-runtime.trace --routing nue --vls 4
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  ./build-ubsan/tools/route_fuzz --reconfig --count 40
+
 echo "tier-1 OK"

@@ -69,6 +69,12 @@ struct ScenarioSpec {
   std::size_t fail_links = 0;     // requested; achieved count is reported
   std::size_t fail_switches = 0;  // requested; achieved count is reported
   Mutation mutation = Mutation::kNone;
+  /// > 0 selects the reconfiguration family: after building (and possibly
+  /// degrading) the fabric, a fault/repair trace of this many events is
+  /// drawn from the seed and driven through the live resilience manager;
+  /// the oracle checks every committed epoch and swap instead of a single
+  /// static table (see run_reconfig_scenario).
+  std::size_t reconfig_events = 0;
 
   std::string label() const;
 };
@@ -134,6 +140,10 @@ struct OracleReport {
   bool sim_checked = false;
   bool sim_deadlocked = false;
   bool sim_completed = false;
+  bool reconfig_checked = false;          // reconfiguration family ran
+  std::size_t reconfig_transitions = 0;   // non-noop epoch swaps driven
+  std::size_t reconfig_hitless = 0;
+  std::size_t reconfig_drained = 0;
   /// "<kind>: detail" strings; empty = scenario passed every invariant.
   std::vector<std::string> violations;
 
@@ -143,7 +153,9 @@ struct OracleReport {
 /// Stable kind token of the first violation ("" if none). Kinds:
 /// engine-exception, nue-routing-failure, unreachable, path-revisits-node,
 /// vl-overflow, vl-budget-exceeded, cdg-cycle, non-minimal-path,
-/// sim-deadlock, mutation-not-caught.
+/// sim-deadlock, mutation-not-caught — and, from the reconfiguration
+/// family: reconfig-invalid-table, reconfig-union-cycle,
+/// reconfig-event-crash.
 std::string violation_kind(const OracleReport& rep);
 
 OracleReport check_scenario(const ScenarioSpec& spec,
@@ -153,10 +165,27 @@ OracleReport check_scenario(const ScenarioSpec& spec,
 
 /// build + route + mutate + check in one call — a pure function of
 /// (spec, removals). `build_out` optionally receives the built fabric.
+/// Specs with reconfig_events > 0 dispatch to run_reconfig_scenario.
 OracleReport run_scenario(const ScenarioSpec& spec,
                           const std::vector<Removal>& removals = {},
                           const OracleConfig& cfg = {},
                           ScenarioBuild* build_out = nullptr);
+
+/// Reconfiguration-family check: drive a fault/repair trace (drawn
+/// deterministically from spec.seed, spec.reconfig_events events) through
+/// a live ResilienceManager running the spec's engine. The oracle hooks
+/// every commit: each committed epoch must pass the full static validation
+/// and cover every alive terminal (reconfig-invalid-table), and every
+/// transition the manager calls hitless must pass an INDEPENDENT pairwise
+/// union-CDG re-check (reconfig-union-cycle) — differential against the
+/// manager's own column-based gate. An event the manager cannot survive is
+/// reconfig-event-crash. Engines without a live repair mode (minhop,
+/// torus-qos, fattree) report as inapplicable. `build_out` receives the
+/// pre-trace fabric, so reproducer dumps stay comparable.
+OracleReport run_reconfig_scenario(const ScenarioSpec& spec,
+                                   const std::vector<Removal>& removals = {},
+                                   const OracleConfig& cfg = {},
+                                   ScenarioBuild* build_out = nullptr);
 
 // --- reproducers -----------------------------------------------------------
 
@@ -213,6 +242,13 @@ struct ScenarioOutcome {
 /// function of (base_seed, index), so batches are resumable and
 /// distributable by index range.
 ScenarioSpec draw_scenario(std::uint64_t base_seed, std::uint64_t index);
+
+/// Random reconfiguration scenario: same topology/fault cross product as
+/// draw_scenario, engine restricted to the live repair engines
+/// (nue/updown/dfsssp/lash) and 3-8 trace events. Pure function of
+/// (base_seed, index).
+ScenarioSpec draw_reconfig_scenario(std::uint64_t base_seed,
+                                    std::uint64_t index);
 
 /// Fixed-seed smoke corpus: every topology generator x every applicable
 /// engine (nue/updown/minhop/dfsssp/lash everywhere, torus-qos on the

@@ -113,6 +113,10 @@ void write_reproducer(std::ostream& os, const Reproducer& r) {
   os << "fail-links " << r.spec.fail_links << "\n";
   os << "fail-switches " << r.spec.fail_switches << "\n";
   os << "mutation " << mutation_name(r.spec.mutation) << "\n";
+  // Written only when set so pre-reconfig corpus files stay byte-stable.
+  if (r.spec.reconfig_events > 0) {
+    os << "reconfig-events " << r.spec.reconfig_events << "\n";
+  }
   os << "expect " << r.expect << "\n";
   for (const Removal& rm : r.removals) {
     os << "remove " << (rm.is_switch ? "switch" : "link") << " " << rm.id
@@ -166,6 +170,8 @@ Reproducer read_reproducer(std::istream& is) {
       NUE_CHECK_MSG(m.has_value(), "reproducer: unknown mutation '" << name
                                                                     << "'");
       r.spec.mutation = *m;
+    } else if (key == "reconfig-events") {
+      ss >> r.spec.reconfig_events;
     } else if (key == "expect") {
       ss >> r.expect;
     } else if (key == "remove") {

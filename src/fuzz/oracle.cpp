@@ -170,6 +170,9 @@ OracleReport check_scenario(const ScenarioSpec& spec,
 OracleReport run_scenario(const ScenarioSpec& spec,
                           const std::vector<Removal>& removals,
                           const OracleConfig& cfg, ScenarioBuild* build_out) {
+  if (spec.reconfig_events > 0) {
+    return run_reconfig_scenario(spec, removals, cfg, build_out);
+  }
   ScenarioBuild build = build_scenario(spec, removals);
   EngineOutcome engine = run_engine(spec, build);
   if (engine.rr.has_value()) apply_mutation(spec, build, *engine.rr);

@@ -208,6 +208,7 @@ std::string ScenarioSpec::label() const {
   ss << generate << " engine=" << engine_name(engine) << " vls=" << vls
      << " faults=" << fail_links << "L+" << fail_switches << "S"
      << " seed=" << seed;
+  if (reconfig_events > 0) ss << " reconfig=" << reconfig_events;
   if (mutation != Mutation::kNone) ss << " mutation=" << mutation_name(mutation);
   return ss.str();
 }
@@ -445,6 +446,30 @@ std::vector<ScenarioSpec> smoke_corpus(std::uint64_t base_seed) {
         }
       }
     }
+  }
+  // Reconfiguration family: the live resilience manager driving a drawn
+  // fault/repair trace. Appended last — corpus seeds are positional
+  // (base_seed + index), so earlier entries must never shift.
+  struct ReconfigEntry {
+    const char* gen;
+    Engine engine;
+    std::uint32_t vls;
+  };
+  const ReconfigEntry reconfigs[] = {
+      {"torus:3x3:2", Engine::kNue, 2},
+      {"torus:3x3:2", Engine::kDfsssp, 4},
+      {"random:10:20:2:5", Engine::kNue, 4},
+      {"fattree:2:3:2", Engine::kUpDown, 1},
+      {"hyperx:3x3:1", Engine::kLash, 4},
+  };
+  for (const auto& rc : reconfigs) {
+    ScenarioSpec s;
+    s.seed = base_seed + specs.size();
+    s.generate = rc.gen;
+    s.engine = rc.engine;
+    s.vls = rc.vls;
+    s.reconfig_events = 4;
+    specs.push_back(std::move(s));
   }
   return specs;
 }

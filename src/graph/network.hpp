@@ -83,6 +83,35 @@ class Network {
     if (is_terminal_[v]) --num_alive_terminals_;
   }
 
+  // --- fault repair ---------------------------------------------------------
+
+  /// Re-add a previously removed duplex link (both endpoints must be
+  /// alive). The channel ids are unchanged; the pair reappears at the end
+  /// of its endpoints' adjacency lists, so adjacency order — and with it
+  /// every deterministic tie-break downstream — is a function of the
+  /// remove/restore event history, never of wall-clock interleaving.
+  void restore_link(ChannelId c) {
+    c &= ~1u;  // normalize to the even channel of the pair
+    NUE_CHECK_MSG(!alive_channel_[c], "restoring an alive link");
+    NUE_CHECK_MSG(alive_node_[channels_[c].src] && alive_node_[channels_[c].dst],
+                  "restoring link " << c << " to a dead node");
+    alive_channel_[c] = true;
+    alive_channel_[c + 1] = true;
+    out_[channels_[c].src].push_back(c);
+    out_[channels_[c].dst].push_back(c + 1);
+    num_alive_channels_ += 2;
+  }
+
+  /// Revive a dead node with no links; repairs bring its links back
+  /// individually via restore_link (see topology/faults.hpp for the
+  /// switch-level repair that does both).
+  void restore_node(NodeId v) {
+    NUE_CHECK_MSG(!alive_node_[v], "restoring an alive node");
+    alive_node_[v] = true;
+    ++num_alive_nodes_;
+    if (is_terminal_[v]) ++num_alive_terminals_;
+  }
+
   // --- accessors ----------------------------------------------------------
 
   std::size_t num_nodes() const { return is_terminal_.size(); }

@@ -1,0 +1,71 @@
+#include "metrics/reconfig_log.hpp"
+
+#include <ostream>
+
+#include "util/stats.hpp"
+
+namespace nue {
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+ReconfigLog::Summary ReconfigLog::summarize() const {
+  Summary s;
+  std::vector<double> repair;
+  for (const TransitionRecord& r : records_) {
+    if (r.committed_step == "noop") {
+      ++s.noops;
+      continue;
+    }
+    ++s.transitions;
+    if (r.hitless) ++s.hitless;
+    if (r.drained) ++s.drained;
+    repair.push_back(r.repair_ms);
+    s.max_repair_ms = std::max(s.max_repair_ms, r.repair_ms);
+  }
+  if (!repair.empty()) {
+    s.median_repair_ms = percentile(repair, 50.0);
+    s.p99_repair_ms = percentile(repair, 99.0);
+  }
+  return s;
+}
+
+void ReconfigLog::write_json(std::ostream& os) const {
+  const Summary s = summarize();
+  os << "{\n  \"transitions\": " << s.transitions
+     << ",\n  \"noops\": " << s.noops << ",\n  \"hitless\": " << s.hitless
+     << ",\n  \"drained\": " << s.drained
+     << ",\n  \"median_repair_ms\": " << s.median_repair_ms
+     << ",\n  \"p99_repair_ms\": " << s.p99_repair_ms
+     << ",\n  \"max_repair_ms\": " << s.max_repair_ms
+     << ",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const TransitionRecord& r = records_[i];
+    os << "    {\"epoch\": " << r.epoch << ", \"event\": ";
+    write_json_string(os, r.event);
+    os << ", \"affected_dests\": " << r.affected_dests
+       << ", \"total_dests\": " << r.total_dests << ", \"step\": ";
+    write_json_string(os, r.committed_step);
+    os << ", \"hitless\": " << (r.hitless ? "true" : "false")
+       << ", \"drained\": " << (r.drained ? "true" : "false")
+       << ", \"repair_ms\": " << r.repair_ms << ", \"verdicts\": [";
+    for (std::size_t j = 0; j < r.verdicts.size(); ++j) {
+      if (j) os << ", ";
+      write_json_string(os, r.verdicts[j]);
+    }
+    os << "]}" << (i + 1 < records_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace nue

@@ -1,0 +1,57 @@
+// Reconfiguration verdict log: every repair transition the live resilience
+// manager performs (src/resilience) is recorded here — which event fired,
+// how much of the routing function it touched, which rung of the retry
+// ladder produced the committed table, whether the union-CDG gate allowed
+// a hitless swap or forced a drained recompute, and how long the repair
+// took. Benches and the nue_route --fault-trace replay mode serialize the
+// log as JSON (BENCH_reconfig.json).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nue {
+
+struct TransitionRecord {
+  std::uint64_t epoch = 0;       // epoch this transition installed
+  std::string event;             // triggering event label ("link-down 42")
+  std::size_t affected_dests = 0;  // columns that had to be recomputed
+  std::size_t total_dests = 0;     // destinations in the committed table
+  /// Rung of the repair ladder that produced the committed table:
+  /// "incremental", "full-recompute", "more-vls", "nue-fallback" — or
+  /// "noop" when the event left every column intact (epoch unchanged).
+  std::string committed_step;
+  bool union_gate_checked = false;  // false for noops / the initial table
+  bool hitless = false;     // union-CDG gate passed: swapped without drain
+  bool drained = false;     // gate failed: drained full recompute installed
+  double repair_ms = 0.0;   // event applied -> table committed
+  /// One line per ladder attempt, in order ("incremental: ok", "more-vls:
+  /// engine declined: ...", "incremental: over budget (12.3ms > 5ms)").
+  std::vector<std::string> verdicts;
+};
+
+class ReconfigLog {
+ public:
+  void add(TransitionRecord r) { records_.push_back(std::move(r)); }
+  const std::vector<TransitionRecord>& records() const { return records_; }
+
+  struct Summary {
+    std::size_t transitions = 0;  // records excluding noops
+    std::size_t noops = 0;
+    std::size_t hitless = 0;
+    std::size_t drained = 0;
+    double median_repair_ms = 0.0;
+    double p99_repair_ms = 0.0;
+    double max_repair_ms = 0.0;
+  };
+  Summary summarize() const;
+
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::vector<TransitionRecord> records_;
+};
+
+}  // namespace nue

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/network.hpp"
@@ -108,6 +109,68 @@ class CompleteCdg {
     if (!topo_insert(c1, c2)) return false;
     set_edge_used(e, c1, c2, /*permanent=*/true);
     return true;
+  }
+
+  /// Bulk-load a jointly-acyclic permanent dependency set into an EMPTY
+  /// CDG. Incremental rerouting pre-marks the old table's surviving
+  /// per-layer dependencies — all drawn from one validated, acyclic CDG,
+  /// so they cannot conflict with each other — before anything else is
+  /// placed; loading them edge-by-edge would pay one Pearce–Kelly
+  /// insertion each, which dominates the repair latency. Here a single
+  /// Kahn pass over the loaded subgraph assigns the topological order:
+  /// the participating channels' current ord_ positions are pooled and
+  /// handed back in topological order, so ord_ stays a permutation and
+  /// every untouched channel keeps its position. Acceptance is exact
+  /// either way (topo_insert is an exact cycle check), so routing results
+  /// are unchanged — only the setup cost drops from O(E) insertions to
+  /// one linear pass. Dies on a cyclic input (caller contract).
+  void force_edges_bulk(
+      const std::vector<std::pair<ChannelId, ChannelId>>& edges) {
+    NUE_CHECK_MSG(permanent_edges_.empty() && step_edges_.empty(),
+                  "bulk dependency load needs an empty CDG");
+    for (const auto& [c1, c2] : edges) {
+      const EdgeId e = idx_->edge_id(c1, c2);
+      NUE_CHECK_MSG(e != CdgIndex::kNoEdge, "not a complete-CDG edge");
+      if (estate_[e] == 1) continue;  // duplicate across columns
+      NUE_CHECK(estate_[e] == 0);
+      mark_channel_used(c1);
+      mark_channel_used(c2);
+      set_edge_used(e, c1, c2, /*permanent=*/true);
+    }
+    ++generation_;
+    std::vector<ChannelId> region;
+    const auto touch = [&](ChannelId c) {
+      if (stamp_f_[c] != generation_) {
+        stamp_f_[c] = generation_;
+        region.push_back(c);
+      }
+    };
+    for (const auto& rec : permanent_edges_) {
+      touch(rec.c1);
+      touch(rec.c2);
+    }
+    std::sort(region.begin(), region.end());  // deterministic worklist
+    pool_.clear();
+    for (ChannelId c : region) pool_.push_back(ord_[c]);
+    std::sort(pool_.begin(), pool_.end());
+    std::vector<std::uint32_t> indeg(omega_.size(), 0);
+    for (ChannelId c : region) {
+      for (ChannelId w : used_succ_[c]) ++indeg[w];
+    }
+    fnodes_.clear();
+    for (ChannelId c : region) {
+      if (indeg[c] == 0) fnodes_.push_back(c);
+    }
+    std::size_t taken = 0;
+    for (std::size_t i = 0; i < fnodes_.size(); ++i) {
+      const ChannelId c = fnodes_[i];
+      ord_[c] = pool_[taken++];
+      for (ChannelId w : used_succ_[c]) {
+        if (--indeg[w] == 0) fnodes_.push_back(w);
+      }
+    }
+    NUE_CHECK_MSG(taken == region.size(),
+                  "bulk-loaded dependencies must be acyclic");
   }
 
   // --- per-destination step lifecycle ----------------------------------------

@@ -4,6 +4,7 @@
 #include <set>
 #include <limits>
 #include <memory>
+#include <unordered_map>
 
 #include "graph/algorithms.hpp"
 #include "heap/fibonacci_heap.hpp"
@@ -126,6 +127,40 @@ class LayerRouter {
     return true;
   }
 
+  /// Best-effort pre-marking of a broken column's STALE dependencies: the
+  /// consecutive still-alive hop pairs of the old column, which in-flight
+  /// packets keep occupying until they reach the dead element (or the
+  /// destination, for the intact tail). Routing the replacement column
+  /// around these marks keeps the old+new union CDG acyclic — the
+  /// resilience manager's condition for a hitless table swap. Unlike the
+  /// kept-column premark this must not fail the column: a mark that would
+  /// close a cycle is skipped (returned in the count) and the transition
+  /// gate downstream gets the final say.
+  std::size_t premark_stale_deps(const RoutingResult& old,
+                                 std::uint32_t old_di, NodeId d) {
+    std::size_t skipped = 0;
+    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+      if (v == d || !net_.node_alive(v)) continue;
+      const ChannelId c = old.next(v, old_di);  // traffic channel v -> p
+      if (c == kInvalidChannel || !net_.channel_alive(c)) continue;
+      const NodeId p = net_.dst(c);
+      if (p == d || !net_.node_alive(p)) continue;
+      const ChannelId pc = old.next(p, old_di);
+      if (pc == kInvalidChannel || !net_.channel_alive(pc)) continue;
+      if (!cdg_.try_force_edge_used(reverse(pc), reverse(c))) ++skipped;
+    }
+    return skipped;
+  }
+
+  /// Bulk form of the column pre-marks (constraints-first rerouting): the
+  /// surviving dependencies of one old layer are jointly acyclic — they
+  /// all come from that layer's validated CDG — so they load into the
+  /// fresh CDG with one topological pass instead of per-edge insertions.
+  void premark_bulk(
+      const std::vector<std::pair<ChannelId, ChannelId>>& deps) {
+    cdg_.force_edges_bulk(deps);
+  }
+
   /// Route destination d; fills column di of rr. Returns true when the
   /// graph search succeeded, false when the step fell back to the escape
   /// paths (counted in stats).
@@ -133,6 +168,35 @@ class LayerRouter {
     reset_scratch();
     cdg_.begin_step();
     seed_search(d);
+    return finish_route(d, rr, di);
+  }
+
+  /// Partial-column repair (incremental rerouting): a failure orphans only
+  /// the nodes whose old pointer chain runs into the dead element — often
+  /// a small neighborhood of the failure. Settle the intact region on its
+  /// old channels (distance 0, so no relaxation displaces it) and run the
+  /// modified Dijkstra only over the orphans attaching at the frontier.
+  /// Requires this column's stale pre-marking to have skipped nothing: the
+  /// intact entries' dependencies must already be in the CDG for the
+  /// merged column's extraction to hold. Impasses fall back to the escape
+  /// paths exactly like route_destination (the escape tree covers every
+  /// node, orphaned or not).
+  bool route_destination_partial(NodeId d, RoutingResult& rr,
+                                 std::uint32_t di, const RoutingResult& old,
+                                 std::uint32_t old_di) {
+    classify_intact(d, old, old_di);
+    reset_scratch();
+    cdg_.begin_step();
+    seed_partial(d, old, old_di);
+    return finish_route(d, rr, di);
+  }
+
+  const CompleteCdg::Stats& cdg_stats() const { return cdg_.stats(); }
+
+ private:
+  /// Shared tail of the routing step: drain/backtrack until fully routed
+  /// (or fall back to the escape paths), then extract column di.
+  bool finish_route(NodeId d, RoutingResult& rr, std::uint32_t di) {
     while (true) {
       drain_heap();
       if (!find_islands(d)) break;  // fully routed
@@ -169,9 +233,95 @@ class LayerRouter {
     return true;
   }
 
-  const CompleteCdg::Stats& cdg_stats() const { return cdg_.stats(); }
+  /// intact_[v] = 1 when v's old chain still reaches d over alive
+  /// elements, 2 when it runs into the dead element (orphaned). Memoized
+  /// pointer-chase: every node is classified once, O(nodes) total.
+  void classify_intact(NodeId d, const RoutingResult& old,
+                       std::uint32_t old_di) {
+    intact_.assign(net_.num_nodes(), 0);
+    intact_[d] = 1;
+    for (NodeId s = 0; s < net_.num_nodes(); ++s) {
+      if (s == d || !net_.node_alive(s) || intact_[s] != 0) continue;
+      chain_.clear();
+      NodeId at = s;
+      std::uint8_t verdict = 2;  // orphan unless the chase lands intact
+      while (intact_[at] == 0 && chain_.size() <= net_.num_nodes()) {
+        chain_.push_back(at);
+        const ChannelId c = old.next(at, old_di);
+        if (c == kInvalidChannel || !net_.channel_alive(c) ||
+            !net_.node_alive(net_.dst(c))) {
+          break;
+        }
+        at = net_.dst(c);
+      }
+      if (intact_[at] != 0) verdict = intact_[at];
+      for (NodeId v : chain_) intact_[v] = verdict;
+    }
+  }
 
- private:
+  /// Multi-source seeding for the partial repair: the intact region is
+  /// settled at distance 0 on its old channels, and only the frontier —
+  /// intact nodes (or the destination itself) with an orphaned alive
+  /// neighbor — enters the heap, since any other relaxation could only
+  /// land inside the settled region and be rejected on distance.
+  void seed_partial(NodeId d, const RoutingResult& old,
+                    std::uint32_t old_di) {
+    dest_ = d;
+    node_dist_.set(d, 0.0);
+    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+      if (v == d || !net_.node_alive(v) || intact_[v] != 1) continue;
+      const ChannelId c = reverse(old.next(v, old_di));  // search orientation
+      // The stale pre-marks covered channels with a downstream pair; leaf
+      // channels next to d still need their ω entry for the relaxations
+      // and backtracking probes touching them.
+      cdg_.mark_channel_used(c);
+      used_channel_.set(v, c);
+      node_dist_.set(v, 0.0);
+    }
+    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+      if (!net_.node_alive(v) || (v != d && intact_[v] != 1)) continue;
+      bool frontier = false;
+      for (ChannelId out : net_.out(v)) {
+        const NodeId w = net_.dst(out);
+        if (net_.channel_alive(out) && net_.node_alive(w) &&
+            intact_[w] == 2) {
+          frontier = true;
+          break;
+        }
+      }
+      if (!frontier) continue;
+      if (v == d) {
+        // The destination's own channels reach orphans directly: seed them
+        // like seed_search's fake-channel expansion, restricted to orphan
+        // heads (intact heads are already settled).
+        for (ChannelId c : net_.out(d)) {
+          const NodeId w = net_.dst(c);
+          if (!net_.channel_alive(c) || !net_.node_alive(w) ||
+              intact_[w] != 2) {
+            continue;
+          }
+          const double nd = weights_[c];
+          if (nd < node_dist_[w]) {
+            if (used_channel_[w] != kInvalidChannel) {
+              push_alt(w, used_channel_[w]);
+            }
+            cdg_.mark_channel_used(c);
+            used_channel_.set(w, c);
+            node_dist_.set(w, nd);
+            chan_dist_.set(c, nd);
+            heap_.insert_or_decrease(c, nd);
+          } else {
+            push_alt(w, c);
+          }
+        }
+      } else {
+        const ChannelId c = used_channel_[v];
+        chan_dist_.set(c, 0.0);
+        heap_.insert(c, 0.0);
+      }
+    }
+  }
+
   // --- escape paths ---------------------------------------------------------
 
   /// BFS within the spanning tree: escape_next_[v] = the traffic channel
@@ -475,6 +625,8 @@ class LayerRouter {
   FibonacciHeap<double> heap_;
   std::vector<ChannelId> escape_next_;
   std::vector<std::uint8_t> escape_seen_;
+  std::vector<std::uint8_t> intact_;  // partial repair: 1 intact, 2 orphan
+  std::vector<NodeId> chain_;         // partial repair: pointer-chase stack
   std::vector<NodeId> bfs_;
   std::vector<NodeId> islands_;
   std::vector<ChannelId> children_;
@@ -569,13 +721,20 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
   RerouteStats& rs = reroute_stats ? *reroute_stats : rs_local;
   rs = RerouteStats{};
 
-  // Surviving destinations keep their old layer assignment.
+  // Surviving destinations keep their old layer assignment. Destinations
+  // that died with their switch still leave stale columns behind: in-flight
+  // packets toward them occupy the surviving hops of the old column until
+  // they reach the dead element, so those dependencies constrain the
+  // replacement routes exactly like a broken column's.
   std::vector<NodeId> dests;
+  std::vector<std::vector<NodeId>> stale_only(old.num_vls());
   for (NodeId d : old.destinations()) {
     if (net.node_alive(d)) {
       dests.push_back(d);
     } else {
       ++rs.dests_dropped;
+      const std::uint32_t old_di = old.dest_index(d);
+      stale_only[old.vl(d, d, old_di)].push_back(d);
     }
   }
   RoutingResult rr(net.num_nodes(), dests, old.num_vls(), VlMode::kPerDest);
@@ -608,9 +767,12 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
   parallel_for(
       resolve_threads(opt.num_threads), old.num_vls(),
       [&](std::size_t layer) {
-        if (kept[layer].empty() && affected[layer].empty()) return;
         NueStats& ls = layer_stats[layer];
         RerouteStats& lrs = layer_rs[layer];
+        if (kept[layer].empty() && affected[layer].empty()) {
+          ls.roots.push_back(kInvalidNode);
+          return;
+        }
         if (affected[layer].empty()) {
           // Nothing to recompute: reuse every column verbatim.
           for (NodeId d : kept[layer]) {
@@ -623,23 +785,142 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
             }
           }
           lrs.dests_kept += kept[layer].size();
+          ls.roots.push_back(kInvalidNode);  // no new escape tree this layer
           return;
         }
         // Escape paths must be marked for every destination we end up
-        // routing (Lemma 3), and preserved columns must be fully
-        // pre-marked before anything new is placed. A kept column can
-        // clash with the escape tree, which demotes it into the routing
-        // set — and that grows the escape requirement, so iterate to a
-        // fixpoint (bounded by the kept-column count; almost always a
-        // single pass).
+        // routing (Lemma 3), preserved columns must be fully pre-marked
+        // before anything new is placed, and the stale dependencies of the
+        // columns being replaced (broken, demoted, or dead-destination —
+        // in-flight packets hold their surviving hops until they drain)
+        // should be in the CDG too, so old and new tables can coexist
+        // during the swap. Every pre-mark mirrors the old table's own
+        // per-layer CDG — acyclic by that table's validation — so the
+        // pre-marks never clash with each other; only the escape tree can
+        // clash with them. Try the hitless-friendly order first: all
+        // pre-marks, then a checked escape tree fitted around them — when
+        // that succeeds with zero skipped marks, the old+new union CDG is
+        // acyclic by construction. When no compatible tree exists, fall
+        // back to the escape-first order (Lemma 3's delivery guarantee
+        // outranks hitlessness) with best-effort stale marks, and the
+        // transition gate downstream prices the skips. A kept column that
+        // clashes is demoted into the routing set — that grows the escape
+        // requirement, so iterate to a fixpoint (bounded by the
+        // kept-column count; almost always a single pass).
         std::vector<NodeId> to_route = affected[layer];
         std::vector<NodeId> keep_cols = kept[layer];
         std::unique_ptr<LayerRouter> router;
+        bool escape_first = false;
+        // Root schedule for the checked escape setup. The hint — the root
+        // this layer's previous escape tree grew from — goes first: that
+        // tree was force-marked whole in the old table's CDG, so its BFS
+        // re-derivation on the degraded fabric is almost always compatible
+        // with the surviving old dependencies and the hitless repair
+        // succeeds on the first attempt. Then the paper's
+        // betweenness-central root (it minimizes escape dependencies,
+        // Fig. 5), then capped alternatives spread across the fabric —
+        // any one of them being compatible is enough.
+        NodeId hint = layer < opt.escape_root_hints.size()
+                          ? opt.escape_root_hints[layer]
+                          : kInvalidNode;
+        if (hint != kInvalidNode &&
+            (hint >= net.num_nodes() || !net.node_alive(hint) ||
+             !net.is_switch(hint))) {
+          hint = kInvalidNode;
+        }
+        // The betweenness pass behind select_escape_root is the single
+        // most expensive piece of the layer setup; memoize it and, when a
+        // hint exists, don't even compute it until the hint fails.
+        NodeId central = kInvalidNode;
+        const auto preferred_root = [&]() -> NodeId {
+          if (central == kInvalidNode) {
+            central = opt.central_root ? select_escape_root(net, to_route)
+                                       : net.switches().front();
+          }
+          return central;
+        };
+        std::vector<NodeId> candidates;
+        if (hint != kInvalidNode) candidates.push_back(hint);
+        bool expanded = false;
+        const auto expand_candidates = [&] {
+          expanded = true;
+          const NodeId pref = preferred_root();
+          if (pref != hint) candidates.push_back(pref);
+          std::vector<NodeId> alts;
+          for (NodeId s : net.switches()) {
+            if (s != pref && s != hint && net.node_alive(s)) {
+              alts.push_back(s);
+            }
+          }
+          if (opt.reroute_root_attempts > 0 &&
+              alts.size() > opt.reroute_root_attempts) {
+            // Spread the capped attempts across the fabric instead of
+            // clustering them on the lowest switch ids.
+            const std::size_t step = alts.size() / opt.reroute_root_attempts;
+            for (std::size_t i = 0; i < opt.reroute_root_attempts; ++i) {
+              candidates.push_back(alts[i * step]);
+            }
+          } else {
+            candidates.insert(candidates.end(), alts.begin(), alts.end());
+          }
+        };
+        if (candidates.empty()) expand_candidates();
+        std::size_t root_attempt = 0;
+        NodeId root = kInvalidNode;
+        // Stale-mark skip count per routed column of the final attempt: a
+        // column with zero skips has its whole surviving dependency set in
+        // the CDG and is eligible for the partial repair below.
+        std::unordered_map<NodeId, std::size_t> col_skips;
+        // Collector for one old column's surviving dependencies (the
+        // consecutive still-alive hop pairs, search orientation). Kept
+        // columns are fully alive, so the same liveness-filtered walk
+        // yields their complete dependency set too.
+        std::vector<std::pair<ChannelId, ChannelId>> old_deps;
+        const auto collect_column_deps = [&](NodeId d) {
+          const std::uint32_t odi = old.dest_index(d);
+          for (NodeId v = 0; v < net.num_nodes(); ++v) {
+            if (v == d || !net.node_alive(v)) continue;
+            const ChannelId c = old.next(v, odi);  // traffic channel v -> p
+            if (c == kInvalidChannel || !net.channel_alive(c)) continue;
+            const NodeId p = net.dst(c);
+            if (p == d || !net.node_alive(p)) continue;
+            const ChannelId pc = old.next(p, odi);
+            if (pc == kInvalidChannel || !net.channel_alive(pc)) continue;
+            old_deps.emplace_back(reverse(pc), reverse(c));
+          }
+        };
         while (true) {
-          const NodeId root = opt.central_root
-                                  ? select_escape_root(net, to_route)
-                                  : net.switches().front();
+          root = escape_first ? preferred_root() : candidates[root_attempt];
           router = std::make_unique<LayerRouter>(net, idx, root, opt, ls);
+          if (!escape_first) {
+            // Constraints-first: every pre-mark mirrors the old table's
+            // acyclic per-layer CDG, so the pre-marks cannot conflict
+            // with each other — bulk-load them in one topological pass,
+            // then fit a checked escape tree around them. Zero skipped
+            // marks and zero demotions by construction: succeeding here
+            // makes the repair hitless.
+            old_deps.clear();
+            for (NodeId d : to_route) collect_column_deps(d);
+            for (NodeId d : stale_only[layer]) collect_column_deps(d);
+            for (NodeId d : keep_cols) collect_column_deps(d);
+            router->premark_bulk(old_deps);
+            col_skips.clear();
+            for (NodeId d : to_route) col_skips[d] = 0;
+            const bool tree_ok = router->init_escape_paths_checked(to_route);
+            if (!tree_ok) {
+              ++root_attempt;
+              if (root_attempt >= candidates.size()) {
+                if (!expanded) expand_candidates();
+                if (root_attempt >= candidates.size()) escape_first = true;
+              }
+              continue;
+            }
+            break;
+          }
+          // Escape-first fallback (Lemma 3's delivery guarantee outranks
+          // hitlessness): unconditional escape tree, then checked kept
+          // pre-marks with demotion to a fixpoint, then best-effort stale
+          // marks priced by the transition gate downstream.
           router->init_escape_paths(to_route);
           bool demoted = false;
           std::vector<NodeId> still_kept;
@@ -653,9 +934,22 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
             }
           }
           keep_cols.swap(still_kept);
-          if (!demoted) break;
-          // Rebuild from scratch with the enlarged routing set.
+          if (demoted) continue;  // rebuild with the enlarged routing set
+          std::size_t skipped = 0;
+          col_skips.clear();
+          for (NodeId d : to_route) {
+            const std::size_t sk =
+                router->premark_stale_deps(old, old.dest_index(d), d);
+            col_skips[d] = sk;
+            skipped += sk;
+          }
+          for (NodeId d : stale_only[layer]) {
+            skipped += router->premark_stale_deps(old, old.dest_index(d), d);
+          }
+          lrs.stale_marks_skipped += skipped;
+          break;
         }
+        ls.roots.push_back(root);
         for (NodeId d : keep_cols) {
           const std::uint32_t old_di = old.dest_index(d);
           const std::uint32_t di = rr.dest_index(d);
@@ -669,7 +963,20 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
         for (NodeId d : to_route) {
           const std::uint32_t di = rr.dest_index(d);
           rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
-          router->route_destination(d, rr, di);
+          // Partial repair when the column's stale marks all landed: the
+          // intact region is settled verbatim (its dependencies are in the
+          // CDG already) and only the orphaned nodes are re-searched. A
+          // column with skipped marks falls back to a full recompute —
+          // its surviving dependencies are not all in the CDG, so the
+          // merged extraction could not account for them.
+          const auto it = col_skips.find(d);
+          if (it != col_skips.end() && it->second == 0) {
+            router->route_destination_partial(d, rr, di, old,
+                                              old.dest_index(d));
+            ++lrs.dests_patched;
+          } else {
+            router->route_destination(d, rr, di);
+          }
           ++lrs.dests_rerouted;
         }
       });
@@ -677,7 +984,9 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
     merge_stats(st, layer_stats[layer]);
     rs.dests_kept += layer_rs[layer].dests_kept;
     rs.dests_rerouted += layer_rs[layer].dests_rerouted;
+    rs.dests_patched += layer_rs[layer].dests_patched;
     rs.dests_demoted += layer_rs[layer].dests_demoted;
+    rs.stale_marks_skipped += layer_rs[layer].stale_marks_skipped;
   }
   return rr;
 }
@@ -714,7 +1023,10 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
   parallel_for(
       resolve_threads(opt.num_threads), opt.num_vls, [&](std::size_t layer) {
         const auto& subset = parts[layer];
-        if (subset.empty()) return;
+        if (subset.empty()) {
+          layer_stats[layer].roots.push_back(kInvalidNode);
+          return;
+        }
         NueStats& ls = layer_stats[layer];
         NodeId root;
         if (opt.central_root) {

@@ -53,6 +53,21 @@ struct NueOptions {
   /// dependencies then obstruct everyone else. 50 is robust across the
   /// evaluated topology families (swept in the ablation bench).
   double balance_damping = 50.0;
+  /// Incremental rerouting only: how many escape-tree roots to try for a
+  /// hitless repair (the preferred betweenness-central root plus up to
+  /// this many alternatives) before giving up on old-dependency
+  /// compatibility and reverting to the unconditional escape-first setup.
+  /// Each attempt is one BFS + checked marking pass per layer, so the cap
+  /// bounds the repair latency; 0 tries every alive switch.
+  std::uint32_t reroute_root_attempts = 16;
+  /// Incremental rerouting only: escape-root hints indexed by virtual
+  /// layer (kInvalidNode = no hint; dead or non-switch entries ignored).
+  /// The previous table's roots are the natural candidates — their full
+  /// escape trees were force-marked in that table's CDG, so a BFS tree
+  /// from the same root on the degraded fabric is almost always
+  /// compatible with the surviving old dependencies, making the hitless
+  /// repair succeed on the first attempt instead of sweeping roots.
+  std::vector<NodeId> escape_root_hints;
   std::uint64_t seed = 1;
   /// Worker threads for routing the virtual layers (0 = process default
   /// from --threads, 1 = serial). Layers are independent by construction
@@ -72,7 +87,9 @@ struct NueStats {
   std::uint64_t cycle_searches = 0;  // condition-(d) DFS invocations
   std::uint64_t cycle_search_steps = 0;
   std::uint64_t fast_accepts = 0;    // O(1) accepts via conditions (a)/(b)
-  std::vector<NodeId> roots;         // escape root per layer
+  /// Escape root per virtual layer (layer-indexed; kInvalidNode for a
+  /// layer that routed nothing — empty subset, or every column reused).
+  std::vector<NodeId> roots;
 };
 
 /// Route every node in `dests` (paths from all nodes to each destination).
@@ -100,10 +117,21 @@ std::size_t count_escape_dependencies(const Network& net, NodeId root,
 struct RerouteStats {
   std::size_t dests_kept = 0;       // columns reused unchanged
   std::size_t dests_rerouted = 0;   // columns recomputed
+  /// Of the recomputed columns: how many went through the partial repair
+  /// (intact region settled on its old channels, only the nodes orphaned
+  /// by the failure re-searched). Requires the column's stale pre-marking
+  /// to have skipped nothing; the rest pay a full column recompute.
+  std::size_t dests_patched = 0;
   std::size_t dests_dropped = 0;    // destinations that died with a switch
   std::size_t dests_demoted = 0;    // intact columns recomputed anyway
                                     // because their dependencies clashed
                                     // with the new escape paths
+  /// Stale dependencies of broken columns (still-alive hop pairs that
+  /// in-flight packets may occupy until they hit the dead element) that
+  /// could not be pre-marked because they clashed with the escape tree or
+  /// other marks. 0 means the old+new union CDG is acyclic by
+  /// construction — a hitless table swap (docs/RESILIENCE.md).
+  std::size_t stale_marks_skipped = 0;
 };
 
 /// Fail-in-place rerouting (the paper's deployment context [7]): `net` is

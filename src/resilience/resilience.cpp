@@ -1,0 +1,356 @@
+#include "resilience/resilience.hpp"
+
+#include <sstream>
+
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/lash.hpp"
+#include "routing/sssp_engine.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace nue::resilience {
+
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::kNue: return "nue";
+    case Engine::kDfsssp: return "dfsssp";
+    case Engine::kLash: return "lash";
+    case Engine::kUpDown: return "updown";
+  }
+  return "?";
+}
+
+std::optional<Engine> engine_from_name(const std::string& s) {
+  for (Engine e :
+       {Engine::kNue, Engine::kDfsssp, Engine::kLash, Engine::kUpDown}) {
+    if (s == engine_name(e)) return e;
+  }
+  return std::nullopt;
+}
+
+ResilienceManager::ResilienceManager(Network net, RepairPolicy policy)
+    : net_(std::move(net)), policy_(policy) {
+  NUE_CHECK_MSG(policy_.vls >= 1, "resilience: need at least one VL");
+  NUE_CHECK_MSG(policy_.max_vls >= policy_.vls,
+                "resilience: max_vls below the base VL budget");
+  Timer timer;
+  TransitionRecord rec;
+  rec.event = "initial";
+  rec.total_dests = net_.terminals().size();
+  rec.affected_dests = rec.total_dests;
+  Candidate cand = run_ladder(nullptr, /*incremental=*/false, rec.verdicts);
+  rec.committed_step = cand.step;
+  rec.repair_ms = timer.millis();
+  commit(std::move(*cand.rr), rec);
+}
+
+std::shared_ptr<const RoutingResult> ResilienceManager::table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_;
+}
+
+std::uint64_t ResilienceManager::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+TransitionRecord ResilienceManager::apply(const FaultEvent& e) {
+  apply_fault_event(net_, e);
+  Timer timer;
+  TransitionRecord rec;
+  rec.event = e.label();
+  const std::shared_ptr<const RoutingResult> old = table();
+
+  // Table diff: broken/dropped columns plus destinations that joined the
+  // fabric with a restored switch.
+  std::size_t joined = 0;
+  for (NodeId t : net_.terminals()) {
+    if (!old->is_destination(t)) ++joined;
+  }
+  rec.affected_dests = affected_destinations(net_, *old).size() + joined;
+  rec.total_dests = net_.terminals().size();
+  if (rec.affected_dests == 0) {
+    // Every column still routes over alive elements (e.g. a restored link
+    // no route was using): the active epoch stays valid as-is.
+    rec.committed_step = "noop";
+    rec.epoch = epoch();
+    rec.repair_ms = timer.millis();
+    log_.add(rec);
+    return rec;
+  }
+
+  Candidate cand = run_ladder(old.get(), /*incremental=*/true, rec.verdicts);
+  rec.union_gate_checked = true;
+  Timer gate_timer;
+  const bool gate_ok = union_cdg_acyclic(net_, *old, *cand.rr);
+  const double gate_ms = gate_timer.millis();
+  if (gate_ok) {
+    rec.hitless = true;
+    std::ostringstream os;
+    os << "union-gate: acyclic, hitless swap [" << gate_ms << "ms]";
+    rec.verdicts.push_back(os.str());
+  } else {
+    // Old and new dependencies together would close a cycle, so the two
+    // routing functions must never coexist in the fabric: drain, then
+    // install a fresh full recompute (Theorem 1 applies to it alone).
+    rec.drained = true;
+    rec.verdicts.push_back("union-gate: cycle, drained full recompute");
+    if (cand.step == "incremental") {
+      cand = run_ladder(old.get(), /*incremental=*/false, rec.verdicts);
+    }
+  }
+  rec.committed_step = cand.step;
+  rec.repair_ms = timer.millis();
+  commit(std::move(*cand.rr), rec);
+  return rec;
+}
+
+std::vector<TransitionRecord> ResilienceManager::replay(
+    const FaultTrace& trace) {
+  std::vector<TransitionRecord> records;
+  records.reserve(trace.events.size());
+  for (const FaultEvent& e : trace.events) records.push_back(apply(e));
+  return records;
+}
+
+ResilienceManager::Candidate ResilienceManager::run_ladder(
+    const RoutingResult* old, bool incremental,
+    std::vector<std::string>& verdicts) {
+  struct Rung {
+    const char* name;
+    std::function<RoutingResult()> produce;
+  };
+  std::vector<Rung> rungs;
+  std::string incremental_note;
+  // Set by the reroute path below: its candidate only needs the affected
+  // columns re-walked (incremental_error); every other producer goes
+  // through the full validate_routing.
+  bool subset_validation = false;
+  if (incremental && old != nullptr) {
+    rungs.push_back({"incremental", [&]() -> RoutingResult {
+                       bool joined = false;
+                       for (NodeId t : net_.terminals()) {
+                         if (!old->is_destination(t)) {
+                           joined = true;
+                           break;
+                         }
+                       }
+                       if (policy_.engine == Engine::kNue &&
+                           old->vl_mode() == VlMode::kPerDest && !joined) {
+                         NueOptions opt;
+                         opt.num_vls = old->num_vls();
+                         opt.seed = policy_.seed;
+                         opt.num_threads = policy_.num_threads;
+                         opt.escape_root_hints = escape_roots_;
+                         RerouteStats rrs;
+                         NueStats nst;
+                         RoutingResult rr =
+                             reroute_nue(net_, *old, opt, &rrs, &nst);
+                         remember_roots(nst.roots);
+                         subset_validation = true;
+                         std::ostringstream os;
+                         os << " (kept " << rrs.dests_kept << ", rerouted "
+                            << rrs.dests_rerouted << " of which patched "
+                            << rrs.dests_patched << ", demoted "
+                            << rrs.dests_demoted << ", stale marks skipped "
+                            << rrs.stale_marks_skipped << ")";
+                         incremental_note = os.str();
+                         return rr;
+                       }
+                       return splice_incremental(*old);
+                     }});
+  }
+  rungs.push_back({"full-recompute", [&] {
+                     return run_engine_full(policy_.engine, policy_.vls);
+                   }});
+  if (policy_.max_vls > policy_.vls) {
+    rungs.push_back({"more-vls", [&] {
+                       return run_engine_full(policy_.engine,
+                                              policy_.max_vls);
+                     }});
+  }
+  if (policy_.engine != Engine::kNue) {
+    rungs.push_back({"nue-fallback", [&] {
+                       return run_engine_full(Engine::kNue, policy_.vls);
+                     }});
+  }
+
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    const bool last = i + 1 == rungs.size();
+    Timer t;
+    std::optional<RoutingResult> rr;
+    try {
+      rr.emplace(rungs[i].produce());
+    } catch (const RoutingFailure& ex) {
+      verdicts.push_back(std::string(rungs[i].name) +
+                         ": engine declined: " + ex.what());
+      continue;
+    }
+    const double ms = t.millis();
+    const std::string err = (i == 0 && subset_validation)
+                                ? incremental_error(*rr, *old)
+                                : candidate_error(*rr);
+    if (!err.empty()) {
+      verdicts.push_back(std::string(rungs[i].name) + ": invalid table: " +
+                         err);
+      continue;
+    }
+    if (!last && policy_.step_budget_ms > 0.0 && ms > policy_.step_budget_ms) {
+      std::ostringstream os;
+      os << rungs[i].name << ": over budget (" << ms << "ms > "
+         << policy_.step_budget_ms << "ms)";
+      verdicts.push_back(os.str());
+      continue;
+    }
+    std::ostringstream okv;
+    okv << rungs[i].name << ": ok"
+        << (i == 0 && incremental ? incremental_note : "") << " ["
+        << ms << "ms + validate " << t.millis() - ms << "ms]";
+    verdicts.push_back(okv.str());
+    return {std::move(rr), rungs[i].name};
+  }
+  NUE_CHECK_MSG(false,
+                "repair ladder exhausted without a valid table (Nue's "
+                "contract should make this unreachable)");
+  return {};
+}
+
+RoutingResult ResilienceManager::run_engine_full(Engine e,
+                                                 std::uint32_t vls) {
+  const auto dests = net_.terminals();
+  switch (e) {
+    case Engine::kNue: {
+      NueOptions opt;
+      opt.num_vls = vls;
+      opt.seed = policy_.seed;
+      opt.num_threads = policy_.num_threads;
+      NueStats nst;
+      RoutingResult rr = route_nue(net_, dests, opt, &nst);
+      remember_roots(nst.roots);
+      return rr;
+    }
+    case Engine::kDfsssp: {
+      DfssspOptions opt;
+      opt.max_vls = vls;
+      opt.num_threads = policy_.num_threads;
+      return route_dfsssp(net_, dests, opt);
+    }
+    case Engine::kLash: {
+      LashOptions opt;
+      opt.max_vls = vls;
+      opt.num_threads = policy_.num_threads;
+      return route_lash(net_, dests, opt);
+    }
+    case Engine::kUpDown:
+      return route_updown(net_, dests);
+  }
+  NUE_CHECK_MSG(false, "unknown repair engine");
+  return route_updown(net_, dests);
+}
+
+RoutingResult ResilienceManager::splice_incremental(const RoutingResult& old) {
+  const auto dests = net_.terminals();
+  RoutingResult rr(net_.num_nodes(), dests, old.num_vls(), old.vl_mode());
+  std::vector<std::uint8_t> broken(net_.num_nodes(), 0);
+  for (NodeId d : affected_destinations(net_, old)) broken[d] = 1;
+  const std::vector<double> uniform(net_.num_channels(), 1.0);
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    const NodeId d = dests[i];
+    const auto di = static_cast<std::uint32_t>(i);
+    const std::uint32_t old_di = old.dest_index(d);
+    const bool has_old = old_di != RoutingResult::kNoDest;
+    // VL assignments are inherited wherever the old table has them (new
+    // destinations start on layer 0); whether the guess holds on the
+    // repaired paths is the validator's and the union gate's call.
+    switch (old.vl_mode()) {
+      case VlMode::kPerDest:
+        rr.set_dest_vl(di, has_old ? old.vl(d, d, old_di) : 0);
+        break;
+      case VlMode::kPerSource:
+        for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+          rr.set_source_vl(v, di, has_old ? old.vl(d, v, old_di) : 0);
+        }
+        break;
+      case VlMode::kPerHop:
+        for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+          rr.set_hop_vl(v, di, has_old ? old.vl(v, d, old_di) : 0);
+        }
+        break;
+    }
+    if (has_old && !broken[d]) {
+      for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+        if (v == d || !net_.node_alive(v)) continue;
+        rr.set_next(v, di, old.next(v, old_di));
+      }
+    } else {
+      const DestTree tree = dest_tree(net_, d, uniform);
+      for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+        if (v == d || !net_.node_alive(v)) continue;
+        rr.set_next(v, di, tree.next[v]);
+      }
+    }
+  }
+  return rr;
+}
+
+std::string ResilienceManager::candidate_error(const RoutingResult& rr) const {
+  for (NodeId t : net_.terminals()) {
+    if (!rr.is_destination(t)) {
+      std::ostringstream os;
+      os << "alive terminal " << t << " is not a destination";
+      return os.str();
+    }
+  }
+  const ValidationReport rep = validate_routing(net_, rr);
+  if (!rep.ok()) {
+    return rep.detail.empty() ? std::string("validation failed") : rep.detail;
+  }
+  return "";
+}
+
+std::string ResilienceManager::incremental_error(
+    const RoutingResult& rr, const RoutingResult& old) const {
+  for (NodeId t : net_.terminals()) {
+    if (!rr.is_destination(t)) {
+      std::ostringstream os;
+      os << "alive terminal " << t << " is not a destination";
+      return os.str();
+    }
+  }
+  std::vector<NodeId> dests;
+  for (NodeId d : affected_destinations(net_, old)) {
+    if (net_.node_alive(d)) dests.push_back(d);  // dead dests were dropped
+  }
+  const ValidationReport rep = validate_columns(net_, rr, dests);
+  if (!rep.ok()) {
+    return rep.detail.empty() ? std::string("validation failed") : rep.detail;
+  }
+  return "";
+}
+
+void ResilienceManager::remember_roots(const std::vector<NodeId>& roots) {
+  if (escape_roots_.size() < roots.size()) {
+    escape_roots_.resize(roots.size(), kInvalidNode);
+  }
+  for (std::size_t l = 0; l < roots.size(); ++l) {
+    if (roots[l] != kInvalidNode) escape_roots_[l] = roots[l];
+  }
+}
+
+void ResilienceManager::commit(RoutingResult rr, TransitionRecord& rec) {
+  auto fresh = std::make_shared<const RoutingResult>(std::move(rr));
+  std::shared_ptr<const RoutingResult> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    old = table_;
+    table_ = fresh;
+    rec.epoch = ++epoch_;
+  }
+  log_.add(rec);
+  if (hook_) hook_(net_, old.get(), *fresh, rec);
+}
+
+}  // namespace nue::resilience

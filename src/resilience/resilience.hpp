@@ -1,0 +1,153 @@
+// Live resilience manager: keeps a validated, deadlock-free routing
+// function up while the fabric degrades and heals underneath it
+// (docs/RESILIENCE.md).
+//
+// The manager consumes a stream of runtime fault/repair events (link down,
+// switch down, link restore, switch restore — topology/faults.hpp). On
+// each event it
+//
+//   1. extracts the table diff: only destinations whose forwarding column
+//      touches a dead element (affected_destinations) — or that joined the
+//      fabric with a restored switch — need new routes; everything else is
+//      spliced verbatim into a double-buffered successor table,
+//   2. climbs a bounded repair ladder until a candidate passes the full
+//      validation oracle (reachability, no revisits, VL sanity, CDG
+//      acyclicity, and coverage of every alive terminal):
+//        incremental -> full recompute -> same engine with more VLs ->
+//        Nue fallback (which, per the paper's Lemma 3, cannot fail for any
+//        k >= 1 on a connected fabric),
+//      each rung under an optional wall-clock budget,
+//   3. runs the transition-safety gate before the atomic epoch swap: the
+//      union CDG of the old and new tables must be acyclic (UPR
+//      compatibility), because in-flight packets hold resources per the
+//      old table while new injections follow the new one. A gate failure
+//      falls back to a drained full recompute — correct by Theorem 1
+//      because old and new traffic never coexist — and is recorded as
+//      such, never silently skipped.
+//
+// Every transition's verdicts land in a metrics::ReconfigLog
+// (src/metrics/reconfig_log.hpp); bench_reconfig and `nue_route
+// --fault-trace` serialize it as BENCH_reconfig.json.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "metrics/reconfig_log.hpp"
+#include "routing/routing.hpp"
+#include "topology/faults.hpp"
+
+namespace nue::resilience {
+
+/// Engines able to route an arbitrary degraded fabric (the topology-bound
+/// schemes — Torus-2QoS, fat-tree d-mod-k — cannot serve as live repair
+/// engines; MinHop is excluded because it never promises deadlock
+/// freedom, so no committed epoch could pass the oracle).
+enum class Engine : std::uint8_t { kNue, kDfsssp, kLash, kUpDown };
+
+const char* engine_name(Engine e);
+std::optional<Engine> engine_from_name(const std::string& s);
+
+struct RepairPolicy {
+  Engine engine = Engine::kNue;
+  std::uint32_t vls = 4;      // base VL budget for every rung but more-vls
+  std::uint32_t max_vls = 8;  // the more-vls rung's escalated budget
+  /// Wall-clock budget per ladder rung in milliseconds; a rung that
+  /// finishes over budget is discarded and the ladder descends. 0 (the
+  /// default) disables the budgets — deterministic CI runs want that. The
+  /// final rung is exempt: a table must always be produced.
+  double step_budget_ms = 0.0;
+  std::uint64_t seed = 1;     // forwarded to Nue
+  /// Worker threads for the routing engines (0 = process default).
+  std::uint32_t num_threads = 1;
+};
+
+class ResilienceManager {
+ public:
+  /// Takes ownership of the fabric and routes the initial table through
+  /// the ladder's full-recompute rungs (epoch 1). Throws RoutingFailure
+  /// only if even the Nue fallback cannot route (i.e. never on a
+  /// connected fabric).
+  ResilienceManager(Network net, RepairPolicy policy);
+
+  const Network& net() const { return net_; }
+  const RepairPolicy& policy() const { return policy_; }
+
+  /// Snapshot of the active routing table. The shared_ptr is the double
+  /// buffer: readers keep routing on their snapshot while apply() swaps
+  /// in the successor epoch.
+  std::shared_ptr<const RoutingResult> table() const;
+  std::uint64_t epoch() const;
+
+  /// Every transition's verdict trail, in order (epoch 1 = initial table).
+  const ReconfigLog& log() const { return log_; }
+
+  /// Observer invoked after every commit with (fabric, previous table or
+  /// nullptr, committed table, record) — the fuzzer's reconfiguration
+  /// oracle re-validates each epoch and re-checks the union gate through
+  /// this hook.
+  using CommitHook = std::function<void(
+      const Network&, const RoutingResult*, const RoutingResult&,
+      const TransitionRecord&)>;
+  void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
+
+  /// Apply one runtime event: mutate the fabric, repair, gate, swap.
+  /// Throws std::logic_error on an event that is illegal on the current
+  /// fabric (apply_fault_event's contract) — the fabric is unchanged in
+  /// that case.
+  TransitionRecord apply(const FaultEvent& e);
+
+  /// Apply a whole trace (events only; the caller instantiated the
+  /// fabric from trace.generate before constructing the manager).
+  std::vector<TransitionRecord> replay(const FaultTrace& trace);
+
+ private:
+  struct Candidate {
+    std::optional<RoutingResult> rr;
+    std::string step;  // ladder rung name that produced it
+  };
+
+  /// Climb the ladder; `incremental` enables rung 1 (event repairs only —
+  /// the initial table and drained recomputes start at rung 2).
+  Candidate run_ladder(const RoutingResult* old, bool incremental,
+                       std::vector<std::string>& verdicts);
+  RoutingResult run_engine_full(Engine e, std::uint32_t vls);
+  RoutingResult splice_incremental(const RoutingResult& old);
+  /// validate_routing + alive-terminal coverage; returns "" when valid,
+  /// else the failure detail for the verdict trail.
+  std::string candidate_error(const RoutingResult& rr) const;
+  /// Validation for candidates from the Nue reroute path: only the
+  /// columns the event actually touched (affected_destinations of the old
+  /// table) are walked — the kept columns were validated verbatim at
+  /// their own commit and re-checked for liveness by the reroute's intact
+  /// classification, and table-wide CDG acyclicity is covered by the
+  /// union gate (the new dependency set is a subset of the old+new union;
+  /// a gate failure drains into a fully validated recompute). This keeps
+  /// per-event validation proportional to the damage, not the fabric.
+  std::string incremental_error(const RoutingResult& rr,
+                                const RoutingResult& old) const;
+  void commit(RoutingResult rr, TransitionRecord& record);
+  /// Fold a run's layer-indexed escape roots into escape_roots_ (entries
+  /// of kInvalidNode mean "layer untouched" and keep the remembered root).
+  void remember_roots(const std::vector<NodeId>& roots);
+
+  Network net_;
+  RepairPolicy policy_;
+  ReconfigLog log_;
+  CommitHook hook_;
+  mutable std::mutex mutex_;          // guards table_/epoch_ swap + reads
+  std::shared_ptr<const RoutingResult> table_;
+  std::uint64_t epoch_ = 0;
+  /// Escape root per virtual layer of the last Nue run, fed back to
+  /// reroute_nue as hints: the previous tree's root is the candidate most
+  /// likely to admit a hitless (union-acyclic) repair on the first try.
+  std::vector<NodeId> escape_roots_;
+};
+
+}  // namespace nue::resilience

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
 #include "util/error.hpp"
 
@@ -10,21 +9,31 @@ namespace nue {
 
 namespace {
 
-/// Walk the route src -> dst, invoking cb(channel, vl) per hop.
-/// Returns false (and stops) on a table hole or a loop.
+enum class WalkEnd : std::uint8_t {
+  kReached,      // arrived at the destination
+  kHole,         // missing/foreign table entry
+  kDeadChannel,  // entry points at a failed channel (stale table)
+  kLoop,         // exceeded the hop bound
+};
+
+/// Walk the route src -> dst, invoking cb(channel, vl) per hop taken.
+/// Stops (without invoking cb for the offending hop) on a table hole, a
+/// dead channel, or a loop; dependencies emitted before the stop are the
+/// resources in-flight packets can actually occupy, so callers keep them.
 template <typename Cb>
-bool walk(const Network& net, const RoutingResult& rr, NodeId src,
-          std::uint32_t dest_idx, NodeId dst, Cb&& cb) {
+WalkEnd walk(const Network& net, const RoutingResult& rr, NodeId src,
+             std::uint32_t dest_idx, NodeId dst, Cb&& cb) {
   NodeId at = src;
   std::size_t hops = 0;
   while (at != dst) {
     const ChannelId c = rr.next(at, dest_idx);
-    if (c == kInvalidChannel || net.src(c) != at) return false;
+    if (c == kInvalidChannel || net.src(c) != at) return WalkEnd::kHole;
+    if (!net.channel_alive(c)) return WalkEnd::kDeadChannel;
     cb(c, rr.vl(at, src, dest_idx));
     at = net.dst(c);
-    if (++hops > net.num_nodes()) return false;
+    if (++hops > net.num_nodes()) return WalkEnd::kLoop;
   }
-  return true;
+  return WalkEnd::kReached;
 }
 
 }  // namespace
@@ -40,7 +49,9 @@ std::vector<std::vector<std::uint32_t>> induced_cdg(
   const std::uint32_t stride = rr.num_vls() + 1;
   const std::size_t v = net.num_channels() * stride;
   std::vector<std::vector<std::uint32_t>> adj(v);
-  std::unordered_set<std::uint64_t> seen;
+  // Parallel edges are NOT deduplicated: the cycle check visits every
+  // adjacency entry once either way, and hashing each emitted dependency
+  // used to dominate the whole validation pass.
   for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
     const NodeId d = rr.destinations()[di];
     for (NodeId s : sources) {
@@ -53,9 +64,7 @@ std::vector<std::vector<std::uint32_t>> induced_cdg(
              const auto cur =
                  static_cast<std::uint32_t>(c * stride + slot);
              if (prev != static_cast<std::uint32_t>(-1)) {
-               const std::uint64_t key =
-                   (static_cast<std::uint64_t>(prev) << 32) | cur;
-               if (seen.insert(key).second) adj[prev].push_back(cur);
+               adj[prev].push_back(cur);
              }
              prev = cur;
            });
@@ -92,53 +101,88 @@ bool is_acyclic(const std::vector<std::vector<std::uint32_t>>& adj) {
   return true;
 }
 
+namespace {
+
+/// The per-destination walk checks shared by validate_routing and
+/// validate_columns: walks every source to destination `di`, folding
+/// reachability, node revisits, VL sanity, liveness, and path-length
+/// accounting into `rep`. `visited` is caller-owned all-zero scratch
+/// (returned all-zero).
+void validate_dest_walks(const Network& net, const RoutingResult& rr,
+                         std::uint32_t di, const std::vector<NodeId>& sources,
+                         std::vector<std::uint8_t>& visited,
+                         ValidationReport& rep, std::uint64_t& total_len) {
+  const NodeId d = rr.destinations()[di];
+  if (!net.node_alive(d)) {
+    // Stale table: it still routes toward a destination the fabric has
+    // lost. The walks below would fail anyway (the channels into a dead
+    // node die with it) — flag the root cause instead.
+    if (rep.live_elements) {
+      std::ostringstream os;
+      os << "table routes to removed destination " << d;
+      rep.detail = os.str();
+    }
+    rep.live_elements = false;
+    return;
+  }
+  for (NodeId s : sources) {
+    if (s == d || !net.node_alive(s)) continue;
+    std::size_t len = 0;
+    std::vector<NodeId> touched{s};
+    visited[s] = 1;
+    bool node_revisited = false;
+    const WalkEnd end = walk(net, rr, s, di, d,
+                             [&](ChannelId c, std::uint8_t vl) {
+                               ++len;
+                               const NodeId w = net.dst(c);
+                               if (visited[w]) node_revisited = true;
+                               visited[w] = 1;
+                               touched.push_back(w);
+                               if (vl >= rr.num_vls()) rep.vl_in_range = false;
+                             });
+    for (NodeId v : touched) visited[v] = 0;
+    if (end == WalkEnd::kDeadChannel) {
+      if (rep.live_elements && rep.detail.empty()) {
+        std::ostringstream os;
+        os << "route " << s << " -> " << d << " crosses a dead channel";
+        rep.detail = os.str();
+      }
+      rep.live_elements = false;
+    }
+    if (end != WalkEnd::kReached) {
+      if (rep.connected && rep.detail.empty()) {
+        std::ostringstream os;
+        os << "no complete route " << s << " -> " << d;
+        rep.detail = os.str();
+      }
+      rep.connected = false;
+      continue;
+    }
+    if (node_revisited) {
+      rep.cycle_free = false;
+      if (rep.detail.empty()) {
+        std::ostringstream os;
+        os << "route " << s << " -> " << d << " revisits a node";
+        rep.detail = os.str();
+      }
+    }
+    ++rep.num_paths;
+    total_len += len;
+    rep.max_path_length = std::max(rep.max_path_length, len);
+  }
+}
+
+}  // namespace
+
 ValidationReport validate_routing(const Network& net, const RoutingResult& rr,
                                   std::vector<NodeId> sources) {
   if (sources.empty()) sources = net.terminals();
   ValidationReport rep;
   std::vector<std::uint8_t> visited(net.num_nodes(), 0);
   std::uint64_t total_len = 0;
-
   for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
-    const NodeId d = rr.destinations()[di];
-    for (NodeId s : sources) {
-      if (s == d || !net.node_alive(s)) continue;
-      std::size_t len = 0;
-      std::vector<NodeId> touched{s};
-      visited[s] = 1;
-      bool node_revisited = false;
-      const bool complete =
-          walk(net, rr, s, static_cast<std::uint32_t>(di), d,
-               [&](ChannelId c, std::uint8_t vl) {
-                 ++len;
-                 const NodeId w = net.dst(c);
-                 if (visited[w]) node_revisited = true;
-                 visited[w] = 1;
-                 touched.push_back(w);
-                 if (vl >= rr.num_vls()) rep.vl_in_range = false;
-               });
-      for (NodeId v : touched) visited[v] = 0;
-      if (!complete) {
-        if (rep.connected) {
-          std::ostringstream os;
-          os << "no complete route " << s << " -> " << d;
-          rep.detail = os.str();
-        }
-        rep.connected = false;
-        continue;
-      }
-      if (node_revisited) {
-        rep.cycle_free = false;
-        if (rep.detail.empty()) {
-          std::ostringstream os;
-          os << "route " << s << " -> " << d << " revisits a node";
-          rep.detail = os.str();
-        }
-      }
-      ++rep.num_paths;
-      total_len += len;
-      rep.max_path_length = std::max(rep.max_path_length, len);
-    }
+    validate_dest_walks(net, rr, static_cast<std::uint32_t>(di), sources,
+                        visited, rep, total_len);
   }
   if (rep.num_paths > 0) {
     rep.avg_path_length =
@@ -149,6 +193,146 @@ ValidationReport validate_routing(const Network& net, const RoutingResult& rr,
     rep.detail = "induced CDG has a cycle";
   }
   return rep;
+}
+
+ValidationReport validate_columns(const Network& net, const RoutingResult& rr,
+                                  const std::vector<NodeId>& dests,
+                                  std::vector<NodeId> sources) {
+  if (sources.empty()) sources = net.terminals();
+  ValidationReport rep;
+  std::vector<std::uint8_t> visited(net.num_nodes(), 0);
+  std::uint64_t total_len = 0;
+  for (NodeId d : dests) {
+    const std::uint32_t di = rr.dest_index(d);
+    if (di == RoutingResult::kNoDest) {
+      if (rep.connected && rep.detail.empty()) {
+        std::ostringstream os;
+        os << "table has no column for destination " << d;
+        rep.detail = os.str();
+      }
+      rep.connected = false;
+      continue;
+    }
+    validate_dest_walks(net, rr, di, sources, visited, rep, total_len);
+  }
+  if (rep.num_paths > 0) {
+    rep.avg_path_length =
+        static_cast<double>(total_len) / static_cast<double>(rep.num_paths);
+  }
+  return rep;
+}
+
+std::vector<NodeId> affected_destinations(const Network& net,
+                                          const RoutingResult& rr) {
+  std::vector<NodeId> affected;
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    const NodeId d = rr.destinations()[di];
+    if (!net.node_alive(d)) {
+      affected.push_back(d);
+      continue;
+    }
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v == d || !net.node_alive(v)) continue;
+      const ChannelId c = rr.next(v, static_cast<std::uint32_t>(di));
+      if (c == kInvalidChannel || !net.channel_alive(c) ||
+          !net.node_alive(net.dst(c))) {
+        affected.push_back(d);
+        break;
+      }
+    }
+  }
+  return affected;
+}
+
+namespace {
+
+/// (channel, VL)-vertex dependency accumulator shared by the two tables
+/// of a union-CDG check. Slot stride-1 is the common overflow vertex for
+/// out-of-range VLs (same aliasing argument as induced_cdg). Parallel
+/// edges are kept — the cycle check is linear in the adjacency either
+/// way, and per-edge dedup hashing used to dominate the transition gate.
+struct CdgAccum {
+  explicit CdgAccum(std::size_t num_channels, std::uint32_t stride)
+      : stride(stride), adj(num_channels * stride) {}
+
+  void edge(std::uint32_t prev, std::uint32_t cur) {
+    adj[prev].push_back(cur);
+  }
+
+  std::uint32_t slot(const RoutingResult& rr, std::uint8_t vl) const {
+    return vl < rr.num_vls() ? vl : stride - 1;
+  }
+
+  std::uint32_t stride;
+  std::vector<std::vector<std::uint32_t>> adj;
+};
+
+/// Column-derived dependencies for VL schemes where the lane at a node
+/// does not depend on the packet's source (kPerDest, kPerHop): every pair
+/// of consecutive alive hops of a forwarding column is a dependency,
+/// regardless of which source drives it — O(nodes) per destination and a
+/// superset of the terminal-sourced walks.
+void accumulate_column_deps(const Network& net, const RoutingResult& rr,
+                            CdgAccum& acc) {
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    const NodeId d = rr.destinations()[di];
+    const auto di32 = static_cast<std::uint32_t>(di);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v == d || !net.node_alive(v)) continue;
+      const ChannelId c = rr.next(v, di32);
+      if (c == kInvalidChannel || net.src(c) != v || !net.channel_alive(c)) {
+        continue;  // stale/hole entry: no resource can be requested here
+      }
+      const NodeId u = net.dst(c);
+      if (u == d || !net.node_alive(u)) continue;
+      const ChannelId c2 = rr.next(u, di32);
+      if (c2 == kInvalidChannel || net.src(c2) != u ||
+          !net.channel_alive(c2)) {
+        continue;
+      }
+      acc.edge(c * acc.stride + acc.slot(rr, rr.vl(v, v, di32)),
+               c2 * acc.stride + acc.slot(rr, rr.vl(u, u, di32)));
+    }
+  }
+}
+
+/// Exact per-(source, destination) walks for per-source VL schemes, with
+/// stale-tolerant prefixes (walk stops at dead channels, emitted
+/// dependencies stay).
+void accumulate_pair_deps(const Network& net, const RoutingResult& rr,
+                          const std::vector<NodeId>& sources, CdgAccum& acc) {
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    const NodeId d = rr.destinations()[di];
+    for (NodeId s : sources) {
+      if (s == d || !net.node_alive(s)) continue;
+      std::uint32_t prev = static_cast<std::uint32_t>(-1);
+      walk(net, rr, s, static_cast<std::uint32_t>(di), d,
+           [&](ChannelId c, std::uint8_t vl) {
+             const auto cur = c * acc.stride + acc.slot(rr, vl);
+             if (prev != static_cast<std::uint32_t>(-1)) acc.edge(prev, cur);
+             prev = cur;
+           });
+    }
+  }
+}
+
+}  // namespace
+
+bool union_cdg_acyclic(const Network& net, const RoutingResult& old_rr,
+                       const RoutingResult& new_rr,
+                       std::vector<NodeId> sources) {
+  const std::uint32_t stride =
+      std::max(old_rr.num_vls(), new_rr.num_vls()) + 1;
+  CdgAccum acc(net.num_channels(), stride);
+  for (const RoutingResult* rr : {&old_rr, &new_rr}) {
+    if (rr->vl_mode() == VlMode::kPerSource) {
+      if (sources.empty()) sources = net.terminals();
+      accumulate_pair_deps(net, *rr, sources, acc);
+    } else {
+      accumulate_column_deps(net, *rr, acc);
+    }
+  }
+  return is_acyclic(acc.adj);
 }
 
 }  // namespace nue

@@ -18,13 +18,19 @@ struct ValidationReport {
   bool cycle_free = true;       // no path visits a node twice
   bool deadlock_free = true;    // induced CDG over (channel, VL) is acyclic
   bool vl_in_range = true;      // all VLs < num_vls
+  /// Stale-table detection: false when the table routes to a destination
+  /// that has been removed from the fabric, or some route crosses a dead
+  /// channel — the signature of forwarding state that predates a runtime
+  /// fault and was never repaired (docs/RESILIENCE.md).
+  bool live_elements = true;
   std::size_t num_paths = 0;
   std::size_t max_path_length = 0;
   double avg_path_length = 0.0;
   std::string detail;           // first failure description
 
   bool ok() const {
-    return connected && cycle_free && deadlock_free && vl_in_range;
+    return connected && cycle_free && deadlock_free && vl_in_range &&
+           live_elements;
   }
 };
 
@@ -33,9 +39,25 @@ struct ValidationReport {
 ValidationReport validate_routing(const Network& net, const RoutingResult& rr,
                                   std::vector<NodeId> sources = {});
 
+/// Column-subset validation for incremental repairs: the per-path checks
+/// of validate_routing restricted to the columns of `dests` (sources
+/// default to all alive terminals). The induced-CDG acyclicity pass is
+/// NOT run — deadlock_free stays true — because the caller must already
+/// cover it for the whole table: the resilience manager's union-CDG
+/// transition gate implies it (the new table's dependency set is a subset
+/// of the old+new union the gate proves acyclic), and a drained
+/// recompute goes through the full validate_routing instead. A `dests`
+/// entry the table does not route fails the report as disconnected.
+ValidationReport validate_columns(const Network& net, const RoutingResult& rr,
+                                  const std::vector<NodeId>& dests,
+                                  std::vector<NodeId> sources = {});
+
 /// Induced channel dependency graph of `rr` over (channel, VL) vertices
-/// (vertex id = channel * (num_vls + 1) + vl), as a deduplicated adjacency
-/// list. Slot num_vls of each channel is a dedicated overflow vertex: hops
+/// (vertex id = channel * (num_vls + 1) + vl), as an adjacency list (a
+/// dependency exercised by several pairs appears once per walk — parallel
+/// edges do not affect the acyclicity check and deduplicating them is
+/// what used to dominate the cost of this pass). Slot num_vls of each
+/// channel is a dedicated overflow vertex: hops
 /// whose VL is out of range land there instead of being clamped onto a
 /// legal layer, so a broken table can never alias onto (or hide behind) a
 /// legal dependency. Only dependencies exercised by (src in sources) ->
@@ -46,5 +68,31 @@ std::vector<std::vector<std::uint32_t>> induced_cdg(
 
 /// True if the directed graph given as adjacency lists is acyclic.
 bool is_acyclic(const std::vector<std::vector<std::uint32_t>>& adj);
+
+// --- runtime reconfiguration helpers ----------------------------------------
+
+/// Destinations of `rr` whose forwarding column no longer matches the
+/// current fabric: the destination itself is dead, some alive node's next
+/// pointer is a dead channel, or an alive node has no entry at all (a node
+/// that was down when the table was computed and has since been restored).
+/// The complement can be spliced verbatim into a successor table — this is
+/// the table diff driving incremental repair (src/resilience).
+std::vector<NodeId> affected_destinations(const Network& net,
+                                          const RoutingResult& rr);
+
+/// Transition-safety gate for hitless reconfiguration (UPR compatibility):
+/// while a new routing function is being installed, in-flight packets may
+/// still hold (channel, VL) resources according to the old one, so
+/// deadlock freedom through the swap window requires the UNION of both
+/// induced CDGs to be acyclic, not merely each on its own. Walks tolerate
+/// the old table's stale entries — a route stops at a dead channel, its
+/// prefix dependencies (resources packets can actually occupy) still
+/// count. For per-destination and per-hop VL schemes the dependencies are
+/// derived per forwarding column in O(nodes), a conservative superset of
+/// the terminal-sourced Definition 4 set; per-source tables fall back to
+/// exact per-pair walks.
+bool union_cdg_acyclic(const Network& net, const RoutingResult& old_rr,
+                       const RoutingResult& new_rr,
+                       std::vector<NodeId> sources = {});
 
 }  // namespace nue

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "routing/routing.hpp"
 #include "routing/validate.hpp"
 #include "test_helpers.hpp"
@@ -210,6 +212,132 @@ TEST(InducedCdg, LineHasChainDependencies) {
   std::size_t edges = 0;
   for (const auto& a : adj) edges += a.size();
   EXPECT_GT(edges, 0u);
+}
+
+// --- stale-table hardening (docs/RESILIENCE.md) -----------------------------
+
+TEST(Validate, StaleDeadChannelFailsLiveElements) {
+  // A runtime link failure without a repair: the table still forwards
+  // over the dead channel. The walk must flag the stale entry instead of
+  // silently traversing a resource that no longer exists.
+  Network net = make_line(3);
+  const auto rr = line_routing(net);
+  net.remove_link(chan(net, 0, 1) & ~ChannelId{1});
+  const auto rep = validate_routing(net, rr);
+  EXPECT_FALSE(rep.live_elements);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Validate, DeadDestinationFailsLiveElements) {
+  // A destination removed from the fabric (its switch died) while the
+  // table still carries its column.
+  Network net = make_line(3);
+  const auto rr = line_routing(net);
+  net.remove_node(net.terminals()[2]);
+  const auto rep = validate_routing(net, rr);
+  EXPECT_FALSE(rep.live_elements);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(ValidateColumns, WalksOnlyRequestedColumns) {
+  Network net = make_line(3);
+  auto rr = line_routing(net);
+  const NodeId d0 = net.terminals()[0];
+  const NodeId d2 = net.terminals()[2];
+  rr.set_next(1, rr.dest_index(d0), kInvalidChannel);  // hole in d0's column
+  // The broken column is caught when asked for...
+  EXPECT_FALSE(validate_columns(net, rr, {d0}).ok());
+  // ...and invisible when only d2's column is checked — the point of the
+  // subset API is that its cost (and scope) is proportional to the
+  // columns an event touched, not to the whole table.
+  const auto rep = validate_columns(net, rr, {d2});
+  EXPECT_TRUE(rep.ok()) << rep.detail;
+  EXPECT_GT(rep.num_paths, 0u);
+}
+
+TEST(ValidateColumns, MissingColumnIsDisconnected) {
+  Network net = make_line(3);
+  const auto rr = line_routing(net);
+  // Switch 0 is not a destination of the table: asking for its column
+  // must fail as disconnected, not be skipped.
+  const auto rep = validate_columns(net, rr, {NodeId{0}});
+  EXPECT_FALSE(rep.connected);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(AffectedDestinations, FlagsExactlyTheColumnsUsingADeadLink) {
+  // Clockwise ring: the column of switch 0's terminal never crosses the
+  // 0->1 channel (its tree is 1->2->3->0), every other column does.
+  Network net = make_ring(4);
+  const auto rr = ring_routing_with_vls(net, {0, 0, 0, 0}, 1);
+  EXPECT_TRUE(affected_destinations(net, rr).empty());
+  net.remove_link(chan(net, 0, 1) & ~ChannelId{1});
+  const auto affected = affected_destinations(net, rr);
+  EXPECT_EQ(affected.size(), 3u);
+  for (NodeId d : affected) EXPECT_NE(d, net.terminals()[0]);
+}
+
+TEST(AffectedDestinations, DeadDestinationIsAffected) {
+  Network net = make_ring(4);
+  const auto rr = ring_routing_with_vls(net, {0, 0, 0, 0}, 1);
+  const NodeId d = net.terminals()[1];
+  net.remove_node(d);
+  const auto affected = affected_destinations(net, rr);
+  EXPECT_NE(std::find(affected.begin(), affected.end(), d), affected.end());
+}
+
+// --- union-CDG transition gate ----------------------------------------------
+
+/// Clockwise per-hop routing on a ring with a 2-VL dateline: hops use VL 0
+/// until the path crosses the ring edge (rot-1) -> rot, VL 1 after. Every
+/// placement is deadlock-free on its own — the dateline cuts the ring
+/// cycle on both layers (rot = 0 is exactly VlSplitBreaksRingCycle above).
+RoutingResult ring_dateline_routing(const Network& net, NodeId rot) {
+  const std::vector<NodeId> dests = net.terminals();
+  const auto n = static_cast<NodeId>(net.num_nodes() - dests.size());
+  RoutingResult rr(net.num_nodes(), dests, 2, VlMode::kPerHop);
+  const auto turn = [&](NodeId v) { return (v + n - rot) % n; };
+  for (std::size_t di = 0; di < dests.size(); ++di) {
+    const NodeId d = dests[di];
+    const NodeId dsw = net.terminal_switch(d);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v == d) continue;
+      if (net.is_terminal(v)) {
+        rr.set_next(v, di, net.out(v)[0]);
+        rr.set_hop_vl(v, di, 0);
+      } else if (v == dsw) {
+        rr.set_next(v, di, chan(net, v, d));
+        rr.set_hop_vl(v, di, 0);
+      } else {
+        rr.set_next(v, di, chan(net, v, (v + 1) % n));
+        rr.set_hop_vl(v, di, turn(v) > turn(dsw) ? 0 : 1);
+      }
+    }
+  }
+  return rr;
+}
+
+TEST(UnionCdgGate, AcceptsTableAgainstItself) {
+  Network net = make_ring(4);
+  const auto rr = ring_dateline_routing(net, 0);
+  ASSERT_TRUE(validate_routing(net, rr).ok());
+  EXPECT_TRUE(union_cdg_acyclic(net, rr, rr));
+}
+
+TEST(UnionCdgGate, RejectsDatelineShift) {
+  // The textbook reconfiguration deadlock: moving a ring's VL dateline.
+  // Each placement is deadlock-free on its own, but on VL 0 the old table
+  // covers every ring dependency except the one at its dateline and the
+  // new table covers every one except the one at *its* dateline — the
+  // union closes the full ring cycle, so in-flight old-table packets and
+  // new injections could deadlock mid-swap. The gate must reject exactly
+  // this, even though per-table validation passes for both.
+  Network net = make_ring(4);
+  const auto old_rr = ring_dateline_routing(net, 0);
+  const auto new_rr = ring_dateline_routing(net, 2);
+  ASSERT_TRUE(validate_routing(net, old_rr).ok());
+  ASSERT_TRUE(validate_routing(net, new_rr).ok());
+  EXPECT_FALSE(union_cdg_acyclic(net, old_rr, new_rr));
 }
 
 }  // namespace

@@ -7,6 +7,15 @@
 //   nue_route --generate torus:4x4x3:4 --fail-switches 1 --routing nue --vls 4
 //   nue_route --topology fabric.txt --routing dfsssp --dump-tables tables.txt
 //   nue_route --generate random:125:1000:8 --routing nue --vls 2 --simulate
+//
+// Live reconfiguration (src/resilience, docs/RESILIENCE.md):
+//   nue_route --fault-trace run.trace --routing nue --vls 2
+//       replay a recorded fault/repair trace through the resilience
+//       manager (the fabric regenerates from the trace's own generator
+//       spec unless --generate/--topology overrides it)
+//   nue_route --generate torus:4x4:2 --fault-events 12 \
+//             --fault-trace-out run.trace --reconfig-json out.json
+//       draw a random event stream, replay it live, save the trace
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -23,6 +32,7 @@
 #include "routing/torus_qos.hpp"
 #include "routing/updown.hpp"
 #include "routing/validate.hpp"
+#include "resilience/resilience.hpp"
 #include "sim/flit_sim.hpp"
 #include "topology/fabric_io.hpp"
 #include "topology/faults.hpp"
@@ -140,6 +150,18 @@ int main(int argc, char** argv) {
       flags.get_int("fail-switches", 0, "random switch failures to inject"));
   const auto fault_seed = static_cast<std::uint64_t>(
       flags.get_int("fault-seed", 1, "failure-injection seed"));
+  const std::string fault_trace_file = flags.get_string(
+      "fault-trace", "",
+      "replay a fault/repair trace through the live resilience manager");
+  const auto fault_events = static_cast<std::size_t>(flags.get_int(
+      "fault-events", 0,
+      "draw this many random fault/repair events and replay them live"));
+  const std::string fault_trace_out = flags.get_string(
+      "fault-trace-out", "", "save the drawn event trace to this file");
+  const auto max_vls_flag = static_cast<std::uint32_t>(flags.get_int(
+      "max-vls", 0, "repair ladder VL escalation cap (0 = max(--vls, 8))"));
+  const std::string reconfig_json = flags.get_string(
+      "reconfig-json", "", "write the reconfiguration verdict log as JSON");
   const std::string engine = flags.get_string(
       "routing", "nue", "nue|dfsssp|lash|updown|minhop|torus-qos|fattree");
   const auto vls = static_cast<std::uint32_t>(
@@ -167,11 +189,17 @@ int main(int argc, char** argv) {
 
   try {
     // --- fabric -------------------------------------------------------------
+    std::optional<FaultTrace> trace;
+    if (!fault_trace_file.empty()) {
+      trace = load_fault_trace_file(fault_trace_file);
+    }
     GeneratedTopology topo;
     if (!topo_file.empty()) {
       topo.net = load_fabric_file(topo_file);
     } else if (!gen.empty()) {
       topo = generate(gen);
+    } else if (trace.has_value() && !trace->generate.empty()) {
+      topo = generate(trace->generate);
     } else {
       std::cerr << "need --topology FILE or --generate SPEC (see --help)\n";
       return 1;
@@ -202,6 +230,57 @@ int main(int argc, char** argv) {
     std::cout << "\n";
     NUE_CHECK_MSG(is_connected(net), "fabric is disconnected");
     if (!dump_fabric.empty()) save_fabric_file(dump_fabric, net);
+
+    // --- live reconfiguration ------------------------------------------------
+    if (trace.has_value() || fault_events > 0) {
+      if (!trace.has_value()) {
+        trace = draw_fault_trace(net, gen, fault_seed, fault_events);
+        std::cout << "drew " << trace->events.size()
+                  << " fault/repair events (seed " << fault_seed << ")\n";
+      }
+      if (!fault_trace_out.empty()) {
+        save_fault_trace_file(fault_trace_out, *trace);
+      }
+      const auto repair_engine = resilience::engine_from_name(engine);
+      NUE_CHECK_MSG(repair_engine.has_value(),
+                    "live repair needs --routing nue|dfsssp|lash|updown, got '"
+                        << engine << "'");
+      resilience::RepairPolicy policy;
+      policy.engine = *repair_engine;
+      policy.vls = std::max(vls, 1u);
+      policy.max_vls = max_vls_flag > 0 ? std::max(max_vls_flag, policy.vls)
+                                        : std::max(policy.vls, 8u);
+      policy.seed = fault_seed;
+      policy.num_threads = threads;
+      Timer replay_timer;
+      resilience::ResilienceManager mgr(net, policy);
+      const auto records = mgr.replay(*trace);
+      for (const auto& r : records) {
+        std::cout << "  epoch " << r.epoch << " " << r.event << ": "
+                  << r.committed_step << " (" << r.affected_dests << "/"
+                  << r.total_dests << " dests, " << r.repair_ms << "ms"
+                  << (r.drained ? ", drained" : r.hitless ? ", hitless" : "")
+                  << ")\n";
+      }
+      const auto sum = mgr.log().summarize();
+      std::cout << "reconfig: " << trace->events.size() << " events -> "
+                << sum.transitions << " transitions (" << sum.hitless
+                << " hitless, " << sum.drained << " drained, " << sum.noops
+                << " noops) in " << replay_timer.seconds() << "s\n";
+      std::cout << "repair latency: median " << sum.median_repair_ms
+                << "ms, p99 " << sum.p99_repair_ms << "ms, max "
+                << sum.max_repair_ms << "ms\n";
+      if (!reconfig_json.empty()) {
+        std::ofstream f(reconfig_json);
+        mgr.log().write_json(f);
+      }
+      const auto final_rep = validate_routing(mgr.net(), *mgr.table());
+      std::cout << "final table: connected=" << final_rep.connected
+                << " cycle_free=" << final_rep.cycle_free
+                << " deadlock_free=" << final_rep.deadlock_free
+                << " live_elements=" << final_rep.live_elements << "\n";
+      return final_rep.ok() ? 0 : 2;
+    }
 
     // --- routing ------------------------------------------------------------
     const auto dests = net.terminals();

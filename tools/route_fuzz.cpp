@@ -6,6 +6,10 @@
 //                      tables must be caught, minimized, and replayed).
 //                      Small and deterministic: the tier-1 CI gate.
 //   --count N          random batch of N drawn scenarios (default mode).
+//   --reconfig         draw reconfiguration scenarios instead: each drives
+//                      a fault/repair trace through the live resilience
+//                      manager and checks every epoch and swap (the smoke
+//                      corpus always contains a few of these).
 //   --nightly          alias for a large random batch (--count 2000).
 //   --replay FILE      re-run one reproducer file.
 //   --inject-bug M     self-test sweep: apply mutation M (vl-overflow or
@@ -39,6 +43,10 @@ struct Totals {
   std::size_t sim_checked = 0;
   std::size_t sim_deadlocks = 0;       // observed (expected for minhop)
   std::size_t fault_shortfalls = 0;    // achieved < requested scenarios
+  std::size_t reconfig_checked = 0;    // reconfiguration scenarios run
+  std::size_t reconfig_transitions = 0;
+  std::size_t reconfig_hitless = 0;
+  std::size_t reconfig_drained = 0;
 };
 
 Totals summarize(const std::vector<ScenarioOutcome>& outcomes) {
@@ -52,6 +60,12 @@ Totals summarize(const std::vector<ScenarioOutcome>& outcomes) {
     if (o.link_faults < o.spec.fail_links ||
         o.switch_faults < o.spec.fail_switches) {
       ++t.fault_shortfalls;
+    }
+    if (o.report.reconfig_checked) {
+      ++t.reconfig_checked;
+      t.reconfig_transitions += o.report.reconfig_transitions;
+      t.reconfig_hitless += o.report.reconfig_hitless;
+      t.reconfig_drained += o.report.reconfig_drained;
     }
   }
   return t;
@@ -78,6 +92,10 @@ void write_json(const std::string& path,
      << ",\n  \"sim_checked\": " << t.sim_checked
      << ",\n  \"sim_deadlocks\": " << t.sim_deadlocks
      << ",\n  \"fault_shortfalls\": " << t.fault_shortfalls
+     << ",\n  \"reconfig_checked\": " << t.reconfig_checked
+     << ",\n  \"reconfig_transitions\": " << t.reconfig_transitions
+     << ",\n  \"reconfig_hitless\": " << t.reconfig_hitless
+     << ",\n  \"reconfig_drained\": " << t.reconfig_drained
      << ",\n  \"failures\": [\n";
   bool first = true;
   for (const auto& o : outcomes) {
@@ -159,6 +177,9 @@ int main(int argc, char** argv) {
       flags.get_bool("smoke", false, "fixed-seed CI corpus + oracle self-test");
   const bool nightly =
       flags.get_bool("nightly", false, "large random batch (--count 2000)");
+  const bool reconfig = flags.get_bool(
+      "reconfig", false,
+      "draw reconfiguration scenarios (live-manager fault/repair traces)");
   const auto count = static_cast<std::size_t>(flags.get_int(
       "count", nightly ? 2000 : 200, "random scenarios to draw"));
   const auto seed =
@@ -212,7 +233,8 @@ int main(int argc, char** argv) {
   } else {
     specs.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      specs.push_back(draw_scenario(seed, i));
+      specs.push_back(reconfig ? draw_reconfig_scenario(seed, i)
+                               : draw_scenario(seed, i));
     }
   }
   for (auto& s : specs) {
@@ -246,6 +268,12 @@ int main(int argc, char** argv) {
             << " inapplicable, " << t.sim_checked << " sim-checked ("
             << t.sim_deadlocks << " deadlocked), " << t.fault_shortfalls
             << " with fault shortfall\n";
+  if (t.reconfig_checked > 0) {
+    std::cout << "reconfig: " << t.reconfig_checked << " scenarios, "
+              << t.reconfig_transitions << " transitions ("
+              << t.reconfig_hitless << " hitless, " << t.reconfig_drained
+              << " drained)\n";
+  }
   if (mutation != Mutation::kNone) {
     // Self-test sweep: violations are the expected outcome; the failure
     // mode is a mutated-but-applicable scenario the oracle missed.
