@@ -4,15 +4,27 @@
 #include <functional>
 #include <iostream>
 #include <optional>
+#include <ostream>
 #include <string>
+#include <vector>
 
 #include "graph/network.hpp"
 #include "routing/routing.hpp"
 #include "routing/validate.hpp"
 #include "sim/flit_sim.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace nue::bench {
+
+/// Aggregated telemetry spans of one engine run (e.g. nue.partition,
+/// nue.layer, validate.routing) — the per-phase breakdown the BENCH_*.json
+/// records carry next to the end-to-end wall time.
+struct PhaseTiming {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+};
 
 struct RoutingRun {
   std::string name;
@@ -20,14 +32,20 @@ struct RoutingRun {
   std::string note;                 // failure reason / VL demand info
   double seconds = 0.0;
   std::uint32_t vls = 0;            // VLs used for deadlock freedom
+  std::vector<PhaseTiming> phases;  // span aggregates of this run
 };
 
 /// Run a routing engine, catching RoutingFailure into an "inapplicable"
 /// outcome (the blank bars / missing dots of the paper's figures).
+/// Telemetry is enabled for the duration of the run so the engine's phase
+/// spans land in `phases` (delta-aggregated: concurrent bench state is
+/// not clobbered, earlier spans are not double-counted).
 inline RoutingRun run_routing(const std::string& name,
                               const std::function<RoutingResult()>& fn) {
   RoutingRun run;
   run.name = name;
+  const telemetry::EnabledScope telem(true);
+  const std::size_t mark = telemetry::Tracer::instance().collect();
   Timer t;
   try {
     run.rr.emplace(fn());
@@ -37,7 +55,24 @@ inline RoutingRun run_routing(const std::string& name,
     run.seconds = t.seconds();
     run.note = e.what();
   }
+  for (const auto& [span_name, agg] :
+       telemetry::Tracer::instance().aggregate_since(mark)) {
+    run.phases.push_back(
+        {span_name, agg.count, static_cast<double>(agg.total_ns) / 1e6});
+  }
   return run;
+}
+
+/// JSON array of a run's phase aggregates, for the BENCH_*.json writers.
+inline void write_phases_json(std::ostream& os,
+                              const std::vector<PhaseTiming>& phases) {
+  os << "[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i) os << ", ";
+    os << "{\"name\": \"" << phases[i].name << "\", \"count\": "
+       << phases[i].count << ", \"total_ms\": " << phases[i].total_ms << "}";
+  }
+  os << "]";
 }
 
 /// Validate + simulate an all-to-all exchange; returns normalized

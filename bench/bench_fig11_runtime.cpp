@@ -27,6 +27,7 @@
 #include "routing/lash.hpp"
 #include "routing/torus_qos.hpp"
 #include "routing/validate.hpp"
+#include "telemetry/cli.hpp"
 #include "topology/faults.hpp"
 #include "topology/torus.hpp"
 #include "util/flags.hpp"
@@ -45,6 +46,7 @@ struct JsonRecord {
   // records carry the achieved count so the fault rate is never mislabeled.
   std::size_t faults_requested;
   std::size_t faults_achieved;
+  std::vector<nue::bench::PhaseTiming> phases;  // telemetry span aggregates
 };
 
 std::vector<std::uint32_t> parse_thread_list(const std::string& s) {
@@ -68,8 +70,10 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
        << ", \"wall_ms\": " << r.wall_ms
        << ", \"applicable\": " << (r.applicable ? "true" : "false")
        << ", \"faults_requested\": " << r.faults_requested
-       << ", \"faults_achieved\": " << r.faults_achieved << "}"
-       << (i + 1 < recs.size() ? "," : "") << "\n";
+       << ", \"faults_achieved\": " << r.faults_achieved
+       << ", \"phases\": ";
+    nue::bench::write_phases_json(os, r.phases);
+    os << "}" << (i + 1 < recs.size() ? "," : "") << "\n";
   }
   os << "]\n";
 }
@@ -92,6 +96,8 @@ int main(int argc, char** argv) {
   const std::string json_path = flags.get_string(
       "json", "BENCH_runtime.json",
       "per-(topology, engine, threads) wall-time JSON ('' = skip)");
+  telemetry::Cli telem;
+  telem.register_flags(flags);
   if (!flags.finish()) return 1;
 
   // The paper's dimension sequence: 2x2x2, 2x2x3, 2x3x3, 3x3x3, ...
@@ -141,7 +147,8 @@ int main(int argc, char** argv) {
     const auto qos = run_routing(
         "qos", [&] { return route_torus_qos(net, spec, dests); });
     records.push_back({label, "torus-2qos", 1, qos.seconds * 1e3,
-                       qos.rr.has_value(), faults_requested, faults});
+                       qos.rr.has_value(), faults_requested, faults,
+                       qos.phases});
 
     // The threaded engines sweep every requested worker count; the table
     // shows the first entry (default 1 = the legacy serial measurement).
@@ -161,11 +168,14 @@ int main(int argc, char** argv) {
         return route_nue(net, dests, opt);
       });
       records.push_back({label, "lash", t, lash_t.seconds * 1e3,
-                         lash_t.rr.has_value(), faults_requested, faults});
+                         lash_t.rr.has_value(), faults_requested, faults,
+                         lash_t.phases});
       records.push_back({label, "dfsssp", t, dfsssp_t.seconds * 1e3,
-                         dfsssp_t.rr.has_value(), faults_requested, faults});
+                         dfsssp_t.rr.has_value(), faults_requested, faults,
+                         dfsssp_t.phases});
       records.push_back({label, "nue", t, nue_t.seconds * 1e3,
-                         nue_t.rr.has_value(), faults_requested, faults});
+                         nue_t.rr.has_value(), faults_requested, faults,
+                         nue_t.phases});
       if (ti == 0) {
         lash = lash_t;
         dfsssp = dfsssp_t;
@@ -185,6 +195,12 @@ int main(int argc, char** argv) {
   table.print();
   if (!csv.empty()) table.write_csv(csv);
   if (!json_path.empty()) write_json(json_path, records);
+  if (telem.wanted()) {
+    telem.finish("bench_fig11_runtime",
+                 {{"max_switches", std::to_string(max_switches)},
+                  {"fault_pct", std::to_string(fault_pct)},
+                  {"seed", std::to_string(seed)}});
+  }
   std::cout << "\n('fail' = engine inapplicable: VL demand above 8 for "
                "LASH/DFSSSP, broken ring for Torus-2QoS —\n the paper's "
                "missing dots. Nue must never fail.)\n";

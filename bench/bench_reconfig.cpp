@@ -28,6 +28,7 @@
 #include "nue/nue_routing.hpp"
 #include "resilience/resilience.hpp"
 #include "routing/validate.hpp"
+#include "telemetry/cli.hpp"
 #include "topology/faults.hpp"
 #include "topology/torus.hpp"
 #include "util/flags.hpp"
@@ -53,6 +54,7 @@ struct TopoRecord {
   double p99_repair_ms = 0.0;
   double median_full_ms = 0.0;
   double speedup_median = 0.0;  // median over hitless events of full/repair
+  std::vector<nue::bench::PhaseTiming> phases;  // replay span aggregates
 };
 
 void write_json(const std::string& path, const std::vector<TopoRecord>& recs,
@@ -68,8 +70,10 @@ void write_json(const std::string& path, const std::vector<TopoRecord>& recs,
        << ", \"median_incremental_ms\": " << r.median_incremental_ms
        << ", \"p99_repair_ms\": " << r.p99_repair_ms
        << ", \"median_full_ms\": " << r.median_full_ms
-       << ", \"speedup_median\": " << r.speedup_median << "}"
-       << (i + 1 < recs.size() ? "," : "") << "\n";
+       << ", \"speedup_median\": " << r.speedup_median
+       << ", \"phases\": ";
+    nue::bench::write_phases_json(os, r.phases);
+    os << "}" << (i + 1 < recs.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -94,6 +98,8 @@ int main(int argc, char** argv) {
   const std::string csv = flags.get_string("csv", "", "CSV output path");
   const std::string json_path = flags.get_string(
       "json", "BENCH_reconfig.json", "per-topology JSON ('' = skip)");
+  telemetry::Cli telem;
+  telem.register_flags(flags);
   if (!flags.finish()) return 1;
 
   std::vector<std::vector<std::uint32_t>> sizes = {
@@ -138,6 +144,10 @@ int main(int argc, char** argv) {
 
     TopoRecord rec;
     rec.torus = gen.str();
+    // Per-phase attribution of the replay loop (resilience.event, ladder
+    // rungs, validate.*) via telemetry span deltas.
+    const telemetry::EnabledScope telem_on(true);
+    const std::size_t mark = telemetry::Tracer::instance().collect();
     std::vector<double> incremental_ms, repair_ms, full_ms, speedups;
     for (const FaultEvent& e : trace.events) {
       const TransitionRecord tr = mgr.apply(e);
@@ -172,6 +182,11 @@ int main(int argc, char** argv) {
     rec.p99_repair_ms = quantile(repair_ms, 0.99);
     rec.median_full_ms = quantile(full_ms, 0.5);
     rec.speedup_median = quantile(speedups, 0.5);
+    for (const auto& [span_name, agg] :
+         telemetry::Tracer::instance().aggregate_since(mark)) {
+      rec.phases.push_back(
+          {span_name, agg.count, static_cast<double>(agg.total_ns) / 1e6});
+    }
     records.push_back(rec);
     table.row() << rec.torus << rec.events << rec.hitless << rec.drained
                 << rec.median_incremental_ms << rec.p99_repair_ms
@@ -184,5 +199,11 @@ int main(int argc, char** argv) {
             << overall << "x\n";
   if (!csv.empty()) table.write_csv(csv);
   if (!json_path.empty()) write_json(json_path, records, overall);
+  if (telem.wanted()) {
+    telem.finish("bench_reconfig", {{"fault_pct", std::to_string(fault_pct)},
+                                    {"vls", std::to_string(vls)},
+                                    {"seed", std::to_string(seed)},
+                                    {"threads", std::to_string(threads)}});
+  }
   return 0;
 }

@@ -37,4 +37,27 @@ ASAN_OPTIONS="halt_on_error=1" \
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   ./build-ubsan/tools/route_fuzz --reconfig --count 40
 
+# Telemetry stage (docs/OBSERVABILITY.md): trace a routed faulted torus
+# under TSan — the per-thread span rings and atomic registry must be
+# provably race-free while the pool is engaged — then validate both
+# exporter outputs against the bundled JSON schemas. The fixed config is
+# known to exercise Nue's escape machinery, so the counters the
+# acceptance gate watches must be nonzero; pool spans prove the worker
+# threads were traced, not just the caller.
+cmake --build build-tsan -j --target nue_route
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tools/nue_route --generate torus:5x5x5:4 --fail-links 4 \
+  --fault-seed 11 --routing nue --vls 8 --threads 8 \
+  --trace-out build-tsan/telemetry.trace.json \
+  --metrics-out build-tsan/telemetry.metrics.json
+python3 scripts/validate_json.py scripts/schemas/chrome_trace.schema.json \
+  build-tsan/telemetry.trace.json
+python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
+  build-tsan/telemetry.metrics.json \
+  --nonzero counters/nue.backtracks \
+  --nonzero counters/nue.omega_hits \
+  --nonzero spans/by_name/nue.layer/count \
+  --nonzero spans/by_name/pool.caller/count \
+  --nonzero spans/by_name/validate.routing/count
+
 echo "tier-1 OK"

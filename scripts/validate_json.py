@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a bundled schema (std-lib only).
+
+The container has no jsonschema package, so this implements the small
+JSON-Schema subset the telemetry schemas in scripts/schemas/ use:
+type, required, properties, additionalProperties, items, enum,
+minimum, minItems.
+
+Extra assertions beyond the schema:
+  --nonzero PATH   require the value at PATH to be a number > 0 (or a
+                   non-empty container). PATH segments are separated by
+                   '/' because metric names themselves contain dots,
+                   e.g. --nonzero counters/nue.backtracks
+
+Usage:
+  validate_json.py SCHEMA DOC [--nonzero PATH]...
+Exit code 0 = valid, 1 = violation (printed to stderr).
+"""
+import json
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, name):
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[name])
+
+
+def validate(value, schema, path, errors):
+    t = schema.get("type")
+    if t is not None and not _type_ok(value, t):
+        errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required property '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], f"{path}/{key}", errors)
+            elif isinstance(extra, dict):
+                validate(sub, extra, f"{path}/{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected property '{key}'")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, sub in enumerate(value):
+                validate(sub, items, f"{path}/{i}", errors)
+
+
+def lookup(doc, path):
+    node = doc
+    for seg in path.split("/"):
+        if not isinstance(node, dict) or seg not in node:
+            return None
+        node = node[seg]
+    return node
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    schema_path, doc_path = argv[1], argv[2]
+    nonzero = []
+    args = argv[3:]
+    while args:
+        if args[0] == "--nonzero" and len(args) >= 2:
+            nonzero.append(args[1])
+            args = args[2:]
+        else:
+            print(f"unknown argument {args[0]}", file=sys.stderr)
+            return 1
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        with open(doc_path) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        print(f"{doc_path}: not valid JSON: {e}", file=sys.stderr)
+        return 1
+
+    errors = []
+    validate(doc, schema, "$", errors)
+    for path in nonzero:
+        value = lookup(doc, path)
+        if value is None:
+            errors.append(f"--nonzero {path}: path not found")
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            if not value:  # non-empty container / string also accepted
+                errors.append(f"--nonzero {path}: empty")
+        elif value <= 0:
+            errors.append(f"--nonzero {path}: {value} is not > 0")
+    if errors:
+        for e in errors:
+            print(f"{doc_path}: {e}", file=sys.stderr)
+        return 1
+    print(f"{doc_path}: OK ({len(nonzero)} nonzero checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

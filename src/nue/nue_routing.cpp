@@ -11,6 +11,7 @@
 #include "nue/complete_cdg.hpp"
 #include "routing/cdg_index.hpp"
 #include "routing/sssp_engine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/epoch.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -652,6 +653,23 @@ void merge_stats(NueStats& into, const NueStats& from) {
   into.roots.insert(into.roots.end(), from.roots.begin(), from.roots.end());
 }
 
+/// Publish a finished run's aggregate stats to the telemetry registry
+/// (docs/OBSERVABILITY.md records the counter-name schema). The stats are
+/// computed regardless; publishing is gated so disabled runs pay nothing.
+void publish_stats(const NueStats& st) {
+  if (!telemetry::enabled()) return;
+  const auto add = [](const char* name, std::uint64_t v) {
+    telemetry::counter(name).add_always(v);
+  };
+  add("nue.escape_fallbacks", st.fallbacks);
+  add("nue.impasses", st.islands_resolved + st.islands_unresolved);
+  add("nue.backtracks", st.backtrack_option1 + st.backtrack_option2);
+  add("nue.shortcuts", st.shortcuts_taken);
+  add("nue.omega_searches", st.cycle_searches);
+  add("nue.omega_search_steps", st.cycle_search_steps);
+  add("nue.omega_hits", st.fast_accepts);
+}
+
 }  // namespace
 
 NodeId select_escape_root(const Network& net,
@@ -714,6 +732,7 @@ std::size_t count_escape_dependencies(const Network& net, NodeId root,
 RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
                           const NueOptions& opt, RerouteStats* reroute_stats,
                           NueStats* stats) {
+  TELEM_SPAN("nue.reroute");
   NueStats stats_local;
   NueStats& st = stats ? *stats : stats_local;
   st = NueStats{};
@@ -767,6 +786,7 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
   parallel_for(
       resolve_threads(opt.num_threads), old.num_vls(),
       [&](std::size_t layer) {
+        TELEM_SPAN("nue.reroute_layer");
         NueStats& ls = layer_stats[layer];
         RerouteStats& lrs = layer_rs[layer];
         if (kept[layer].empty() && affected[layer].empty()) {
@@ -988,11 +1008,13 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
     rs.dests_demoted += layer_rs[layer].dests_demoted;
     rs.stale_marks_skipped += layer_rs[layer].stale_marks_skipped;
   }
+  publish_stats(st);
   return rr;
 }
 
 RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
                         const NueOptions& opt, NueStats* stats) {
+  TELEM_SPAN("nue.route");
   NUE_CHECK(opt.num_vls >= 1);
   NueStats local;
   NueStats& st = stats ? *stats : local;
@@ -1007,10 +1029,14 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
   // layers below can run concurrently with output bit-identical to the
   // serial engine at every thread count (docs/PARALLELISM.md).
   Rng rng(opt.seed);
-  auto parts = partition_destinations(net, dests, opt.num_vls,
-                                      opt.partition, rng);
-  for (std::uint32_t layer = 0; layer < opt.num_vls; ++layer) {
-    if (!parts[layer].empty()) rng.shuffle(parts[layer]);
+  std::vector<std::vector<NodeId>> parts;
+  {
+    TELEM_SPAN("nue.partition");
+    parts = partition_destinations(net, dests, opt.num_vls, opt.partition,
+                                   rng);
+    for (std::uint32_t layer = 0; layer < opt.num_vls; ++layer) {
+      if (!parts[layer].empty()) rng.shuffle(parts[layer]);
+    }
   }
 
   RoutingResult rr(net.num_nodes(), dests, opt.num_vls, VlMode::kPerDest);
@@ -1022,6 +1048,7 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
   std::vector<NueStats> layer_stats(opt.num_vls);
   parallel_for(
       resolve_threads(opt.num_threads), opt.num_vls, [&](std::size_t layer) {
+        TELEM_SPAN("nue.layer");
         const auto& subset = parts[layer];
         if (subset.empty()) {
           layer_stats[layer].roots.push_back(kInvalidNode);
@@ -1030,6 +1057,7 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
         NueStats& ls = layer_stats[layer];
         NodeId root;
         if (opt.central_root) {
+          TELEM_SPAN("nue.escape_root");
           root = select_escape_root(net, subset);
         } else {
           // Ablation: arbitrary (first alive switch).
@@ -1042,8 +1070,12 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
         ls.roots.push_back(root);
 
         LayerRouter router(net, idx, root, opt, ls);
-        router.init_escape_paths(subset);
+        {
+          TELEM_SPAN("nue.escape_paths");
+          router.init_escape_paths(subset);
+        }
         for (NodeId d : subset) {
+          TELEM_SPAN("nue.dest");
           const std::uint32_t di = rr.dest_index(d);
           rr.set_dest_vl(di, static_cast<std::uint8_t>(layer));
           router.route_destination(d, rr, di);
@@ -1055,6 +1087,7 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
   for (std::uint32_t layer = 0; layer < opt.num_vls; ++layer) {
     merge_stats(st, layer_stats[layer]);
   }
+  publish_stats(st);
   return rr;
 }
 

@@ -1,6 +1,7 @@
 #include "resilience/resilience.hpp"
 
 #include <sstream>
+#include <string_view>
 
 #include "nue/nue_routing.hpp"
 #include "routing/dfsssp.hpp"
@@ -8,10 +9,37 @@
 #include "routing/sssp_engine.hpp"
 #include "routing/updown.hpp"
 #include "routing/validate.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace nue::resilience {
+
+namespace {
+
+/// Stable span label per ladder rung (span names must outlive the scope,
+/// so they are mapped to literals rather than composed at runtime).
+const char* rung_span_name(const char* rung) {
+  const std::string_view r(rung);
+  if (r == "incremental") return "resilience.rung.incremental";
+  if (r == "full-recompute") return "resilience.rung.full_recompute";
+  if (r == "more-vls") return "resilience.rung.more_vls";
+  if (r == "nue-fallback") return "resilience.rung.nue_fallback";
+  return "resilience.rung";
+}
+
+/// Mirror a transition record onto the telemetry registry (the structured
+/// ReconfigLog stays the source of truth for --reconfig-json).
+void publish_transition(const TransitionRecord& rec) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter("resilience.transitions").add_always(1);
+  if (rec.hitless) telemetry::counter("resilience.hitless").add_always(1);
+  if (rec.drained) telemetry::counter("resilience.drained").add_always(1);
+  telemetry::histogram("resilience.repair_us")
+      .record_always(static_cast<std::uint64_t>(rec.repair_ms * 1000.0));
+}
+
+}  // namespace
 
 const char* engine_name(Engine e) {
   switch (e) {
@@ -36,6 +64,7 @@ ResilienceManager::ResilienceManager(Network net, RepairPolicy policy)
   NUE_CHECK_MSG(policy_.vls >= 1, "resilience: need at least one VL");
   NUE_CHECK_MSG(policy_.max_vls >= policy_.vls,
                 "resilience: max_vls below the base VL budget");
+  TELEM_SPAN("resilience.initial");
   Timer timer;
   TransitionRecord rec;
   rec.event = "initial";
@@ -58,6 +87,7 @@ std::uint64_t ResilienceManager::epoch() const {
 }
 
 TransitionRecord ResilienceManager::apply(const FaultEvent& e) {
+  TELEM_SPAN("resilience.event");
   apply_fault_event(net_, e);
   Timer timer;
   TransitionRecord rec;
@@ -79,6 +109,7 @@ TransitionRecord ResilienceManager::apply(const FaultEvent& e) {
     rec.epoch = epoch();
     rec.repair_ms = timer.millis();
     log_.add(rec);
+    publish_transition(rec);
     return rec;
   }
 
@@ -180,6 +211,8 @@ ResilienceManager::Candidate ResilienceManager::run_ladder(
 
   for (std::size_t i = 0; i < rungs.size(); ++i) {
     const bool last = i + 1 == rungs.size();
+    TELEM_SPAN(rung_span_name(rungs[i].name));
+    telemetry::counter("resilience.ladder_rung").add(1);
     Timer t;
     std::optional<RoutingResult> rr;
     try {
@@ -350,6 +383,7 @@ void ResilienceManager::commit(RoutingResult rr, TransitionRecord& rec) {
     rec.epoch = ++epoch_;
   }
   log_.add(rec);
+  publish_transition(rec);
   if (hook_) hook_(net_, old.get(), *fresh, rec);
 }
 

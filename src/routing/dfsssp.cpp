@@ -6,6 +6,7 @@
 #include "routing/cdg_index.hpp"
 #include "routing/layer_cdg.hpp"
 #include "routing/sssp_engine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -21,6 +22,7 @@ std::vector<DestTree> build_trees(const Network& net,
                                   const std::vector<NodeId>& dests,
                                   RoutingResult& rr, std::uint32_t epoch,
                                   std::uint32_t threads) {
+  TELEM_SPAN("dfsssp.trees");
   std::vector<double> weights(net.num_channels(), 1.0);
   std::vector<DestTree> trees =
       build_balanced_trees(net, dests, weights, epoch, threads);
@@ -54,12 +56,24 @@ class DfssspSolver {
 
   DfssspStats solve() {
     layers_.emplace_back(std::make_unique<LayerCdg>(idx_));
-    seed_layer0();
-    for (std::uint32_t l = 0; l < layers_.size(); ++l) break_cycles(l);
+    {
+      TELEM_SPAN("dfsssp.seed");
+      seed_layer0();
+    }
+    {
+      TELEM_SPAN("dfsssp.break_cycles");
+      for (std::uint32_t l = 0; l < layers_.size(); ++l) break_cycles(l);
+    }
     DfssspStats st;
     st.vls_needed = static_cast<std::uint32_t>(layers_.size());
     st.paths_moved = moved_;
-    if (opt_.balance_layers) balance();
+    if (opt_.balance_layers) {
+      TELEM_SPAN("dfsssp.balance");
+      balance();
+    }
+    if (telemetry::enabled()) {
+      telemetry::counter("dfsssp.paths_moved").add_always(moved_);
+    }
     return st;
   }
 
@@ -316,6 +330,7 @@ RoutingResult route_minhop(const Network& net,
 RoutingResult route_dfsssp(const Network& net,
                            const std::vector<NodeId>& dests,
                            const DfssspOptions& opt, DfssspStats* stats) {
+  TELEM_SPAN("dfsssp.route");
   // VLs are per (source, destination) path; allocate the table with the cap
   // (allow_exceed may grow past it, clamped to 64 layers for the VL field).
   const std::uint32_t table_vls = opt.allow_exceed ? 64 : opt.max_vls;

@@ -6,6 +6,7 @@
 #include "routing/cdg_index.hpp"
 #include "routing/layer_cdg.hpp"
 #include "routing/sssp_engine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -13,6 +14,7 @@ namespace nue {
 
 RoutingResult route_lash(const Network& net, const std::vector<NodeId>& dests,
                          const LashOptions& opt, LashStats* stats) {
+  TELEM_SPAN("lash.route");
   const std::uint32_t hard_cap = opt.allow_exceed ? 64 : opt.max_vls;
   RoutingResult rr(net.num_nodes(), dests, hard_cap, VlMode::kPerSource);
   const unsigned agents = resolve_threads(opt.num_threads);
@@ -96,47 +98,50 @@ RoutingResult route_lash(const Network& net, const std::vector<NodeId>& dests,
     ChannelId tail, head;
   };
   std::vector<PathEdge> path_edges;
-  for (const Pair& p : pairs) {
-    const auto& tree = sw_trees[sw_tree_of[p.dst_sw]];
-    path_edges.clear();
-    ChannelId prev = kInvalidChannel;
-    for (NodeId at = p.src_sw; at != p.dst_sw;) {
-      const ChannelId c = tree.next[at];
-      if (prev != kInvalidChannel) {
-        const auto eid = idx.edge_id(prev, c);
-        NUE_DCHECK(eid != CdgIndex::kNoEdge);
-        path_edges.push_back({eid, prev, c});
-      }
-      prev = c;
-      at = net.dst(c);
-    }
-    bool placed = false;
-    for (std::uint32_t l = 0; !placed; ++l) {
-      if (l == layers.size()) {
-        if (l >= hard_cap) {
-          throw RoutingFailure("LASH exceeds the virtual-lane limit");
+  {
+    TELEM_SPAN("lash.layering");
+    for (const Pair& p : pairs) {
+      const auto& tree = sw_trees[sw_tree_of[p.dst_sw]];
+      path_edges.clear();
+      ChannelId prev = kInvalidChannel;
+      for (NodeId at = p.src_sw; at != p.dst_sw;) {
+        const ChannelId c = tree.next[at];
+        if (prev != kInvalidChannel) {
+          const auto eid = idx.edge_id(prev, c);
+          NUE_DCHECK(eid != CdgIndex::kNoEdge);
+          path_edges.push_back({eid, prev, c});
         }
-        layers.emplace_back(std::make_unique<LayerCdg>(idx));
+        prev = c;
+        at = net.dst(c);
       }
-      LayerCdg& cdg = *layers[l];
-      // Tentatively add the path's dependencies with incremental checks.
-      std::size_t committed = 0;
-      bool ok = true;
-      for (const auto& pe : path_edges) {
-        if (cdg.count(pe.id) == 0 && cdg.creates_cycle(pe.tail, pe.head)) {
-          ok = false;
-          break;
+      bool placed = false;
+      for (std::uint32_t l = 0; !placed; ++l) {
+        if (l == layers.size()) {
+          if (l >= hard_cap) {
+            throw RoutingFailure("LASH exceeds the virtual-lane limit");
+          }
+          layers.emplace_back(std::make_unique<LayerCdg>(idx));
         }
-        cdg.add(pe.id);
-        ++committed;
-      }
-      if (ok) {
-        pair_layer[static_cast<std::size_t>(p.src_sw) * net.num_nodes() +
-                   p.dst_sw] = static_cast<std::uint8_t>(l);
-        placed = true;
-      } else {
-        for (std::size_t i = 0; i < committed; ++i) {
-          cdg.remove(path_edges[i].id);
+        LayerCdg& cdg = *layers[l];
+        // Tentatively add the path's dependencies with incremental checks.
+        std::size_t committed = 0;
+        bool ok = true;
+        for (const auto& pe : path_edges) {
+          if (cdg.count(pe.id) == 0 && cdg.creates_cycle(pe.tail, pe.head)) {
+            ok = false;
+            break;
+          }
+          cdg.add(pe.id);
+          ++committed;
+        }
+        if (ok) {
+          pair_layer[static_cast<std::size_t>(p.src_sw) * net.num_nodes() +
+                     p.dst_sw] = static_cast<std::uint8_t>(l);
+          placed = true;
+        } else {
+          for (std::size_t i = 0; i < committed; ++i) {
+            cdg.remove(path_edges[i].id);
+          }
         }
       }
     }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "heap/dary_heap.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -27,6 +28,9 @@ DestTree dest_tree_with(const Network& net, NodeId dest,
   t.settle_order.reserve(net.num_alive_nodes());
   t.distance[dest] = 0.0;
   heap.insert(dest, 0.0);
+  // Decrease-keys are tallied locally and flushed once per tree so the
+  // hot relaxation loop never touches a shared atomic.
+  std::uint64_t decrease_keys = 0;
   while (!heap.empty()) {
     const NodeId v = heap.extract_min();
     t.settle_order.push_back(v);
@@ -38,11 +42,16 @@ DestTree dest_tree_with(const Network& net, NodeId dest,
       NUE_DCHECK(weights[e] > 0.0);
       const double nd = t.distance[v] + kHopWeight + weights[e];
       if (nd < t.distance[w]) {
+        if (t.next[w] != kInvalidChannel) ++decrease_keys;
         t.distance[w] = nd;
         t.next[w] = e;
         heap.insert_or_decrease(w, nd);
       }
     }
+  }
+  if (decrease_keys != 0 && telemetry::enabled()) {
+    static auto& counter = telemetry::counter("sssp.heap_decrease_keys");
+    counter.add_always(decrease_keys);
   }
   return t;
 }
@@ -60,6 +69,7 @@ std::vector<DestTree> build_balanced_trees(const Network& net,
                                            std::vector<double>& weights,
                                            std::uint32_t epoch,
                                            std::uint32_t threads) {
+  TELEM_SPAN("sssp.balanced_trees");
   if (epoch == 0) epoch = 1;
   const unsigned agents = resolve_threads(threads);
   std::vector<DestTree> trees(dests.size());

@@ -5,6 +5,7 @@
 #include "graph/algorithms.hpp"
 #include "heap/dary_heap.hpp"
 #include "routing/sssp_engine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace nue {
@@ -49,6 +50,7 @@ NodeId pseudo_center(const Network& net) {
 RoutingResult route_updown(const Network& net,
                            const std::vector<NodeId>& dests,
                            const UpDownOptions& opt) {
+  TELEM_SPAN("updown.route");
   const NodeId root = opt.root != kInvalidNode ? opt.root : pseudo_center(net);
   NUE_CHECK(net.node_alive(root));
   // Rank nodes for the up/down orientation: BFS levels (classic
@@ -103,6 +105,7 @@ RoutingResult route_updown(const Network& net,
   std::vector<NodeId> settle;
 
   for (std::size_t di = 0; di < dests.size(); ++di) {
+    TELEM_SPAN("updown.dest");
     const NodeId d = dests[di];
     std::fill(dist.begin(), dist.end(), inf);
     std::fill(nxt.begin(), nxt.end(), kInvalidChannel);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace nue {
@@ -176,6 +177,7 @@ void validate_dest_walks(const Network& net, const RoutingResult& rr,
 
 ValidationReport validate_routing(const Network& net, const RoutingResult& rr,
                                   std::vector<NodeId> sources) {
+  TELEM_SPAN("validate.routing");
   if (sources.empty()) sources = net.terminals();
   ValidationReport rep;
   std::vector<std::uint8_t> visited(net.num_nodes(), 0);
@@ -198,6 +200,7 @@ ValidationReport validate_routing(const Network& net, const RoutingResult& rr,
 ValidationReport validate_columns(const Network& net, const RoutingResult& rr,
                                   const std::vector<NodeId>& dests,
                                   std::vector<NodeId> sources) {
+  TELEM_SPAN("validate.columns");
   if (sources.empty()) sources = net.terminals();
   ValidationReport rep;
   std::vector<std::uint8_t> visited(net.num_nodes(), 0);
@@ -321,6 +324,7 @@ void accumulate_pair_deps(const Network& net, const RoutingResult& rr,
 bool union_cdg_acyclic(const Network& net, const RoutingResult& old_rr,
                        const RoutingResult& new_rr,
                        std::vector<NodeId> sources) {
+  TELEM_SPAN("validate.union_gate");
   const std::uint32_t stride =
       std::max(old_rr.num_vls(), new_rr.num_vls()) + 1;
   CdgAccum acc(net.num_channels(), stride);

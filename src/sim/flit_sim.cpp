@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <deque>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -100,6 +101,7 @@ class Simulator {
   }
 
   SimResult run() {
+    TELEM_SPAN("sim.run");
     SimResult res;
     std::uint64_t cycle = 0;
     std::uint64_t last_move_cycle = 0;
@@ -288,6 +290,7 @@ class Simulator {
       } else {
         vl_lock_[down] = (flit & kTailBit) ? kNoLock : pid;
         ++occupancy_[down];
+        record_occupancy(occupancy_[down]);
         arrivals_.emplace_back(down, flit);
       }
       return true;
@@ -322,6 +325,14 @@ class Simulator {
       q.flits.pop_front();
       refresh_queue(qid);
     }
+  }
+
+  /// Per-flit buffer-depth sample (the distribution of VL queue depths at
+  /// enqueue time); one relaxed load when telemetry is off.
+  static void record_occupancy(std::uint32_t depth) {
+    if (!telemetry::enabled()) return;
+    static auto& hist = telemetry::histogram("flit_sim.vl_occupancy");
+    hist.record_always(depth);
   }
 
   void count_tx(ChannelId c) {
@@ -526,6 +537,7 @@ class Simulator {
         const std::size_t down = qid_of(out, vl);
         vl_lock_[down] = (flit & kTailBit) ? kNoLock : pid;
         ++occupancy_[down];
+        record_occupancy(occupancy_[down]);
         arrivals_.emplace_back(down, flit);
       }
       moved = true;

@@ -1,0 +1,156 @@
+// Telemetry exporters (docs/OBSERVABILITY.md):
+//
+//   * write_chrome_trace — Chrome trace-event JSON ("X" complete events),
+//     loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. One
+//     track per telemetry thread id; timestamps in microseconds relative
+//     to the first telemetry event of the process.
+//   * write_run_report — machine-readable run report bundling the counter
+//     registry, histogram snapshots, a spans-by-name summary (with the
+//     ring-buffer drop count) and the caller's run configuration, plus
+//     optional raw-JSON extra sections (e.g. the ReconfigLog).
+//
+// Both formats are validated against bundled JSON schemas
+// (scripts/schemas/*.schema.json) by the tier-1 telemetry stage; bump
+// kRunReportSchemaVersion when changing the report shape.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace nue::telemetry {
+
+inline constexpr int kRunReportSchemaVersion = 1;
+
+namespace detail {
+
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace detail
+
+/// Chrome trace-event JSON of every span collected so far. `process_name`
+/// labels the (single) pid track.
+inline void write_chrome_trace(std::ostream& os,
+                               const std::string& process_name) {
+  const auto spans = Tracer::instance().snapshot();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"name\": ";
+  detail::write_json_string(os, process_name);
+  os << "}}";
+  for (const Span& s : spans) {
+    os << ",\n  {\"name\": ";
+    detail::write_json_string(os, s.name);
+    // Microsecond timestamps with sub-us fraction preserved; Perfetto
+    // accepts fractional ts/dur.
+    os << ", \"cat\": \"nue\", \"ph\": \"X\", \"ts\": "
+       << static_cast<double>(s.start_ns) / 1e3
+       << ", \"dur\": " << static_cast<double>(s.dur_ns) / 1e3
+       << ", \"pid\": 1, \"tid\": " << s.tid << ", \"args\": {\"depth\": "
+       << s.depth << "}}";
+  }
+  os << "\n]}\n";
+}
+
+/// One "key": <raw json> section appended verbatim to the run report.
+using ExtraSection = std::pair<std::string, std::string>;
+
+/// Machine-readable run report: config + counters + histograms + span
+/// summary (+ extra raw-JSON sections). Counters and histograms are
+/// whatever the registry currently holds; spans summarize everything
+/// collected so far.
+inline void write_run_report(
+    std::ostream& os, const std::string& tool,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    const std::vector<ExtraSection>& extra = {}) {
+  auto& tracer = Tracer::instance();
+  const auto by_name = tracer.aggregate_since(0);
+  const std::uint64_t dropped = tracer.dropped();
+
+  os << "{\n  \"schema_version\": " << kRunReportSchemaVersion
+     << ",\n  \"tool\": ";
+  detail::write_json_string(os, tool);
+  os << ",\n  \"config\": {";
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    if (i) os << ", ";
+    detail::write_json_string(os, config[i].first);
+    os << ": ";
+    detail::write_json_string(os, config[i].second);
+  }
+  os << "},\n  \"counters\": {";
+  {
+    const auto counters = Registry::instance().counter_snapshot();
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      if (i) os << ", ";
+      os << "\n    ";
+      detail::write_json_string(os, counters[i].first);
+      os << ": " << counters[i].second;
+    }
+    if (!counters.empty()) os << "\n  ";
+  }
+  os << "},\n  \"histograms\": {";
+  {
+    const auto hists = Registry::instance().histogram_snapshot();
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+      if (i) os << ", ";
+      os << "\n    ";
+      detail::write_json_string(os, hists[i].name);
+      os << ": {\"count\": " << hists[i].count << ", \"sum\": "
+         << hists[i].sum << ", \"buckets\": [";
+      for (std::size_t j = 0; j < hists[i].buckets.size(); ++j) {
+        if (j) os << ", ";
+        os << "{\"le\": " << hists[i].buckets[j].first
+           << ", \"count\": " << hists[i].buckets[j].second << "}";
+      }
+      os << "]}";
+    }
+    if (!hists.empty()) os << "\n  ";
+  }
+  os << "},\n  \"spans\": {\n    \"dropped\": " << dropped
+     << ",\n    \"by_name\": {";
+  {
+    bool first = true;
+    for (const auto& [name, agg] : by_name) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\n      ";
+      detail::write_json_string(os, name);
+      os << ": {\"count\": " << agg.count
+         << ", \"total_ms\": " << static_cast<double>(agg.total_ns) / 1e6
+         << "}";
+    }
+    if (!first) os << "\n    ";
+  }
+  os << "}\n  }";
+  for (const auto& [key, raw_json] : extra) {
+    os << ",\n  ";
+    detail::write_json_string(os, key);
+    os << ": " << raw_json;
+  }
+  os << "\n}\n";
+}
+
+}  // namespace nue::telemetry

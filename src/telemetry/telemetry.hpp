@@ -1,0 +1,433 @@
+// Routing telemetry core (docs/OBSERVABILITY.md): a low-overhead span
+// tracer plus a typed counter/histogram registry shared by every engine,
+// the thread pool, the resilience manager and the flit simulator.
+//
+// Design constraints:
+//   * Zero effect on results: telemetry never influences control flow, so
+//     routing tables are bit-identical with tracing on or off (asserted by
+//     test_telemetry.cpp).
+//   * Off by default, near-zero cost when off: every record site is gated
+//     on one relaxed atomic load; `nue_route --trace-out/--metrics-out`
+//     (and friends) flip it on. Defining NUE_TELEMETRY_DISABLED compiles
+//     the span macro away entirely for paranoid baseline measurements.
+//   * Thread-safe by construction: spans land in per-thread ring buffers
+//     (one short uncontended lock per push, so the TSan tier-1 stage can
+//     prove the merge race-free); counters are relaxed atomics. Buffers
+//     outlive their threads — the collector keeps shared ownership — so
+//     pool workers never invalidate a trace.
+//   * Lossless accounting: a full ring buffer drops new spans but counts
+//     every drop; exporters surface the count instead of silently
+//     truncating (satellite contract of PR 4).
+//
+// Everything is header-only and std-only so the header is usable from
+// util-layer headers (thread_pool.hpp) without new link dependencies.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nue::telemetry {
+
+// --- global switch ----------------------------------------------------------
+
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+inline bool enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// RAII enable/restore, for scoped collection (bench phase attribution).
+class EnabledScope {
+ public:
+  explicit EnabledScope(bool on) : prev_(enabled()) { set_enabled(on); }
+  ~EnabledScope() { set_enabled(prev_); }
+  EnabledScope(const EnabledScope&) = delete;
+  EnabledScope& operator=(const EnabledScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// --- clock ------------------------------------------------------------------
+
+/// Steady-clock nanoseconds since the first telemetry timestamp of the
+/// process (small, monotone numbers; Chrome trace wants microseconds and
+/// Perfetto normalizes to the earliest event anyway).
+inline std::int64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              t0)
+      .count();
+}
+
+// --- counters & histograms --------------------------------------------------
+
+/// Monotone event counter. Increments are relaxed atomics gated on
+/// enabled(); reads are exact once the producing code has quiesced.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Unconditional add, for folding engine stats structs that were
+  /// computed anyway (still invisible unless someone exports them).
+  void add_always(std::uint64_t n) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket power-of-two histogram for non-negative integer samples:
+/// bucket i counts values whose bit width is i, i.e. [2^(i-1), 2^i).
+/// Cheap enough for per-flit recording, exact count and sum on the side.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(std::uint64_t v) {
+    if (!enabled()) return;
+    record_always(v);
+  }
+  /// Unconditional record, for sites that already checked enabled() or
+  /// fold data that was computed anyway.
+  void record_always(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v != 0 && b + 1 < kBuckets) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Process-wide metric registry. Lookup is a mutex-guarded map access —
+/// callsites cache the reference in a function-local static, so the hot
+/// path is one relaxed atomic. Names follow the dotted schema recorded in
+/// docs/OBSERVABILITY.md (`nue.backtracks`, `sssp.heap_decrease_keys`, ...);
+/// extend the schema there rather than inventing parallel spellings.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry reg;
+    return reg;
+  }
+
+  Counter& counter(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = counters_[std::string(name)];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+
+  Histogram& histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = histograms_[std::string(name)];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+  }
+
+  /// Stable snapshot for the exporters (name-sorted by map order).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+    return out;
+  }
+
+  struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;  // (le, n)
+  };
+
+  std::vector<HistogramSnapshot> histogram_snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<HistogramSnapshot> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      HistogramSnapshot s;
+      s.name = name;
+      s.count = h->count();
+      s.sum = h->sum();
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        const std::uint64_t n = h->bucket(i);
+        if (n == 0) continue;
+        s.buckets.emplace_back(i == 0 ? 1 : (std::uint64_t{1} << i), n);
+      }
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [_, c] : counters_) c->reset();
+    for (auto& [_, h] : histograms_) h->reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+inline Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+
+inline Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+// --- span tracer ------------------------------------------------------------
+
+/// One closed span. `name` must be a string literal (or otherwise outlive
+/// the tracer) — every TELEM_SPAN site satisfies this by construction.
+struct Span {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;    // small sequential telemetry thread id
+  std::uint32_t depth = 0;  // nesting depth within the thread at open time
+};
+
+/// Per-thread span sink: a bounded buffer owned by one producer thread,
+/// drained by the collector under the same short lock. Overflow drops the
+/// new span and counts it (never silent).
+class ThreadBuffer {
+ public:
+  explicit ThreadBuffer(std::uint32_t tid, std::size_t capacity)
+      : tid_(tid), capacity_(capacity) {}
+
+  std::uint32_t tid() const { return tid_; }
+
+  /// Producer-side only: current nesting depth bookkeeping. Plain fields —
+  /// the collector never reads them.
+  std::uint32_t enter() { return depth_++; }
+  void exit() { --depth_; }
+
+  void push(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
+            std::uint32_t depth) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (spans_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    spans_.push_back(Span{name, start_ns, dur_ns, tid_, depth});
+  }
+
+  /// Collector side: move the buffered spans out, add drops to `dropped`.
+  void drain_into(std::vector<Span>& out, std::uint64_t& dropped) {
+    std::lock_guard<std::mutex> lk(mu_);
+    out.insert(out.end(), spans_.begin(), spans_.end());
+    spans_.clear();
+    dropped += dropped_;
+    dropped_ = 0;
+  }
+
+  void set_capacity(std::size_t capacity) {
+    std::lock_guard<std::mutex> lk(mu_);
+    capacity_ = capacity;
+  }
+
+ private:
+  const std::uint32_t tid_;
+  std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<Span> spans_;
+  std::uint64_t dropped_ = 0;
+  std::uint32_t depth_ = 0;  // producer-thread-private
+};
+
+/// Aggregate of closed spans by name (phase attribution for the benches).
+struct SpanAggregate {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+};
+
+/// Process-wide tracer: registry of thread buffers plus the central
+/// collected-span log. collect() merges (losslessly, modulo counted
+/// drops) and is safe to call while other threads keep recording — a
+/// span recorded concurrently just lands in the next collect.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultBufferCapacity = 1 << 16;
+
+  static Tracer& instance() {
+    static Tracer tracer;
+    return tracer;
+  }
+
+  /// The calling thread's buffer (created and registered on first use).
+  ThreadBuffer& local() {
+    thread_local ThreadBuffer* buf = nullptr;
+    if (buf == nullptr) {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto owned = std::make_shared<ThreadBuffer>(
+          static_cast<std::uint32_t>(buffers_.size()), buffer_capacity_);
+      buffers_.push_back(owned);
+      buf = owned.get();
+    }
+    return *buf;
+  }
+
+  /// Drain every thread buffer into the central log; returns the log size
+  /// (a mark usable with spans_since for delta aggregation).
+  std::size_t collect() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& b : buffers_) b->drain_into(collected_, dropped_);
+    return collected_.size();
+  }
+
+  /// Sorted copy of everything collected so far (collect() first for
+  /// freshness). Sort key (tid, start, -dur) gives parents before their
+  /// children, which both exporters and the nesting test rely on.
+  std::vector<Span> snapshot() {
+    collect();
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<Span> out = collected_;
+    std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+      if (a.tid != b.tid) return a.tid < b.tid;
+      if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+      return a.dur_ns > b.dur_ns;
+    });
+    return out;
+  }
+
+  /// Per-name aggregate of the spans collected after `mark` (from a prior
+  /// collect()), for per-phase bench attribution.
+  std::map<std::string, SpanAggregate> aggregate_since(std::size_t mark) {
+    collect();
+    std::lock_guard<std::mutex> lk(mu_);
+    std::map<std::string, SpanAggregate> out;
+    for (std::size_t i = std::min(mark, collected_.size());
+         i < collected_.size(); ++i) {
+      auto& agg = out[collected_[i].name];
+      ++agg.count;
+      agg.total_ns += collected_[i].dur_ns;
+    }
+    return out;
+  }
+
+  std::uint64_t dropped() {
+    collect();
+    std::lock_guard<std::mutex> lk(mu_);
+    return dropped_;
+  }
+
+  /// Shrink/grow every ring (tests exercise overflow with tiny rings).
+  void set_buffer_capacity(std::size_t capacity) {
+    std::lock_guard<std::mutex> lk(mu_);
+    buffer_capacity_ = capacity;
+    for (auto& b : buffers_) b->set_capacity(capacity);
+  }
+
+  /// Clear the central log and drop counts (buffers stay registered).
+  void reset() {
+    collect();
+    std::lock_guard<std::mutex> lk(mu_);
+    collected_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<Span> collected_;
+  std::uint64_t dropped_ = 0;
+  std::size_t buffer_capacity_ = kDefaultBufferCapacity;
+};
+
+/// Reset every telemetry sink (tests and per-scenario fuzz isolation).
+inline void reset_all() {
+  Tracer::instance().reset();
+  Registry::instance().reset();
+}
+
+/// RAII span: opens on construction when telemetry is enabled, records
+/// into the thread-local ring on destruction. ~25 ns when enabled, one
+/// relaxed load + branch when not.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) {
+    if (!enabled()) return;
+    buf_ = &Tracer::instance().local();
+    name_ = name;
+    depth_ = buf_->enter();
+    start_ns_ = now_ns();
+  }
+  ~SpanScope() {
+    if (buf_ == nullptr) return;
+    buf_->exit();
+    buf_->push(name_, start_ns_, now_ns() - start_ns_, depth_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  ThreadBuffer* buf_ = nullptr;
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace nue::telemetry
+
+#define NUE_TELEM_CONCAT_INNER(a, b) a##b
+#define NUE_TELEM_CONCAT(a, b) NUE_TELEM_CONCAT_INNER(a, b)
+
+/// RAII span over the enclosing scope; `name` must be a string literal.
+#ifdef NUE_TELEMETRY_DISABLED
+#define TELEM_SPAN(name) \
+  do {                   \
+  } while (0)
+#else
+#define TELEM_SPAN(name) \
+  ::nue::telemetry::SpanScope NUE_TELEM_CONCAT(telem_span_, __LINE__)(name)
+#endif

@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace nue {
 
 /// Number of hardware threads (never 0).
@@ -183,7 +185,12 @@ void parallel_for_chunks(unsigned threads, std::size_t n, std::size_t grain,
         ++state->executing;
         drain = state->drain;
       }
-      drain(*state);
+      {
+        // Per-task span: one per helper that actually drained chunks, so
+        // a trace shows how the region's work spread over pool workers.
+        TELEM_SPAN("pool.task");
+        drain(*state);
+      }
       {
         std::lock_guard<std::mutex> lk(state->mu);
         --state->executing;
@@ -191,7 +198,10 @@ void parallel_for_chunks(unsigned threads, std::size_t n, std::size_t grain,
       state->cv.notify_one();
     });
   }
-  state->drain(*state);  // the caller always participates
+  {
+    TELEM_SPAN("pool.caller");
+    state->drain(*state);  // the caller always participates
+  }
   std::unique_lock<std::mutex> lk(state->mu);
   state->closed = true;
   state->cv.wait(lk, [&] { return state->executing == 0; });

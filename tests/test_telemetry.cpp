@@ -1,0 +1,222 @@
+// Telemetry subsystem contracts (docs/OBSERVABILITY.md):
+//   * zero effect on results — routing tables are bit-identical with
+//     telemetry on or off,
+//   * well-formed span nesting under parallel_for at 1/4/8 threads,
+//   * ring-buffer overflow drops are counted, never silent,
+//   * counters/histograms and both exporters produce what they promise.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nue/nue_routing.hpp"
+#include "routing/dump.hpp"
+#include "routing/validate.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+#include "topology/torus.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nue {
+namespace {
+
+std::string tables_of(const Network& net, const RoutingResult& rr) {
+  std::ostringstream os;
+  write_forwarding_tables(os, net, rr);
+  return os.str();
+}
+
+Network torus_4x4x3() {
+  TorusSpec spec{{4, 4, 3}, 2, 1};
+  return make_torus(spec);
+}
+
+/// Every telemetry test starts from clean sinks and leaves the global
+/// switch the way it found it (off, in the test binary).
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::reset_all();
+    telemetry::Tracer::instance().set_buffer_capacity(
+        telemetry::Tracer::kDefaultBufferCapacity);
+    telemetry::set_enabled(false);
+  }
+  void TearDown() override {
+    telemetry::set_enabled(false);
+    telemetry::Tracer::instance().set_buffer_capacity(
+        telemetry::Tracer::kDefaultBufferCapacity);
+    telemetry::reset_all();
+  }
+};
+
+TEST_F(TelemetryTest, CountersAreGatedOnEnabled) {
+  auto& c = telemetry::counter("test.gated");
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u) << "disabled counter must not move";
+  telemetry::set_enabled(true);
+  c.add(5);
+  c.add();
+  EXPECT_EQ(c.value(), 6u);
+  telemetry::set_enabled(false);
+  c.add(100);
+  EXPECT_EQ(c.value(), 6u);
+  c.add_always(4);  // fold path bypasses the gate by design
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsByBitWidth) {
+  telemetry::set_enabled(true);
+  auto& h = telemetry::histogram("test.hist");
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 1000ull}) h.record(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 1010u);
+  EXPECT_EQ(h.bucket(0), 1u);  // 0
+  EXPECT_EQ(h.bucket(1), 1u);  // 1
+  EXPECT_EQ(h.bucket(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket(3), 1u);  // 4
+  EXPECT_EQ(h.bucket(10), 1u);  // 1000
+}
+
+TEST_F(TelemetryTest, SpansRecordOnlyWhenEnabled) {
+  { TELEM_SPAN("test.off"); }
+  EXPECT_TRUE(telemetry::Tracer::instance().snapshot().empty());
+  telemetry::set_enabled(true);
+  { TELEM_SPAN("test.on"); }
+  const auto spans = telemetry::Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "test.on");
+  EXPECT_GE(spans[0].dur_ns, 0);
+}
+
+TEST_F(TelemetryTest, OverflowDropsAreCountedNotSilent) {
+  telemetry::set_enabled(true);
+  telemetry::Tracer::instance().set_buffer_capacity(8);
+  for (int i = 0; i < 20; ++i) {
+    TELEM_SPAN("test.overflow");
+  }
+  auto& tracer = telemetry::Tracer::instance();
+  const std::uint64_t dropped = tracer.dropped();
+  const auto spans = tracer.snapshot();
+  // This thread's ring holds 8 spans; the other 12 must be accounted as
+  // drops (other test threads may have contributed their own spans).
+  std::size_t ours = 0;
+  for (const auto& s : spans) {
+    if (std::string_view(s.name) == "test.overflow") ++ours;
+  }
+  EXPECT_EQ(ours, 8u);
+  EXPECT_EQ(dropped, 12u);
+  // The run report surfaces the count.
+  std::ostringstream os;
+  telemetry::write_run_report(os, "test", {});
+  EXPECT_NE(os.str().find("\"dropped\": 12"), std::string::npos);
+}
+
+/// Reconstruct nesting per tid from (start, dur, depth): spans sorted by
+/// (tid, start, -dur) must form a well-formed forest — each span lies
+/// entirely within its innermost enclosing span, and its recorded depth is
+/// exactly the number of enclosing spans still open.
+void expect_well_formed_nesting(const std::vector<telemetry::Span>& spans) {
+  std::map<std::uint32_t, std::vector<telemetry::Span>> open;  // per tid
+  for (const auto& s : spans) {
+    auto& stack = open[s.tid];
+    while (!stack.empty() &&
+           s.start_ns >= stack.back().start_ns + stack.back().dur_ns) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      EXPECT_LE(s.start_ns + s.dur_ns,
+                stack.back().start_ns + stack.back().dur_ns)
+          << s.name << " straddles its parent " << stack.back().name;
+    }
+    EXPECT_EQ(s.depth, stack.size()) << s.name << " depth mismatch";
+    stack.push_back(s);
+  }
+}
+
+TEST_F(TelemetryTest, NestingWellFormedUnderParallelFor) {
+  telemetry::set_enabled(true);
+  for (std::uint32_t threads : {1u, 4u, 8u}) {
+    telemetry::reset_all();
+    parallel_for(threads, 64, [](std::size_t) {
+      TELEM_SPAN("test.outer");
+      for (int j = 0; j < 3; ++j) {
+        TELEM_SPAN("test.inner");
+      }
+    });
+    const auto spans = telemetry::Tracer::instance().snapshot();
+    expect_well_formed_nesting(spans);
+    std::size_t inner = 0;
+    for (const auto& s : spans) {
+      if (std::string_view(s.name) == "test.inner") ++inner;
+    }
+    EXPECT_EQ(inner, 64u * 3u) << "threads=" << threads;
+  }
+}
+
+TEST_F(TelemetryTest, RoutingTablesBitIdenticalWithTelemetryOnAndOff) {
+  const Network net = torus_4x4x3();
+  const auto dests = net.terminals();
+  NueOptions opt;
+  opt.num_vls = 4;
+  opt.num_threads = 4;
+  const std::string off_tables = tables_of(net, route_nue(net, dests, opt));
+  telemetry::set_enabled(true);
+  const RoutingResult on = route_nue(net, dests, opt);
+  telemetry::set_enabled(false);
+  EXPECT_EQ(tables_of(net, on), off_tables);
+  // The traced run left real engine spans behind.
+  bool saw_engine_span = false;
+  for (const auto& s : telemetry::Tracer::instance().snapshot()) {
+    if (std::string_view(s.name) == "nue.layer") saw_engine_span = true;
+  }
+  EXPECT_TRUE(saw_engine_span);
+}
+
+TEST_F(TelemetryTest, ChromeTraceExportIsValidAndComplete) {
+  telemetry::set_enabled(true);
+  {
+    TELEM_SPAN("test.parent");
+    TELEM_SPAN("test.child");
+  }
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os, "unit \"test\"");
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.parent\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.child\""), std::string::npos);
+  EXPECT_NE(json.find("unit \\\"test\\\""), std::string::npos)
+      << "process name must be JSON-escaped";
+}
+
+TEST_F(TelemetryTest, RunReportCarriesConfigCountersAndExtras) {
+  telemetry::set_enabled(true);
+  telemetry::counter("test.report_counter").add(7);
+  telemetry::histogram("test.report_hist").record(5);
+  std::ostringstream os;
+  telemetry::write_run_report(os, "unit_test", {{"key", "value"}},
+                              {{"extra", "{\"nested\": true}"}});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tool\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"key\": \"value\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.report_counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.report_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"extra\": {\"nested\": true}"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, AggregateSinceIsolatesDeltas) {
+  telemetry::set_enabled(true);
+  { TELEM_SPAN("test.before"); }
+  const std::size_t mark = telemetry::Tracer::instance().collect();
+  { TELEM_SPAN("test.after"); }
+  { TELEM_SPAN("test.after"); }
+  const auto agg = telemetry::Tracer::instance().aggregate_since(mark);
+  EXPECT_EQ(agg.count("test.before"), 0u);
+  ASSERT_EQ(agg.count("test.after"), 1u);
+  EXPECT_EQ(agg.at("test.after").count, 2u);
+}
+
+}  // namespace
+}  // namespace nue

@@ -34,6 +34,7 @@
 #include "routing/validate.hpp"
 #include "resilience/resilience.hpp"
 #include "sim/flit_sim.hpp"
+#include "telemetry/cli.hpp"
 #include "topology/fabric_io.hpp"
 #include "topology/faults.hpp"
 #include "topology/misc_topologies.hpp"
@@ -183,9 +184,20 @@ int main(int argc, char** argv) {
       flags.get_int("message-bytes", 2048, "simulated message size"));
   const auto shifts = static_cast<std::uint32_t>(flags.get_int(
       "shift-samples", 8, "all-to-all shift phases to simulate (0 = all)"));
+  telemetry::Cli telem;
+  telem.register_flags(flags);
   const std::uint32_t threads = flags.get_threads();
   if (!flags.finish()) return 1;
   set_default_threads(threads);
+  const std::vector<std::pair<std::string, std::string>> telem_config = {
+      {"topology", topo_file.empty() ? gen : topo_file},
+      {"routing", engine},
+      {"vls", std::to_string(vls)},
+      {"fail_links", std::to_string(fail_links)},
+      {"fail_switches", std::to_string(fail_switches)},
+      {"fault_seed", std::to_string(fault_seed)},
+      {"threads", std::to_string(threads)},
+  };
 
   try {
     // --- fabric -------------------------------------------------------------
@@ -279,6 +291,13 @@ int main(int argc, char** argv) {
                 << " cycle_free=" << final_rep.cycle_free
                 << " deadlock_free=" << final_rep.deadlock_free
                 << " live_elements=" << final_rep.live_elements << "\n";
+      if (telem.wanted()) {
+        // The run report embeds the structured reconfiguration log next to
+        // the folded resilience.* counters (same JSON as --reconfig-json).
+        std::ostringstream reconfig;
+        mgr.log().write_json(reconfig);
+        telem.finish("nue_route", telem_config, {{"reconfig", reconfig.str()}});
+      }
       return final_rep.ok() ? 0 : 2;
     }
 
@@ -323,6 +342,9 @@ int main(int argc, char** argv) {
               << vl_note << "\n";
 
     // --- validation + metrics ------------------------------------------------
+    const auto write_telem = [&] {
+      if (telem.wanted()) telem.finish("nue_route", telem_config);
+    };
     const auto rep = validate_routing(net, *rr);
     std::cout << "validation: connected=" << rep.connected
               << " cycle_free=" << rep.cycle_free
@@ -356,7 +378,10 @@ int main(int argc, char** argv) {
                 << " LIDs, " << tables.total_lft_entries()
                 << " LFT entries, cross-check "
                 << (ok ? "passed" : "FAILED") << "\n";
-      if (!ok) return 2;
+      if (!ok) {
+        write_telem();
+        return 2;
+      }
     }
 
     // --- simulation ------------------------------------------------------------
@@ -369,8 +394,12 @@ int main(int argc, char** argv) {
                 << res.normalized_throughput << ", avg latency "
                 << res.avg_packet_latency << " cycles"
                 << (res.deadlocked ? "  [DEADLOCK]" : "") << "\n";
-      if (!res.completed) return 2;
+      if (!res.completed) {
+        write_telem();  // a deadlocked run is when the trace matters most
+        return 2;
+      }
     }
+    write_telem();
     return rep.ok() ? 0 : 2;
   } catch (const RoutingFailure& e) {
     std::cerr << "routing failed: " << e.what() << "\n";

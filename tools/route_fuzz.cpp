@@ -27,6 +27,7 @@
 #include <sstream>
 
 #include "fuzz/fuzz.hpp"
+#include "telemetry/cli.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -108,7 +109,36 @@ void write_json(const std::string& path,
   os << "\n  ]\n}\n";
 }
 
-/// Minimize each failure and write a replayable reproducer next to it.
+/// Re-run a minimized reproducer with telemetry on and write the span
+/// trace + metrics snapshot next to it, so a failure ships with its own
+/// diagnosis bundle (see docs/OBSERVABILITY.md). Resets the telemetry
+/// sinks around the re-run; callers must export any batch-level trace
+/// before dumping reproducers.
+void dump_diagnosis(const Reproducer& r, const std::string& stem,
+                    const OracleConfig& ocfg) {
+  telemetry::reset_all();
+  ReplayResult res;
+  {
+    telemetry::EnabledScope scope(true);
+    res = replay(r, ocfg);
+  }
+  {
+    std::ofstream os(stem + ".trace.json");
+    telemetry::write_chrome_trace(os, "route_fuzz");
+  }
+  {
+    std::ofstream os(stem + ".metrics.json");
+    telemetry::write_run_report(
+        os, "route_fuzz",
+        {{"label", r.spec.label()},
+         {"expect", r.expect},
+         {"reproduced", res.reproduced ? "true" : "false"}});
+  }
+  telemetry::reset_all();
+}
+
+/// Minimize each failure and write a replayable reproducer next to it,
+/// plus the telemetry snapshot of the minimized re-run.
 void dump_reproducers(const std::vector<ScenarioOutcome>& outcomes,
                       const std::string& dir, const MinimizeConfig& mcfg) {
   std::filesystem::create_directories(dir);
@@ -117,10 +147,11 @@ void dump_reproducers(const std::vector<ScenarioOutcome>& outcomes,
     if (o.report.ok()) continue;
     const Reproducer r = minimize_scenario(o.spec, mcfg);
     std::stringstream name;
-    name << dir << "/repro-" << i << "-" << r.expect << ".repro";
-    save_reproducer_file(name.str(), r);
-    std::cout << "    wrote " << name.str() << " (" << r.removals.size()
-              << " shrink removals)\n";
+    name << dir << "/repro-" << i << "-" << r.expect;
+    save_reproducer_file(name.str() + ".repro", r);
+    dump_diagnosis(r, name.str(), mcfg.oracle);
+    std::cout << "    wrote " << name.str() << ".repro (" << r.removals.size()
+              << " shrink removals) + .trace.json/.metrics.json\n";
   }
 }
 
@@ -197,6 +228,8 @@ int main(int argc, char** argv) {
       flags.get_string("json", "", "summary JSON output path");
   const auto minimize_trials = static_cast<std::size_t>(flags.get_int(
       "minimize-trials", 400, "scenario re-runs the minimizer may spend"));
+  telemetry::Cli telem;
+  telem.register_flags(flags);
   if (!flags.finish()) return 1;
   set_default_threads(threads);
 
@@ -213,6 +246,14 @@ int main(int argc, char** argv) {
     for (const auto& v : res.report.violations) std::cout << "  " << v << "\n";
     const bool ok = res.reproduced && res.fabric_matches;
     std::cout << (ok ? "reproduced\n" : "NOT reproduced\n");
+    if (telem.wanted()) {
+      telem.finish("route_fuzz",
+                   {{"mode", "replay"},
+                    {"replay", replay_path},
+                    {"label", r.spec.label()},
+                    {"expect", r.expect},
+                    {"reproduced", res.reproduced ? "true" : "false"}});
+    }
     return ok ? 0 : 2;
   }
 
@@ -250,6 +291,15 @@ int main(int argc, char** argv) {
 
   const Totals t = summarize(outcomes);
   print_failures(outcomes);
+  // Export the batch-level trace before any reproducer dumps: diagnosis
+  // re-runs reset the telemetry sinks per failure.
+  if (telem.wanted()) {
+    telem.finish("route_fuzz",
+                 {{"mode", smoke ? "smoke" : reconfig ? "reconfig" : "random"},
+                  {"count", std::to_string(specs.size())},
+                  {"seed", std::to_string(seed)},
+                  {"threads", std::to_string(threads)}});
+  }
   if (!repro_dir.empty() && t.violations > 0) {
     MinimizeConfig mcfg;
     mcfg.max_trials = minimize_trials;
