@@ -13,6 +13,7 @@
 #include "routing/validate.hpp"
 #include "sim/flit_sim.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/rss.hpp"
 #include "util/timer.hpp"
 
 namespace nue::bench {

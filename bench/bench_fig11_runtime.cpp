@@ -47,6 +47,10 @@ struct JsonRecord {
   std::size_t faults_requested;
   std::size_t faults_achieved;
   std::vector<nue::bench::PhaseTiming> phases;  // telemetry span aggregates
+  // Process VmHWM right after the run: the high-water mark is monotone
+  // over the sweep, so the per-record value shows which fabric size first
+  // pushed the footprint up (0 = unavailable on this platform).
+  double peak_rss_mb = nue::peak_rss_mb();
 };
 
 std::vector<std::uint32_t> parse_thread_list(const std::string& s) {
@@ -71,7 +75,7 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
        << ", \"applicable\": " << (r.applicable ? "true" : "false")
        << ", \"faults_requested\": " << r.faults_requested
        << ", \"faults_achieved\": " << r.faults_achieved
-       << ", \"phases\": ";
+       << ", \"peak_rss_mb\": " << r.peak_rss_mb << ", \"phases\": ";
     nue::bench::write_phases_json(os, r.phases);
     os << "}" << (i + 1 < recs.size() ? "," : "") << "\n";
   }

@@ -61,6 +61,7 @@ void write_json(const std::string& path, const std::vector<TopoRecord>& recs,
                 double overall) {
   std::ofstream os(path);
   os << "{\n  \"overall_speedup_median\": " << overall
+     << ",\n  \"peak_rss_mb\": " << nue::peak_rss_mb()
      << ",\n  \"topologies\": [\n";
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const auto& r = recs[i];

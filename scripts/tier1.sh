@@ -60,4 +60,16 @@ python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
   --nonzero spans/by_name/pool.caller/count \
   --nonzero spans/by_name/validate.routing/count
 
+# Scale-bench smoke (docs/SCALING.md): tiny fabrics through the full
+# sweep machinery — sampled destinations, pivot-sampled escape roots,
+# validation oracle, peak-RSS capture — then the emitted records are
+# schema-checked. The bench exits non-zero if any fabric fails to route
+# or validate, so this gate catches scale-path regressions cheaply; the
+# full 10^5-switch sweep is a manual `bench_scale` run.
+./build/bench/bench_scale --smoke --json build/BENCH_scale.json
+python3 scripts/validate_json.py scripts/schemas/bench_scale.schema.json \
+  build/BENCH_scale.json \
+  --nonzero peak_rss_mb \
+  --nonzero records
+
 echo "tier-1 OK"

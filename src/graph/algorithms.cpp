@@ -157,37 +157,28 @@ void brandes_source(const Network& net, const InGraph& in_graph, NodeId s,
   sc.delta[s] = 0.0;  // a source never scores for itself
 }
 
-}  // namespace
-
-std::vector<double> betweenness_centrality(const Network& net,
-                                           const std::vector<std::uint8_t>& mask,
-                                           std::uint32_t threads) {
+/// Shared accumulation over an explicit source list (exact = every
+/// eligible source; sampled = the pivot subset). Serial agents sweep the
+/// list in order; parallel agents compute the per-source dependency
+/// vectors concurrently, and only the reduction into cb orders
+/// floating-point additions across sources. Each cb[w] is its own
+/// accumulator chain, so adding the per-source dependency vectors on one
+/// thread in ascending source order reproduces the serial operation
+/// sequence exactly (delta[w] = 0 contributions are exact no-ops on the
+/// non-negative accumulators). The window only bounds the memory holding
+/// completed dependency vectors; its size never affects the result.
+template <typename InGraph>
+void accumulate_brandes(const Network& net, const InGraph& in_graph,
+                        const std::vector<NodeId>& sources, unsigned agents,
+                        std::vector<double>& cb) {
   const std::size_t n = net.num_nodes();
-  auto in_graph = [&](NodeId v) {
-    return net.node_alive(v) && (mask.empty() || mask[v]);
-  };
-  std::vector<double> cb(n, 0.0);
-  const unsigned agents = resolve_threads(threads);
   if (agents <= 1) {
     BrandesScratch sc(n);
-    for (NodeId s = 0; s < n; ++s) {
-      if (!in_graph(s)) continue;
+    for (NodeId s : sources) {
       brandes_source(net, in_graph, s, sc);
       for (NodeId w = 0; w < n; ++w) cb[w] += sc.delta[w];
     }
-    return cb;
-  }
-  // Parallel: sources are independent; only the reduction into cb orders
-  // floating-point additions across sources. Each cb[w] is its own
-  // accumulator chain, so adding the per-source dependency vectors on one
-  // thread in ascending source order reproduces the serial operation
-  // sequence exactly (delta[w] = 0 contributions are exact no-ops on the
-  // non-negative accumulators). The window only bounds the memory holding
-  // completed dependency vectors; its size never affects the result.
-  std::vector<NodeId> sources;
-  sources.reserve(n);
-  for (NodeId s = 0; s < n; ++s) {
-    if (in_graph(s)) sources.push_back(s);
+    return;
   }
   const std::size_t window = static_cast<std::size_t>(agents) * 4;
   std::vector<std::vector<double>> deltas(
@@ -209,6 +200,60 @@ std::vector<double> betweenness_centrality(const Network& net,
       for (NodeId w = 0; w < n; ++w) cb[w] += d[w];
     }
   }
+}
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const Network& net,
+                                           const std::vector<std::uint8_t>& mask,
+                                           std::uint32_t threads) {
+  const std::size_t n = net.num_nodes();
+  auto in_graph = [&](NodeId v) {
+    return net.node_alive(v) && (mask.empty() || mask[v]);
+  };
+  std::vector<double> cb(n, 0.0);
+  std::vector<NodeId> sources;
+  sources.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    if (in_graph(s)) sources.push_back(s);
+  }
+  accumulate_brandes(net, in_graph, sources, resolve_threads(threads), cb);
+  return cb;
+}
+
+std::vector<double> betweenness_centrality_sampled(
+    const Network& net, std::size_t pivots,
+    const std::vector<std::uint8_t>& mask, std::uint32_t threads) {
+  const std::size_t n = net.num_nodes();
+  auto in_graph = [&](NodeId v) {
+    return net.node_alive(v) && (mask.empty() || mask[v]);
+  };
+  std::vector<NodeId> eligible;
+  eligible.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    if (in_graph(s)) eligible.push_back(s);
+  }
+  std::vector<double> cb(n, 0.0);
+  if (pivots == 0 || pivots >= eligible.size()) {
+    accumulate_brandes(net, in_graph, eligible, resolve_threads(threads), cb);
+    return cb;
+  }
+  // Deterministic pivots: evenly spaced over the eligible sources in
+  // ascending node order. Regular topologies enumerate nodes in a spatial
+  // sweep, so the spacing doubles as geometric coverage of the fabric;
+  // and unlike a seeded draw the choice is stable under any thread count
+  // or call site, keeping routing tables reproducible.
+  std::vector<NodeId> sources;
+  sources.reserve(pivots);
+  for (std::size_t i = 0; i < pivots; ++i) {
+    sources.push_back(eligible[i * eligible.size() / pivots]);
+  }
+  accumulate_brandes(net, in_graph, sources, resolve_threads(threads), cb);
+  // Brandes–Pich scaling: each sampled source stands in for
+  // #eligible/pivots of them.
+  const double scale =
+      static_cast<double>(eligible.size()) / static_cast<double>(pivots);
+  for (double& v : cb) v *= scale;
   return cb;
 }
 

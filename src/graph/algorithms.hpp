@@ -51,6 +51,22 @@ std::vector<double> betweenness_centrality(
     const Network& net, const std::vector<std::uint8_t>& mask = {},
     std::uint32_t threads = 1);
 
+/// Pivot-sampled approximate Brandes (Brandes–Pich estimator): runs the
+/// per-source dependency accumulation from `pivots` sources instead of all
+/// of them and scales the sum by (#sources / pivots), an unbiased estimate
+/// of the exact centrality. Exact Brandes is the asymptotic wall of Nue's
+/// escape-root selection (O(V·E) per layer); at 10^5+ switches a few
+/// hundred pivots rank the top-central switches correctly at a vanishing
+/// fraction of the cost (docs/SCALING.md).
+///
+/// Pivot choice is deterministic — evenly spaced over the eligible sources
+/// in ascending node order — so routing tables stay reproducible across
+/// runs and thread counts (same reduction discipline as the exact path).
+/// `pivots` == 0 or >= #eligible sources degrades to the exact algorithm.
+std::vector<double> betweenness_centrality_sampled(
+    const Network& net, std::size_t pivots,
+    const std::vector<std::uint8_t>& mask = {}, std::uint32_t threads = 1);
+
 /// Convex subgraph (Definition 8) of a destination set: marks every node
 /// that lies on at least one shortest path between two nodes of `dests`
 /// (including the destinations themselves). Returns a node mask.

@@ -7,16 +7,32 @@
 // the routing code (forwarding tables store "search-orientation" channels
 // and the traffic direction is the reverse).
 //
+// Storage is struct-of-arrays, sized for 10^5..10^6-switch fabrics
+// (docs/SCALING.md): channel endpoints live in two parallel NodeId
+// arrays, the alive/terminal flags are word-packed bitsets, and the
+// adjacency lists are segments of one flat CSR-style pool — out(v) is a
+// contiguous 32-bit ChannelId span, so the per-destination graph searches
+// stream cache lines instead of chasing per-node vector headers. Segments
+// grow by amortized relocation within the pool during construction and
+// the pool compacts itself (in node order, preserving each segment's
+// entry order) when relocation holes exceed the live size, so the
+// adjacency iteration order — and with it every deterministic tie-break
+// downstream — is exactly the order the old per-node vectors had in every
+// add/remove/restore history.
+//
 // Fault injection (fail-in-place experiments, Figs. 1 and 11) removes
 // channels/nodes in place: ids stay stable, dead channels disappear from
 // adjacency lists, dead nodes keep their id but have no channels.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "util/bitset.hpp"
 #include "util/error.hpp"
 
 namespace nue {
@@ -27,7 +43,8 @@ using ChannelId = std::uint32_t;
 constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 constexpr ChannelId kInvalidChannel = static_cast<ChannelId>(-1);
 
-/// A directed channel (n_src, n_dst).
+/// A directed channel (n_src, n_dst). Returned by value: endpoints are
+/// stored struct-of-arrays.
 struct Channel {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
@@ -43,6 +60,17 @@ class Network {
   NodeId add_switch() { return add_node(false); }
   NodeId add_terminal() { return add_node(true); }
 
+  /// Pre-size the id spaces (generators know their final shape; avoids
+  /// re-growth of the SoA arrays while building million-switch fabrics).
+  void reserve(std::size_t nodes, std::size_t links) {
+    chan_src_.reserve(2 * links);
+    chan_dst_.reserve(2 * links);
+    adj_begin_.reserve(nodes);
+    adj_len_.reserve(nodes);
+    adj_cap_.reserve(nodes);
+    adj_pool_.reserve(2 * links);
+  }
+
   /// Add a duplex link between u and v: creates the directed channel pair
   /// (u,v) = returned id, (v,u) = returned id ^ 1. Parallel links are
   /// allowed (multigraph); self loops are not.
@@ -50,13 +78,15 @@ class Network {
     NUE_CHECK(u < num_nodes() && v < num_nodes());
     NUE_CHECK_MSG(u != v, "self loop at node " << u);
     NUE_CHECK_MSG(alive_node_[u] && alive_node_[v], "link to dead node");
-    const auto c = static_cast<ChannelId>(channels_.size());
-    channels_.push_back({u, v});
-    channels_.push_back({v, u});
+    const auto c = static_cast<ChannelId>(chan_src_.size());
+    chan_src_.push_back(u);
+    chan_dst_.push_back(v);
+    chan_src_.push_back(v);
+    chan_dst_.push_back(u);
     alive_channel_.push_back(true);
     alive_channel_.push_back(true);
-    out_[u].push_back(c);
-    out_[v].push_back(c + 1);
+    push_adj(u, c);
+    push_adj(v, c + 1);
     num_alive_channels_ += 2;
     return c;
   }
@@ -67,18 +97,20 @@ class Network {
   void remove_link(ChannelId c) {
     c &= ~1u;  // normalize to the even channel of the pair
     NUE_CHECK(alive_channel_[c]);
-    erase_from_out(channels_[c].src, c);
-    erase_from_out(channels_[c].dst, c + 1);
-    alive_channel_[c] = false;
-    alive_channel_[c + 1] = false;
+    erase_adj(chan_src_[c], c);
+    erase_adj(chan_dst_[c], c + 1);
+    alive_channel_.reset(c);
+    alive_channel_.reset(c + 1);
     num_alive_channels_ -= 2;
   }
 
   /// Remove a node and all its links. The id stays valid but dead.
   void remove_node(NodeId v) {
     NUE_CHECK(alive_node_[v]);
-    while (!out_[v].empty()) remove_link(out_[v].back());
-    alive_node_[v] = false;
+    while (adj_len_[v] > 0) {
+      remove_link(adj_pool_[adj_begin_[v] + adj_len_[v] - 1]);
+    }
+    alive_node_.reset(v);
     --num_alive_nodes_;
     if (is_terminal_[v]) --num_alive_terminals_;
   }
@@ -93,12 +125,12 @@ class Network {
   void restore_link(ChannelId c) {
     c &= ~1u;  // normalize to the even channel of the pair
     NUE_CHECK_MSG(!alive_channel_[c], "restoring an alive link");
-    NUE_CHECK_MSG(alive_node_[channels_[c].src] && alive_node_[channels_[c].dst],
+    NUE_CHECK_MSG(alive_node_[chan_src_[c]] && alive_node_[chan_dst_[c]],
                   "restoring link " << c << " to a dead node");
-    alive_channel_[c] = true;
-    alive_channel_[c + 1] = true;
-    out_[channels_[c].src].push_back(c);
-    out_[channels_[c].dst].push_back(c + 1);
+    alive_channel_.set(c);
+    alive_channel_.set(c + 1);
+    push_adj(chan_src_[c], c);
+    push_adj(chan_dst_[c], c + 1);
     num_alive_channels_ += 2;
   }
 
@@ -107,7 +139,7 @@ class Network {
   /// switch-level repair that does both).
   void restore_node(NodeId v) {
     NUE_CHECK_MSG(!alive_node_[v], "restoring an alive node");
-    alive_node_[v] = true;
+    alive_node_.set(v);
     ++num_alive_nodes_;
     if (is_terminal_[v]) ++num_alive_terminals_;
   }
@@ -115,7 +147,7 @@ class Network {
   // --- accessors ----------------------------------------------------------
 
   std::size_t num_nodes() const { return is_terminal_.size(); }
-  std::size_t num_channels() const { return channels_.size(); }
+  std::size_t num_channels() const { return chan_src_.size(); }
   std::size_t num_alive_nodes() const { return num_alive_nodes_; }
   std::size_t num_alive_channels() const { return num_alive_channels_; }
   std::size_t num_alive_terminals() const { return num_alive_terminals_; }
@@ -128,19 +160,21 @@ class Network {
   bool node_alive(NodeId v) const { return alive_node_[v]; }
   bool channel_alive(ChannelId c) const { return alive_channel_[c]; }
 
-  const Channel& channel(ChannelId c) const { return channels_[c]; }
-  NodeId src(ChannelId c) const { return channels_[c].src; }
-  NodeId dst(ChannelId c) const { return channels_[c].dst; }
+  Channel channel(ChannelId c) const { return {chan_src_[c], chan_dst_[c]}; }
+  NodeId src(ChannelId c) const { return chan_src_[c]; }
+  NodeId dst(ChannelId c) const { return chan_dst_[c]; }
 
-  /// Alive outgoing channels of v.
-  std::span<const ChannelId> out(NodeId v) const { return out_[v]; }
-  std::size_t degree(NodeId v) const { return out_[v].size(); }
+  /// Alive outgoing channels of v (contiguous slice of the CSR pool).
+  std::span<const ChannelId> out(NodeId v) const {
+    return {adj_pool_.data() + adj_begin_[v], adj_len_[v]};
+  }
+  std::size_t degree(NodeId v) const { return adj_len_[v]; }
 
   /// Maximum degree Δ over alive nodes.
   std::size_t max_degree() const {
     std::size_t d = 0;
     for (NodeId v = 0; v < num_nodes(); ++v) {
-      if (alive_node_[v]) d = std::max(d, out_[v].size());
+      if (alive_node_[v]) d = std::max<std::size_t>(d, adj_len_[v]);
     }
     return d;
   }
@@ -150,6 +184,7 @@ class Network {
   std::vector<NodeId> switches() const { return collect(false); }
   std::vector<NodeId> alive_nodes() const {
     std::vector<NodeId> r;
+    r.reserve(num_alive_nodes_);
     for (NodeId v = 0; v < num_nodes(); ++v) {
       if (alive_node_[v]) r.push_back(v);
     }
@@ -157,6 +192,7 @@ class Network {
   }
   std::vector<ChannelId> alive_channels() const {
     std::vector<ChannelId> r;
+    r.reserve(num_alive_channels_);
     for (ChannelId c = 0; c < num_channels(); ++c) {
       if (alive_channel_[c]) r.push_back(c);
     }
@@ -165,8 +201,8 @@ class Network {
 
   /// The unique switch a terminal attaches to.
   NodeId terminal_switch(NodeId t) const {
-    NUE_CHECK(is_terminal(t) && out_[t].size() == 1);
-    return channels_[out_[t][0]].dst;
+    NUE_CHECK(is_terminal(t) && adj_len_[t] == 1);
+    return chan_dst_[adj_pool_[adj_begin_[t]]];
   }
 
  private:
@@ -174,22 +210,71 @@ class Network {
     const auto v = static_cast<NodeId>(is_terminal_.size());
     is_terminal_.push_back(terminal);
     alive_node_.push_back(true);
-    out_.emplace_back();
+    adj_begin_.push_back(0);
+    adj_len_.push_back(0);
+    adj_cap_.push_back(0);
     ++num_alive_nodes_;
     if (terminal) ++num_alive_terminals_;
     return v;
   }
 
-  void erase_from_out(NodeId v, ChannelId c) {
-    auto& o = out_[v];
-    for (std::size_t i = 0; i < o.size(); ++i) {
-      if (o[i] == c) {
-        o[i] = o.back();
-        o.pop_back();
+  /// Append to v's adjacency segment, relocating it to the pool's end
+  /// (doubled capacity) when full. Amortized O(1); the hole left behind
+  /// is reclaimed by compact() once holes outgrow the live entries.
+  void push_adj(NodeId v, ChannelId c) {
+    if (adj_len_[v] == adj_cap_[v]) {
+      const std::uint32_t new_cap =
+          adj_cap_[v] == 0 ? 4 : adj_cap_[v] * 2;
+      const std::size_t nb = adj_pool_.size();
+      NUE_CHECK_MSG(nb + new_cap <
+                        static_cast<std::size_t>(
+                            std::numeric_limits<std::uint32_t>::max()),
+                    "adjacency pool exceeds 32-bit index space");
+      adj_pool_.resize(nb + new_cap);
+      std::copy(adj_pool_.begin() + adj_begin_[v],
+                adj_pool_.begin() + adj_begin_[v] + adj_len_[v],
+                adj_pool_.begin() + nb);
+      pool_holes_ += adj_cap_[v];
+      pool_used_ += new_cap - adj_cap_[v];
+      adj_begin_[v] = static_cast<std::uint32_t>(nb);
+      adj_cap_[v] = new_cap;
+      if (pool_holes_ > pool_used_ + 1024) compact();
+    }
+    adj_pool_[adj_begin_[v] + adj_len_[v]++] = c;
+  }
+
+  /// Swap-remove from v's segment — the same order discipline the old
+  /// per-node vectors used, so downstream tie-breaks are unchanged.
+  void erase_adj(NodeId v, ChannelId c) {
+    const std::uint32_t b = adj_begin_[v];
+    for (std::uint32_t i = 0; i < adj_len_[v]; ++i) {
+      if (adj_pool_[b + i] == c) {
+        adj_pool_[b + i] = adj_pool_[b + adj_len_[v] - 1];
+        --adj_len_[v];
         return;
       }
     }
     NUE_CHECK_MSG(false, "channel " << c << " not in out list of " << v);
+  }
+
+  /// Repack every segment in node-id order (cache-optimal sweep layout),
+  /// preserving per-segment entry order. Capacity shrinks to the live
+  /// length; later growth relocates again — amortized against the pool
+  /// doubling that got us here.
+  void compact() {
+    std::vector<ChannelId> fresh;
+    fresh.reserve(pool_used_ - (pool_used_ ? 0 : 0));
+    std::size_t at = 0;
+    for (NodeId v = 0; v < adj_begin_.size(); ++v) {
+      fresh.insert(fresh.end(), adj_pool_.begin() + adj_begin_[v],
+                   adj_pool_.begin() + adj_begin_[v] + adj_len_[v]);
+      adj_begin_[v] = static_cast<std::uint32_t>(at);
+      adj_cap_[v] = adj_len_[v];
+      at += adj_len_[v];
+    }
+    adj_pool_.swap(fresh);
+    pool_used_ = at;
+    pool_holes_ = 0;
   }
 
   std::vector<NodeId> collect(bool terminal) const {
@@ -200,11 +285,20 @@ class Network {
     return r;
   }
 
-  std::vector<Channel> channels_;
-  std::vector<std::vector<ChannelId>> out_;
-  std::vector<std::uint8_t> is_terminal_;
-  std::vector<std::uint8_t> alive_node_;
-  std::vector<std::uint8_t> alive_channel_;
+  // SoA channel endpoints: chan_src_[c] / chan_dst_[c].
+  std::vector<NodeId> chan_src_;
+  std::vector<NodeId> chan_dst_;
+  // CSR adjacency pool: node v's alive out-channels live at
+  // adj_pool_[adj_begin_[v] .. adj_begin_[v] + adj_len_[v]).
+  std::vector<ChannelId> adj_pool_;
+  std::vector<std::uint32_t> adj_begin_;
+  std::vector<std::uint32_t> adj_len_;
+  std::vector<std::uint32_t> adj_cap_;
+  std::size_t pool_used_ = 0;   // sum of segment capacities
+  std::size_t pool_holes_ = 0;  // relocation waste pending compaction
+  DynamicBitset is_terminal_;
+  DynamicBitset alive_node_;
+  DynamicBitset alive_channel_;
   std::size_t num_alive_nodes_ = 0;
   std::size_t num_alive_channels_ = 0;
   std::size_t num_alive_terminals_ = 0;

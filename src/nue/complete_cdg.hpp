@@ -3,14 +3,39 @@
 // Section 4.6.1.
 //
 // Vertices are the network's channels; edges come from a shared CdgIndex.
-// Vertex state: ω = 0 (unused) or a subgraph id >= 1 (used), with ids
-// merged through a union–find (the paper relabels arrays — semantically
-// identical, asymptotically cheaper).
+// Vertex state lives in two structures sized for 10^5+-switch fabrics
+// (docs/SCALING.md):
+//   * used_  — a word-packed bitset: the ω membership test (is this
+//     channel part of the used subgraph?) is the single hottest query of
+//     the layer Dijkstra, and it now costs one bit probe on a cache line
+//     holding 512 neighbouring channels instead of a byte load per id.
+//   * comp_  — a flat component label per used channel (0 = unused). The
+//     paper relabels whole arrays on every merge; the old code used a
+//     union–find (pointer chasing on every test); here equality of two
+//     labels IS the component test — O(1), no chasing — and merges
+//     relabel the smaller member list into the larger (amortized
+//     O(log C) relabels per channel). Component ids are recycled through
+//     a free list so long layers don't grow the table without bound.
 // Edge state: unused / used / blocked(-1). Escape-path dependencies and the
 // dependencies of completed routing steps are permanent (never removed, as
 // in the paper); the *transient* marks of the step in flight are journaled
 // and purged by end_step() so that the maintained graph stays exactly the
 // routing-induced CDG of Definition 4 plus the escape paths.
+//
+// The purge is incremental: each reverted mark is swap-removed from the
+// used-edge adjacency and a per-channel incident-degree counter retires
+// channels whose last dependency disappears. (The previous implementation
+// rebuilt ω and the adjacency from the permanent journal — O(channels)
+// per destination, the quadratic wall this file used to hit at scale.)
+// Component labels are deliberately NOT split on removal: labels only
+// ever merge, so they describe a supergraph of the surviving
+// dependencies, and "labels differ" still proves "no path" — condition
+// (c) stays exact in the only direction that matters for correctness,
+// while a stale same-label answer merely downgrades to the condition (d)
+// cycle search that the Pearce–Kelly order resolves in O(1) when it
+// already agrees with the new edge. Routing tables are bit-identical
+// either way (both conditions run the same topo_insert); only the
+// merge/search statistics shift.
 //
 // Orientation: everything here lives in *search orientation* (paths grow
 // from the destination outward, Algorithm 1); the traffic-induced CDG is
@@ -25,6 +50,7 @@
 
 #include "graph/network.hpp"
 #include "routing/cdg_index.hpp"
+#include "util/bitset.hpp"
 #include "util/error.hpp"
 
 namespace nue {
@@ -44,20 +70,22 @@ class CompleteCdg {
   CompleteCdg(const Network& net, const CdgIndex& idx)
       : net_(&net),
         idx_(&idx),
-        omega_(net.num_channels(), 0),
+        used_(net.num_channels()),
+        comp_(net.num_channels(), 0),
+        used_deg_(net.num_channels(), 0),
         estate_(idx.num_edges(), 0),
         used_succ_(net.num_channels()),
         used_pred_(net.num_channels()),
         ord_(net.num_channels()),
         stamp_f_(net.num_channels(), 0),
         stamp_b_(net.num_channels(), 0) {
-    comp_parent_.push_back(0);  // component ids start at 1
+    comp_members_.emplace_back();  // component ids start at 1
     for (std::uint32_t i = 0; i < ord_.size(); ++i) ord_[i] = i;
   }
 
   // --- state queries --------------------------------------------------------
 
-  bool channel_used(ChannelId c) const { return omega_[c] != 0; }
+  bool channel_used(ChannelId c) const { return used_[c]; }
   bool edge_used(EdgeId e) const { return estate_[e] == 1; }
   bool edge_blocked(EdgeId e) const { return estate_[e] == -1; }
   const Stats& stats() const { return stats_; }
@@ -66,7 +94,12 @@ class CompleteCdg {
 
   /// Mark a channel used in a fresh subgraph component (no-op if used).
   void mark_channel_used(ChannelId c) {
-    if (omega_[c] == 0) omega_[c] = new_component();
+    if (!used_[c]) {
+      used_.set(c);
+      const std::uint32_t id = new_component();
+      comp_[c] = id;
+      comp_members_[id].push_back(c);
+    }
   }
 
   /// Unconditionally mark edge (c1 -> c2) used and merge components.
@@ -153,7 +186,7 @@ class CompleteCdg {
     pool_.clear();
     for (ChannelId c : region) pool_.push_back(ord_[c]);
     std::sort(pool_.begin(), pool_.end());
-    std::vector<std::uint32_t> indeg(omega_.size(), 0);
+    std::vector<std::uint32_t> indeg(net_->num_channels(), 0);
     for (ChannelId c : region) {
       for (ChannelId w : used_succ_[c]) ++indeg[w];
     }
@@ -182,8 +215,8 @@ class CompleteCdg {
   // of Definition 4 is induced by the routing function, not by the search
   // history). end_step() therefore reverts all non-final marks of the step
   // and clears the step's blocked memoization (which was relative to the
-  // larger transient graph), then rebuilds the ω component structure from
-  // the surviving dependencies. Without this purge the restrictions pile
+  // larger transient graph), retiring channels whose last incident
+  // dependency disappears. Without this purge the restrictions pile
   // up and the escape-path fallback rate explodes on dense multigraphs.
 
   void begin_step() {
@@ -191,37 +224,39 @@ class CompleteCdg {
     step_blocked_.clear();
   }
 
-  /// `keep` flags (indexed by dense edge id) select which of this step's
-  /// used marks are real dependencies of the final paths.
-  void end_step(const std::vector<std::uint8_t>& keep) {
-    bool changed = false;
+  /// `keep` flags (indexed by dense edge id, num_edges entries) select
+  /// which of this step's used marks are real dependencies of the final
+  /// paths. Incremental: cost is O(reverted marks), independent of fabric
+  /// size. Taken as a raw pointer so arena-sliced flag arrays pass
+  /// without an owning container.
+  void end_step(const std::uint8_t* keep) {
     for (const auto& rec : step_edges_) {
       if (keep[rec.e]) {
         permanent_edges_.push_back(rec);
       } else {
-        estate_[rec.e] = 0;
-        changed = true;
+        remove_used_edge(rec);
       }
     }
     if (!keep_blocked_across_steps_) {
-      for (const EdgeId e : step_blocked_) {
-        estate_[e] = 0;
-        changed = true;
-      }
+      for (const EdgeId e : step_blocked_) estate_[e] = 0;
       step_blocked_.clear();
     }
     step_edges_.clear();
-    if (changed) rebuild();
   }
 
   /// Internal consistency check (used by the property tests):
   ///  - the topological order is consistent with every used edge,
   ///  - the used-successor adjacency matches the permanent + step journals,
-  ///  - every journaled edge is in the `used` state.
+  ///  - every journaled edge is in the `used` state,
+  ///  - ω marks exactly cover the channels with incident used edges plus
+  ///    the explicitly marked roots, and component labels never separate
+  ///    the endpoints of a used edge.
   bool check_invariants() const {
     for (ChannelId c = 0; c < used_succ_.size(); ++c) {
       for (ChannelId w : used_succ_[c]) {
         if (!(ord_[c] < ord_[w])) return false;
+        if (!used_[c] || !used_[w]) return false;
+        if (comp_[c] == 0 || comp_[c] != comp_[w]) return false;
       }
     }
     std::size_t adjacency_edges = 0;
@@ -249,11 +284,11 @@ class CompleteCdg {
   void unify_components(const std::vector<ChannelId>& channels) {
     std::uint32_t root = 0;
     for (ChannelId c : channels) {
-      if (omega_[c] == 0) omega_[c] = new_component();
+      mark_channel_used(c);
       if (root == 0) {
-        root = find(omega_[c]);
+        root = comp_[c];
       } else {
-        unite(root, omega_[c]);
+        root = unite(root, comp_[c]);
       }
     }
   }
@@ -270,7 +305,7 @@ class CompleteCdg {
   }
 
   bool try_use_edge_by_id(EdgeId e, ChannelId c1, ChannelId c2) {
-    NUE_DCHECK(omega_[c1] != 0);
+    NUE_DCHECK(used_[c1]);
     if (estate_[e] == -1) {  // condition (a)
       ++stats_.fast_accepts;
       return false;
@@ -279,9 +314,11 @@ class CompleteCdg {
       ++stats_.fast_accepts;
       return true;
     }
-    if (omega_[c2] == 0 || find(omega_[c1]) != find(omega_[c2])) {
+    if (!used_[c2] || comp_[c1] != comp_[c2]) {
       // condition (c): connecting disjoint acyclic subgraphs cannot close
       // a cycle; the insertion below only restores the topological order.
+      // (Labels only merge, never split, so "labels differ" is an exact
+      // disconnection proof even after step purges.)
       ++stats_.merges;
       const bool ok = topo_insert(c1, c2);
       NUE_DCHECK(ok);
@@ -357,23 +394,38 @@ class CompleteCdg {
   }
 
  private:
+  struct EdgeRec {
+    EdgeId e;
+    ChannelId c1, c2;
+  };
+
   std::uint32_t new_component() {
-    comp_parent_.push_back(static_cast<std::uint32_t>(comp_parent_.size()));
-    return static_cast<std::uint32_t>(comp_parent_.size() - 1);
-  }
-
-  std::uint32_t find(std::uint32_t x) const {
-    while (comp_parent_[x] != x) {
-      comp_parent_[x] = comp_parent_[comp_parent_[x]];
-      x = comp_parent_[x];
+    if (!free_comps_.empty()) {
+      const std::uint32_t id = free_comps_.back();
+      free_comps_.pop_back();
+      return id;
     }
-    return x;
+    comp_members_.emplace_back();
+    return static_cast<std::uint32_t>(comp_members_.size() - 1);
   }
 
-  void unite(std::uint32_t a, std::uint32_t b) {
-    a = find(a);
-    b = find(b);
-    if (a != b) comp_parent_[b] = a;
+  /// Merge two component labels: relabel the smaller member list into the
+  /// larger and recycle the losing id. Member lists may hold stale
+  /// entries for channels that were retired or relabeled since; they are
+  /// dropped when their list is walked. Returns the surviving label.
+  std::uint32_t unite(std::uint32_t a, std::uint32_t b) {
+    if (a == b) return a;
+    if (comp_members_[a].size() < comp_members_[b].size()) std::swap(a, b);
+    auto& winner = comp_members_[a];
+    for (ChannelId c : comp_members_[b]) {
+      if (comp_[c] == b) {
+        comp_[c] = a;
+        winner.push_back(c);
+      }
+    }
+    comp_members_[b].clear();
+    free_comps_.push_back(b);
+    return a;
   }
 
   void set_edge_used(EdgeId e, ChannelId c1, ChannelId c2,
@@ -382,27 +434,42 @@ class CompleteCdg {
     mark_channel_used(c2);
     used_succ_[c1].push_back(c2);
     used_pred_[c2].push_back(c1);
-    unite(omega_[c1], omega_[c2]);
+    ++used_deg_[c1];
+    ++used_deg_[c2];
+    unite(comp_[c1], comp_[c2]);
     (permanent ? permanent_edges_ : step_edges_).push_back({e, c1, c2});
   }
 
-  /// Recompute channel usage, the used-edge adjacency, and the ω
-  /// union–find from the surviving permanent dependencies.
-  void rebuild() {
-    std::fill(omega_.begin(), omega_.end(), 0);
-    for (auto& s : used_succ_) s.clear();
-    for (auto& p : used_pred_) p.clear();
-    comp_parent_.assign(1, 0);
-    for (const auto& rec : permanent_edges_) {
-      NUE_DCHECK(estate_[rec.e] == 1);
-      mark_channel_used(rec.c1);
-      mark_channel_used(rec.c2);
-      used_succ_[rec.c1].push_back(rec.c2);
-      used_pred_[rec.c2].push_back(rec.c1);
-      unite(omega_[rec.c1], omega_[rec.c2]);
-    }
+  /// Revert one step mark: O(degree) swap-removal from the used-edge
+  /// adjacency plus retirement of channels losing their last dependency.
+  void remove_used_edge(const EdgeRec& rec) {
+    estate_[rec.e] = 0;
+    swap_erase(used_succ_[rec.c1], rec.c2);
+    swap_erase(used_pred_[rec.c2], rec.c1);
+    drop_incident(rec.c1);
+    drop_incident(rec.c2);
     // ord_ stays valid: removing edges never invalidates a topological
     // order of the remaining graph.
+  }
+
+  static void swap_erase(std::vector<ChannelId>& list, ChannelId value) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == value) {
+        list[i] = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+    NUE_CHECK_MSG(false, "used-edge adjacency out of sync");
+  }
+
+  /// A channel whose last incident used edge was reverted leaves ω (its
+  /// stale component-member entry is dropped lazily on the next merge).
+  void drop_incident(ChannelId c) {
+    if (--used_deg_[c] == 0) {
+      used_.reset(c);
+      comp_[c] = 0;
+    }
   }
 
   /// DFS over used edges: is `target` reachable from `from`?
@@ -486,22 +553,20 @@ class CompleteCdg {
     return true;
   }
 
-  struct EdgeRec {
-    EdgeId e;
-    ChannelId c1, c2;
-  };
-
   const Network* net_;
   const CdgIndex* idx_;
   std::vector<EdgeRec> permanent_edges_;
   std::vector<EdgeRec> step_edges_;
   std::vector<EdgeId> step_blocked_;
-  std::vector<std::uint32_t> omega_;
+  DynamicBitset used_;                   // ω membership, word-packed
+  std::vector<std::uint32_t> comp_;      // flat ω component labels
+  std::vector<std::uint32_t> used_deg_;  // incident used edges per channel
+  std::vector<std::vector<ChannelId>> comp_members_;
+  std::vector<std::uint32_t> free_comps_;
   std::vector<std::int8_t> estate_;
   std::vector<std::vector<ChannelId>> used_succ_;
   std::vector<std::vector<ChannelId>> used_pred_;
   std::vector<std::uint32_t> ord_;
-  mutable std::vector<std::uint32_t> comp_parent_;
   std::vector<std::uint32_t> stamp_f_;
   std::vector<std::uint32_t> stamp_b_;
   std::vector<ChannelId> dfs_stack_;

@@ -1,9 +1,9 @@
 #include "nue/nue_routing.hpp"
 
 #include <algorithm>
-#include <set>
 #include <limits>
 #include <memory>
+#include <span>
 #include <unordered_map>
 
 #include "graph/algorithms.hpp"
@@ -12,6 +12,7 @@
 #include "routing/cdg_index.hpp"
 #include "routing/sssp_engine.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/arena.hpp"
 #include "util/epoch.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -24,32 +25,67 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Routes all destinations of one virtual layer inside that layer's
 /// complete CDG.
+///
+/// All flat per-layer scratch — the balancing weights, the escape-tree
+/// CSR, the backtracking alternative stacks, the step keep flags, and the
+/// bounded worklists — is sliced from the caller's Arena instead of
+/// individually heap-allocated. The constructor rewinds the arena, so at
+/// most ONE router may be live per arena; reroute_nue exploits exactly
+/// that by re-constructing a router per escape-root attempt on the same
+/// arena with zero steady-state allocation. The dynamically-sized state
+/// (the CDG's used-edge adjacency, the Fibonacci heap, the epoch-stamped
+/// Dijkstra columns) stays owned — its size depends on routing history,
+/// not on the fabric.
 class LayerRouter {
  public:
   LayerRouter(const Network& net, const CdgIndex& idx, NodeId root,
-              const NueOptions& opt, NueStats& stats)
+              const NueOptions& opt, NueStats& stats, Arena& scratch)
       : net_(net),
         idx_(idx),
         opt_(opt),
         stats_(stats),
+        scratch_(scratch),
         cdg_(net, idx),
-        weights_(net.num_channels()),
         tree_parent_(bfs_tree(net, root)),
-        tree_adj_(net.num_nodes()),
         node_dist_(net.num_nodes(), kInf),
         used_channel_(net.num_nodes(), kInvalidChannel),
-        alts_(net.num_nodes()),
-        alt_gen_(net.num_nodes(), 0),
         chan_dist_(net.num_channels(), kInf),
-        heap_(net.num_channels()),
-        escape_next_(net.num_nodes(), kInvalidChannel),
-        keep_flags_(idx.num_edges(), 0) {
+        heap_(net.num_channels()) {
     cdg_.set_keep_blocked(opt.sticky_restrictions);
-    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    const std::size_t n = net.num_nodes();
+    scratch_.reset();  // reclaim any previous router's slices
+    weights_ = scratch_.alloc<double>(net.num_channels());
+    escape_next_ = scratch_.alloc<ChannelId>(n);
+    escape_seen_ = scratch_.alloc<std::uint8_t>(n);
+    intact_ = scratch_.alloc<std::uint8_t>(n);
+    keep_flags_ = scratch_.alloc_filled<std::uint8_t>(idx.num_edges(), 0);
+    alt_data_ = scratch_.alloc<ChannelId>(n * opt.alt_stack_limit);
+    alt_cnt_ = scratch_.alloc<std::uint32_t>(n);
+    alt_gen_ = scratch_.alloc_filled<std::uint32_t>(n, 0);
+    bfs_ = FixedVec<NodeId>(scratch_, n);
+    chain_ = FixedVec<NodeId>(scratch_, n + 1);
+    islands_ = FixedVec<NodeId>(scratch_, n);
+    // Escape spanning tree as a CSR over the arena; per-node entry order
+    // matches the old per-node vectors (same ascending-v fill), which
+    // compute_escape_next's BFS tie-breaks depend on.
+    tree_adj_begin_ = scratch_.alloc_filled<std::uint32_t>(n + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
       const ChannelId up = tree_parent_[v];
       if (up == kInvalidChannel) continue;
-      tree_adj_[v].push_back(up);
-      tree_adj_[net.dst(up)].push_back(reverse(up));
+      ++tree_adj_begin_[v + 1];
+      ++tree_adj_begin_[net.dst(up) + 1];
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      tree_adj_begin_[v + 1] += tree_adj_begin_[v];
+    }
+    tree_adj_pool_ = scratch_.alloc<ChannelId>(tree_adj_begin_[n]);
+    std::uint32_t* cursor = scratch_.alloc_filled<std::uint32_t>(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      const ChannelId up = tree_parent_[v];
+      if (up == kInvalidChannel) continue;
+      const NodeId p = net.dst(up);
+      tree_adj_pool_[tree_adj_begin_[v] + cursor[v]++] = up;
+      tree_adj_pool_[tree_adj_begin_[p] + cursor[p]++] = reverse(up);
     }
   }
 
@@ -62,7 +98,8 @@ class LayerRouter {
     // have happened, a 2x weight difference would cause erratic detours);
     // relative differences then grow to their natural scale as the layer
     // progresses, like the late steps of a k=1 run.
-    std::fill(weights_.begin(), weights_.end(), 1.0 + opt_.balance_damping);
+    std::fill(weights_, weights_ + net_.num_channels(),
+              1.0 + opt_.balance_damping);
     std::vector<ChannelId> escape_channels;
     for (NodeId d : dests) {
       compute_escape_next(d);
@@ -86,7 +123,8 @@ class LayerRouter {
   /// conflict with them — the caller must then discard this router and
   /// recompute the layer from scratch.
   bool init_escape_paths_checked(const std::vector<NodeId>& dests) {
-    std::fill(weights_.begin(), weights_.end(), 1.0 + opt_.balance_damping);
+    std::fill(weights_, weights_ + net_.num_channels(),
+              1.0 + opt_.balance_damping);
     std::vector<ChannelId> escape_channels;
     for (NodeId d : dests) {
       compute_escape_next(d);
@@ -239,7 +277,7 @@ class LayerRouter {
   /// pointer-chase: every node is classified once, O(nodes) total.
   void classify_intact(NodeId d, const RoutingResult& old,
                        std::uint32_t old_di) {
-    intact_.assign(net_.num_nodes(), 0);
+    std::fill(intact_, intact_ + net_.num_nodes(), 0);
     intact_[d] = 1;
     for (NodeId s = 0; s < net_.num_nodes(); ++s) {
       if (s == d || !net_.node_alive(s) || intact_[s] != 0) continue;
@@ -328,14 +366,17 @@ class LayerRouter {
   /// BFS within the spanning tree: escape_next_[v] = the traffic channel
   /// (v -> tree parent toward d).
   void compute_escape_next(NodeId d) {
-    std::fill(escape_next_.begin(), escape_next_.end(), kInvalidChannel);
+    const std::size_t n = net_.num_nodes();
+    std::fill(escape_next_, escape_next_ + n, kInvalidChannel);
     bfs_.clear();
     bfs_.push_back(d);
-    escape_seen_.assign(net_.num_nodes(), 0);
+    std::fill(escape_seen_, escape_seen_ + n, 0);
     escape_seen_[d] = 1;
     for (std::size_t i = 0; i < bfs_.size(); ++i) {
       const NodeId v = bfs_[i];
-      for (ChannelId c : tree_adj_[v]) {  // c = (v -> nb)
+      const std::uint32_t te = tree_adj_begin_[v + 1];
+      for (std::uint32_t t = tree_adj_begin_[v]; t < te; ++t) {
+        const ChannelId c = tree_adj_pool_[t];  // c = (v -> nb)
         const NodeId nb = net_.dst(c);
         if (escape_seen_[nb]) continue;
         escape_seen_[nb] = 1;
@@ -367,7 +408,7 @@ class LayerRouter {
     used_channel_.next_epoch();
     chan_dist_.next_epoch();
     if (++alts_epoch_ == 0) {
-      std::fill(alt_gen_.begin(), alt_gen_.end(), 0);
+      std::fill(alt_gen_, alt_gen_ + net_.num_nodes(), 0);
       alts_epoch_ = 1;
     }
     heap_.clear();
@@ -375,8 +416,10 @@ class LayerRouter {
   }
 
   /// Backtracking alternatives of v recorded this step (empty if stale).
-  const std::vector<ChannelId>& alts_of(NodeId v) const {
-    return alt_gen_[v] == alts_epoch_ ? alts_[v] : kNoAlts;
+  std::span<const ChannelId> alts_of(NodeId v) const {
+    if (alt_gen_[v] != alts_epoch_) return {};
+    return {alt_data_ + static_cast<std::size_t>(v) * opt_.alt_stack_limit,
+            alt_cnt_[v]};
   }
 
   void seed_search(NodeId d) {
@@ -568,17 +611,19 @@ class LayerRouter {
     if (c == kInvalidChannel) return;
     if (alt_gen_[v] != alts_epoch_) {
       alt_gen_[v] = alts_epoch_;
-      alts_[v].clear();
+      alt_cnt_[v] = 0;
     }
-    auto& a = alts_[v];
-    for (ChannelId existing : a) {
-      if (existing == c) return;
+    ChannelId* a =
+        alt_data_ + static_cast<std::size_t>(v) * opt_.alt_stack_limit;
+    std::uint32_t& cnt = alt_cnt_[v];
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      if (a[i] == c) return;
     }
-    if (a.size() < opt_.alt_stack_limit) {
-      a.push_back(c);
-    } else if (!a.empty()) {
+    if (cnt < opt_.alt_stack_limit) {
+      a[cnt++] = c;
+    } else if (cnt > 0) {
       // Keep the most recent alternatives (ring overwrite).
-      a[alt_rr_++ % a.size()] = c;
+      a[alt_rr_++ % cnt] = c;
     }
   }
 
@@ -610,28 +655,32 @@ class LayerRouter {
   const CdgIndex& idx_;
   const NueOptions& opt_;
   NueStats& stats_;
+  Arena& scratch_;
   CompleteCdg cdg_;
-  std::vector<double> weights_;
   std::vector<ChannelId> tree_parent_;
-  std::vector<std::vector<ChannelId>> tree_adj_;
+
+  // arena slices (layer-lifetime flat scratch; see class comment)
+  double* weights_ = nullptr;
+  ChannelId* tree_adj_pool_ = nullptr;      // escape spanning tree, CSR
+  std::uint32_t* tree_adj_begin_ = nullptr;
+  ChannelId* alt_data_ = nullptr;           // nodes x alt_stack_limit
+  std::uint32_t* alt_cnt_ = nullptr;
+  std::uint32_t* alt_gen_ = nullptr;
+  ChannelId* escape_next_ = nullptr;
+  std::uint8_t* escape_seen_ = nullptr;
+  std::uint8_t* intact_ = nullptr;  // partial repair: 1 intact, 2 orphan
+  std::uint8_t* keep_flags_ = nullptr;
+  FixedVec<NodeId> chain_;  // partial repair: pointer-chase stack
+  FixedVec<NodeId> bfs_;
+  FixedVec<NodeId> islands_;
 
   // per-destination scratch (generation-stamped: reset_scratch is O(1))
   EpochVector<double> node_dist_;
   EpochVector<ChannelId> used_channel_;
-  std::vector<std::vector<ChannelId>> alts_;
-  std::vector<std::uint32_t> alt_gen_;
   std::uint32_t alts_epoch_ = 1;
-  inline static const std::vector<ChannelId> kNoAlts{};
   EpochVector<double> chan_dist_;
   FibonacciHeap<double> heap_;
-  std::vector<ChannelId> escape_next_;
-  std::vector<std::uint8_t> escape_seen_;
-  std::vector<std::uint8_t> intact_;  // partial repair: 1 intact, 2 orphan
-  std::vector<NodeId> chain_;         // partial repair: pointer-chase stack
-  std::vector<NodeId> bfs_;
-  std::vector<NodeId> islands_;
   std::vector<ChannelId> children_;
-  std::vector<std::uint8_t> keep_flags_;
   NodeId dest_ = kInvalidNode;
   std::size_t alt_rr_ = 0;
 };
@@ -673,10 +722,11 @@ void publish_stats(const NueStats& st) {
 }  // namespace
 
 NodeId select_escape_root(const Network& net,
-                          const std::vector<NodeId>& subset) {
+                          const std::vector<NodeId>& subset,
+                          std::size_t pivots) {
   NUE_CHECK(!subset.empty());
   const auto mask = convex_subgraph(net, subset);
-  const auto cb = betweenness_centrality(net, mask);
+  const auto cb = betweenness_centrality_sampled(net, pivots, mask);
   NodeId best = subset[0];
   double best_cb = -1.0;
   for (NodeId v = 0; v < net.num_nodes(); ++v) {
@@ -701,7 +751,11 @@ std::size_t count_escape_dependencies(const Network& net, NodeId root,
     adj[v].push_back(parent[v]);
     adj[net.dst(parent[v])].push_back(reverse(parent[v]));
   }
-  std::set<std::pair<ChannelId, ChannelId>> deps;
+  // Sorted-vector dedup instead of a std::set: the dependency stream is
+  // dest-major with heavy cross-destination overlap, and one sort + unique
+  // over the flat buffer beats per-insert tree rebalancing (and its node
+  // churn) by a wide margin on large columns.
+  std::vector<std::pair<ChannelId, ChannelId>> deps;
   std::vector<ChannelId> toward(net.num_nodes());
   std::vector<NodeId> bfs;
   std::vector<std::uint8_t> seen(net.num_nodes());
@@ -723,10 +777,12 @@ std::size_t count_escape_dependencies(const Network& net, NodeId root,
       const ChannelId e = toward[v];
       if (e == kInvalidChannel) continue;
       const NodeId p = net.dst(e);
-      if (p != d) deps.insert({e, toward[p]});
+      if (p != d) deps.emplace_back(e, toward[p]);
     }
   }
-  return deps.size();
+  std::sort(deps.begin(), deps.end());
+  return static_cast<std::size_t>(
+      std::unique(deps.begin(), deps.end()) - deps.begin());
 }
 
 RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
@@ -829,6 +885,10 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
         // kept-column count; almost always a single pass).
         std::vector<NodeId> to_route = affected[layer];
         std::vector<NodeId> keep_cols = kept[layer];
+        // One scratch arena for every root attempt of this layer: each
+        // router construction rewinds it, so the attempt loop below runs
+        // with zero steady-state allocation for the flat scratch.
+        Arena arena;
         std::unique_ptr<LayerRouter> router;
         bool escape_first = false;
         // Root schedule for the checked escape setup. The hint — the root
@@ -854,8 +914,10 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
         NodeId central = kInvalidNode;
         const auto preferred_root = [&]() -> NodeId {
           if (central == kInvalidNode) {
-            central = opt.central_root ? select_escape_root(net, to_route)
-                                       : net.switches().front();
+            central = opt.central_root
+                          ? select_escape_root(net, to_route,
+                                               opt.betweenness_pivots)
+                          : net.switches().front();
           }
           return central;
         };
@@ -911,7 +973,10 @@ RoutingResult reroute_nue(const Network& net, const RoutingResult& old,
         };
         while (true) {
           root = escape_first ? preferred_root() : candidates[root_attempt];
-          router = std::make_unique<LayerRouter>(net, idx, root, opt, ls);
+          router.reset();  // release the failed attempt before its arena
+                           // slices are rewound by the next construction
+          router = std::make_unique<LayerRouter>(net, idx, root, opt, ls,
+                                                 arena);
           if (!escape_first) {
             // Constraints-first: every pre-mark mirrors the old table's
             // acyclic per-layer CDG, so the pre-marks cannot conflict
@@ -1058,7 +1123,7 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
         NodeId root;
         if (opt.central_root) {
           TELEM_SPAN("nue.escape_root");
-          root = select_escape_root(net, subset);
+          root = select_escape_root(net, subset, opt.betweenness_pivots);
         } else {
           // Ablation: arbitrary (first alive switch).
           root = kInvalidNode;
@@ -1069,7 +1134,8 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
         }
         ls.roots.push_back(root);
 
-        LayerRouter router(net, idx, root, opt, ls);
+        Arena arena;
+        LayerRouter router(net, idx, root, opt, ls, arena);
         {
           TELEM_SPAN("nue.escape_paths");
           router.init_escape_paths(subset);

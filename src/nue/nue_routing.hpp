@@ -68,6 +68,13 @@ struct NueOptions {
   /// compatible with the surviving old dependencies, making the hitless
   /// repair succeed on the first attempt instead of sweeping roots.
   std::vector<NodeId> escape_root_hints;
+  /// Pivot count for the sampled Brandes betweenness behind the escape-root
+  /// selection (betweenness_centrality_sampled): 0 = exact Brandes, the
+  /// right default for Fig.-scale fabrics; a few hundred pivots make root
+  /// selection tractable at 10^5+ switches with near-identical root
+  /// rankings (docs/SCALING.md). Changing the pivot count can change the
+  /// selected roots — tables remain deterministic for a fixed value.
+  std::size_t betweenness_pivots = 0;
   std::uint64_t seed = 1;
   /// Worker threads for routing the virtual layers (0 = process default
   /// from --threads, 1 = serial). Layers are independent by construction
@@ -101,9 +108,11 @@ RoutingResult route_nue(const Network& net, const std::vector<NodeId>& dests,
 
 /// Escape-root selection for one destination subset (exposed for tests and
 /// the root-selection ablation bench): the node of the convex subgraph of
-/// `subset` with maximum betweenness centrality.
+/// `subset` with maximum betweenness centrality. `pivots` != 0 swaps the
+/// exact Brandes pass for the pivot-sampled estimator (see NueOptions).
 NodeId select_escape_root(const Network& net,
-                          const std::vector<NodeId>& subset);
+                          const std::vector<NodeId>& subset,
+                          std::size_t pivots = 0);
 
 /// Number of distinct channel dependencies the escape paths of a BFS
 /// spanning tree rooted at `root` impose toward the destinations `dests`

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "util/rss.hpp"
 
 namespace nue::telemetry {
 
@@ -144,7 +145,7 @@ inline void write_run_report(
     }
     if (!first) os << "\n    ";
   }
-  os << "}\n  }";
+  os << "}\n  },\n  \"peak_rss_mb\": " << peak_rss_mb();
   for (const auto& [key, raw_json] : extra) {
     os << ",\n  ";
     detail::write_json_string(os, key);

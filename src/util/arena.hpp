@@ -1,0 +1,161 @@
+// Monotonic arena for routing scratch (docs/SCALING.md).
+//
+// The Nue layer router and its CompleteCdg together allocate ~25 scratch
+// arrays sized by |nodes| or |channels|; before the arena each LayerRouter
+// construction paid one malloc per array (and reroute_nue constructs a
+// router per escape-root attempt). The arena turns that into bump-pointer
+// slices of a few large chunks that are RETAINED across reset(): a
+// reset-in-O(1) rewind of the bump cursor, after which the next router
+// re-slices the same memory — zero steady-state allocation no matter how
+// many layers, destination columns, or repair attempts run through it.
+//
+// Lifetime rules (the arena is deliberately dumb — these are load-bearing):
+//   * alloc<T>() returns uninitialized POD storage; alloc_filled<T>()
+//     value-fills. Only trivially copyable/destructible T: the arena never
+//     runs destructors.
+//   * reset() invalidates every outstanding slice at once. The owner of a
+//     scratch structure must not outlive the reset that reclaims it —
+//     LayerRouter enforces this by owning `Arena& scratch_` whose reset
+//     happens in its own constructor (one live router per arena).
+//   * Slices are stable between resets: no later alloc moves earlier ones
+//     (chunked growth, never realloc).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nue {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1 << 20)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for n objects of trivially-destructible T.
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    return static_cast<T*>(raw_alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Storage for n objects, each copy-initialized from `value`.
+  template <typename T>
+  T* alloc_filled(std::size_t n, const T& value) {
+    T* p = alloc<T>(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = value;
+    return p;
+  }
+
+  /// O(1) rewind: every chunk is retained, the cursor returns to the
+  /// front. All outstanding slices are invalidated.
+  void reset() {
+    cur_chunk_ = 0;
+    cur_off_ = 0;
+  }
+
+  /// Bytes currently held (capacity, not live allocation).
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* raw_alloc(std::size_t bytes, std::size_t align) {
+    NUE_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    while (true) {
+      if (cur_chunk_ < chunks_.size()) {
+        Chunk& c = chunks_[cur_chunk_];
+        const std::size_t base =
+            reinterpret_cast<std::size_t>(c.data.get()) + cur_off_;
+        const std::size_t pad = (align - (base & (align - 1))) & (align - 1);
+        if (cur_off_ + pad + bytes <= c.size) {
+          void* p = c.data.get() + cur_off_ + pad;
+          cur_off_ += pad + bytes;
+          return p;
+        }
+        // Chunk full: move on (its tail is wasted until the next reset).
+        ++cur_chunk_;
+        cur_off_ = 0;
+        continue;
+      }
+      // Out of retained chunks: grow geometrically so huge fabrics settle
+      // into O(1) chunks instead of thousands of small ones.
+      const std::size_t want = bytes + align;
+      std::size_t size = chunk_bytes_;
+      if (!chunks_.empty()) size = chunks_.back().size * 2;
+      if (size < want) size = want;
+      chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+      cur_chunk_ = chunks_.size() - 1;
+      cur_off_ = 0;
+    }
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t cur_chunk_ = 0;
+  std::size_t cur_off_ = 0;
+};
+
+/// Fixed-capacity vector over an arena slice: push_back/clear/iteration
+/// with no ownership and no growth (capacity is the caller-proven bound,
+/// checked in debug). The routing scratch lists (BFS frontiers, island
+/// sets, DFS stacks) all have natural |nodes| or |channels| bounds.
+template <typename T>
+class FixedVec {
+ public:
+  FixedVec() = default;
+  FixedVec(Arena& arena, std::size_t capacity)
+      : data_(arena.alloc<T>(capacity)), cap_(capacity) {}
+
+  void clear() { size_ = 0; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+
+  void push_back(const T& v) {
+    NUE_DCHECK(size_ < cap_);
+    data_[size_++] = v;
+  }
+  void pop_back() {
+    NUE_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void assign(std::size_t n, const T& v) {
+    NUE_DCHECK(n <= cap_);
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) data_[i] = v;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace nue

@@ -1,0 +1,38 @@
+// Process memory introspection for the benches and the telemetry run
+// report: peak resident-set size as the kernel accounted it (VmHWM),
+// which is what "did the million-switch sweep fit in RAM" actually asks.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+
+namespace nue {
+
+/// Peak resident-set size of the current process in MiB, read from
+/// /proc/self/status (VmHWM — the high-water mark, not the current RSS,
+/// so a value captured after a run covers the run's largest footprint).
+/// Returns 0.0 on platforms without procfs or if the read fails; callers
+/// treat 0.0 as "unavailable".
+inline double peak_rss_mb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0.0;
+  char line[256];
+  double mb = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      long kb = 0;
+      if (std::sscanf(line + 6, "%ld", &kb) == 1) {
+        mb = static_cast<double>(kb) / 1024.0;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace nue

@@ -261,7 +261,7 @@ TEST(CompleteCdgSteps, PurgeRemovesUnkeptMarks) {
   ASSERT_TRUE(cdg.try_use_edge(b, c));
   std::vector<std::uint8_t> keep(idx.num_edges(), 0);
   keep[idx.edge_id(a, b)] = 1;  // keep only the first dependency
-  cdg.end_step(keep);
+  cdg.end_step(keep.data());
   EXPECT_TRUE(cdg.edge_used(idx.edge_id(a, b)));
   EXPECT_FALSE(cdg.edge_used(idx.edge_id(b, c)));
   EXPECT_TRUE(cdg.channel_used(a));
@@ -278,7 +278,7 @@ TEST(CompleteCdgSteps, ForcedEscapeEdgesSurviveEveryPurge) {
   std::vector<std::uint8_t> keep(idx.num_edges(), 0);
   for (int step = 0; step < 3; ++step) {
     cdg.begin_step();
-    cdg.end_step(keep);
+    cdg.end_step(keep.data());
   }
   EXPECT_TRUE(cdg.edge_used(idx.edge_id(a, b)));
 }
@@ -292,7 +292,7 @@ TEST(CompleteCdgSteps, PurgedEdgeCanBeReusedNextStep) {
   cdg.begin_step();
   cdg.mark_channel_used(a);
   ASSERT_TRUE(cdg.try_use_edge(a, b));
-  cdg.end_step(keep);  // dropped
+  cdg.end_step(keep.data());  // dropped
   cdg.begin_step();
   cdg.mark_channel_used(a);
   EXPECT_TRUE(cdg.try_use_edge(a, b));  // usable again
@@ -315,7 +315,7 @@ TEST(CompleteCdgSteps, StickyBlockedPersistsWhenEnabled) {
     ASSERT_FALSE(cdg.try_use_edge(chan2(net, 3, 0), chan2(net, 0, 1)));
     const auto blocked_edge = idx.edge_id(chan2(net, 3, 0), chan2(net, 0, 1));
     EXPECT_TRUE(cdg.edge_blocked(blocked_edge));
-    cdg.end_step(keep);  // nothing kept: the cycle-inducing context is gone
+    cdg.end_step(keep.data());  // nothing kept: the cycle-inducing context is gone
     EXPECT_EQ(cdg.edge_blocked(blocked_edge), sticky);
   }
 }

@@ -188,7 +188,7 @@ TEST(CompleteCdgInvariants, HoldThroughRandomStepLifecycles) {
         kept.push_back(e);
       }
     }
-    cdg.end_step(keep);
+    cdg.end_step(keep.data());
     for (const auto e : kept) keep[e] = 0;
     ASSERT_TRUE(cdg.check_invariants()) << "after end_step " << step;
   }
@@ -217,7 +217,7 @@ TEST(CompleteCdgInvariants, StickyBlockedVariantAlsoHolds) {
         used.push_back(c2);
       }
     }
-    cdg.end_step(keep);  // keep nothing; blocked marks persist
+    cdg.end_step(keep.data());  // keep nothing; blocked marks persist
     ASSERT_TRUE(cdg.check_invariants()) << "step " << step;
   }
 }

@@ -1,0 +1,203 @@
+// Golden routing-table hashes: the committed tables of seven topology
+// generators x three engines, bit-for-bit, at every supported thread
+// count. These pins hold the strongest promise the engines make — the
+// exact forwarding tables, not just their properties — so any refactor
+// of the graph core, the CDG machinery or the scratch allocation that
+// changes a single next-hop or VL assignment fails here immediately.
+// The hashes were captured before the SoA/arena/bitset-omega scaling
+// rework (docs/SCALING.md) and must never drift silently: a legitimate
+// behavior change (e.g. a new tie-break) must re-capture them in the
+// same commit and say why.
+//
+// A second table pins the Fig.-11-style faulted torus at 8 VLs — the
+// largest config the suite routes — for Nue and Up*/Down*. (DFSSSP is
+// excluded there: its VL demand exceeds the 8-lane cap on that fabric,
+// the paper's expected inapplicability.)
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/network.hpp"
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/routing.hpp"
+#include "routing/updown.hpp"
+#include "topology/faults.hpp"
+#include "topology/misc_topologies.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+/// FNV-1a over the full table contents: VL count and mode, then for every
+/// destination its id and each node's next-hop channel and VL assignment.
+std::uint64_t table_hash(const RoutingResult& rr) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(rr.num_vls());
+  mix(static_cast<std::uint64_t>(rr.vl_mode()));
+  for (std::size_t i = 0; i < rr.destinations().size(); ++i) {
+    const NodeId d = rr.destinations()[i];
+    mix(d);
+    for (NodeId v = 0; v < rr.num_nodes(); ++v) {
+      mix(rr.next(v, static_cast<std::uint32_t>(i)));
+      mix(rr.vl(v, v, static_cast<std::uint32_t>(i)));
+    }
+  }
+  return h;
+}
+
+Network make_fabric(const std::string& name) {
+  if (name == "torus") {
+    TorusSpec t{{4, 4, 3}, 2, 1};
+    return make_torus(t);
+  }
+  if (name == "torus-faulted") {
+    TorusSpec t{{4, 4, 3}, 2, 1};
+    Network net = make_torus(t);
+    Rng rng(7);
+    inject_link_failures(net, 6, rng);
+    return net;
+  }
+  if (name == "fattree") {
+    FatTreeSpec f{3, 3, 3, 0};
+    return make_kary_ntree(f);
+  }
+  if (name == "kautz") {
+    KautzSpec k{3, 3, 2, 1};
+    return make_kautz(k);
+  }
+  if (name == "dragonfly") {
+    DragonflySpec d{4, 2, 2, 8};
+    return make_dragonfly(d);
+  }
+  if (name == "hyperx") {
+    HyperXSpec h{{3, 3}, 2, 1};
+    return make_hyperx(h);
+  }
+  if (name == "hypercube") {
+    return make_hypercube(4, 2);
+  }
+  if (name == "random") {
+    RandomSpec r{20, 50, 2};
+    Rng rng(1);
+    return make_random(r, rng);
+  }
+  NUE_CHECK_MSG(false, "unknown fabric " << name);
+  return Network{};
+}
+
+RoutingResult route(const Network& net, const std::string& engine,
+                    std::uint32_t vls, std::uint32_t threads) {
+  const auto dests = net.terminals();
+  if (engine == "nue") {
+    NueOptions opt;
+    opt.num_vls = vls;
+    opt.num_threads = threads;
+    return route_nue(net, dests, opt);
+  }
+  if (engine == "dfsssp") {
+    DfssspOptions opt;
+    opt.max_vls = 8;
+    opt.num_threads = threads;
+    return route_dfsssp(net, dests, opt);
+  }
+  return route_updown(net, dests);
+}
+
+struct Golden {
+  const char* fabric;
+  const char* engine;
+  std::uint64_t hash;
+};
+
+// Captured with Nue at 4 VLs, DFSSSP capped at 8 VLs, Up*/Down* default;
+// destinations = all terminals. Verified identical at 1/4/8 threads.
+constexpr Golden kGolden[] = {
+    {"torus", "nue", 0x1173d2034af4bcbcull},
+    {"torus", "dfsssp", 0xae88cb403303bd38ull},
+    {"torus", "updown", 0x29c975b03ae0fcb1ull},
+    {"torus-faulted", "nue", 0xfcde22aa52ce15ebull},
+    {"torus-faulted", "dfsssp", 0x8108b3ec6dbc6929ull},
+    {"torus-faulted", "updown", 0x3b0182c4ba9cf511ull},
+    {"fattree", "nue", 0x8b3b2e1949698f5eull},
+    {"fattree", "dfsssp", 0x0046a7d6a27c4aa9ull},
+    {"fattree", "updown", 0x21f3e16902559611ull},
+    {"kautz", "nue", 0x1b0f569a9fe77c73ull},
+    {"kautz", "dfsssp", 0xfbe5492d9c20c293ull},
+    {"kautz", "updown", 0x0d9e44e331d2b4dbull},
+    {"dragonfly", "nue", 0x817b9c4e0ce46e9dull},
+    {"dragonfly", "dfsssp", 0xb675653ec1e1bae7ull},
+    {"dragonfly", "updown", 0xfaba504054f81e05ull},
+    {"hyperx", "nue", 0x7f0dbc925a787cbdull},
+    {"hyperx", "dfsssp", 0xf42ef0b66148f4e1ull},
+    {"hyperx", "updown", 0x3ae272cb71c6f1a2ull},
+    {"hypercube", "nue", 0x712b56041dd75b01ull},
+    {"hypercube", "dfsssp", 0xec46cd3253f03dccull},
+    {"hypercube", "updown", 0x64f7cd9164e042b7ull},
+    {"random", "nue", 0xf1ab59c889e5f80dull},
+    {"random", "dfsssp", 0x8dfae9ff0a8ff26cull},
+    {"random", "updown", 0x517f3a0a35ff6ef8ull},
+};
+
+class GoldenTables : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenTables, BitIdenticalAtEveryThreadCount) {
+  const Golden g = GetParam();
+  for (std::uint32_t threads : {1u, 4u, 8u}) {
+    const Network net = make_fabric(g.fabric);
+    const auto h = table_hash(route(net, g.engine, 4, threads));
+    EXPECT_EQ(h, g.hash) << g.fabric << "/" << g.engine
+                         << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFabrics, GoldenTables, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<Golden>& info) {
+      std::string n = std::string(info.param.fabric) + "_" +
+                      info.param.engine;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// Fig.-11-style scale config: 6x6x6 torus, 4 terminals per switch, 7
+// failed links, Nue at the full 8-VL budget.
+Network fig11_fabric() {
+  TorusSpec t{{6, 6, 6}, 4, 1};
+  Network net = make_torus(t);
+  Rng rng(11);
+  inject_link_failures(net, 7, rng);
+  return net;
+}
+
+TEST(GoldenTablesFig11, NueEightVls) {
+  for (std::uint32_t threads : {1u, 4u, 8u}) {
+    const Network net = fig11_fabric();
+    NueOptions opt;
+    opt.num_vls = 8;
+    opt.num_threads = threads;
+    const auto h = table_hash(route_nue(net, net.terminals(), opt));
+    EXPECT_EQ(h, 0xf5f17a7dec53bfeaull) << "threads=" << threads;
+  }
+}
+
+TEST(GoldenTablesFig11, UpDown) {
+  const Network net = fig11_fabric();
+  const auto h = table_hash(route_updown(net, net.terminals()));
+  EXPECT_EQ(h, 0xf3d9c481b2647e2eull);
+}
+
+}  // namespace
+}  // namespace nue

@@ -167,6 +167,9 @@ int main(int argc, char** argv) {
       "routing", "nue", "nue|dfsssp|lash|updown|minhop|torus-qos|fattree");
   const auto vls = static_cast<std::uint32_t>(
       flags.get_int("vls", 1, "virtual lanes for deadlock freedom"));
+  const std::string betweenness = flags.get_string(
+      "betweenness", "exact",
+      "Nue escape-root Brandes: exact | sampled:<pivots> (docs/SCALING.md)");
   const std::string dump_tables =
       flags.get_string("dump-tables", "", "write forwarding tables ('-' = stdout)");
   const std::string dump_cdg =
@@ -188,6 +191,21 @@ int main(int argc, char** argv) {
   telem.register_flags(flags);
   const std::uint32_t threads = flags.get_threads();
   if (!flags.finish()) return 1;
+  std::size_t betweenness_pivots = 0;
+  if (betweenness != "exact") {
+    if (betweenness.rfind("sampled:", 0) == 0) {
+      try {
+        betweenness_pivots = std::stoul(betweenness.substr(8));
+      } catch (const std::exception&) {
+        betweenness_pivots = 0;
+      }
+    }
+    if (betweenness_pivots == 0) {
+      std::cerr << "--betweenness must be 'exact' or 'sampled:<pivots>' "
+                   "with pivots >= 1, got '" << betweenness << "'\n";
+      return 1;
+    }
+  }
   set_default_threads(threads);
   const std::vector<std::pair<std::string, std::string>> telem_config = {
       {"topology", topo_file.empty() ? gen : topo_file},
@@ -197,6 +215,7 @@ int main(int argc, char** argv) {
       {"fail_switches", std::to_string(fail_switches)},
       {"fault_seed", std::to_string(fault_seed)},
       {"threads", std::to_string(threads)},
+      {"betweenness", betweenness},
   };
 
   try {
@@ -309,6 +328,7 @@ int main(int argc, char** argv) {
     if (engine == "nue") {
       NueOptions opt;
       opt.num_vls = vls;
+      opt.betweenness_pivots = betweenness_pivots;
       NueStats stats;
       rr.emplace(route_nue(net, dests, opt, &stats));
       vl_note = " (fallbacks: " + std::to_string(stats.fallbacks) + ")";
