@@ -19,6 +19,7 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -49,8 +50,9 @@ struct JsonRecord {
   std::vector<nue::bench::PhaseTiming> phases;  // telemetry span aggregates
   // Process VmHWM right after the run: the high-water mark is monotone
   // over the sweep, so the per-record value shows which fabric size first
-  // pushed the footprint up (0 = unavailable on this platform).
-  double peak_rss_mb = nue::peak_rss_mb();
+  // pushed the footprint up (nullopt = unavailable on this platform; the
+  // JSON key is omitted rather than written as a fake 0).
+  std::optional<double> peak_rss_mb = nue::peak_rss_mb();
 };
 
 std::vector<std::uint32_t> parse_thread_list(const std::string& s) {
@@ -74,8 +76,9 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
        << ", \"wall_ms\": " << r.wall_ms
        << ", \"applicable\": " << (r.applicable ? "true" : "false")
        << ", \"faults_requested\": " << r.faults_requested
-       << ", \"faults_achieved\": " << r.faults_achieved
-       << ", \"peak_rss_mb\": " << r.peak_rss_mb << ", \"phases\": ";
+       << ", \"faults_achieved\": " << r.faults_achieved;
+    if (r.peak_rss_mb) os << ", \"peak_rss_mb\": " << *r.peak_rss_mb;
+    os << ", \"phases\": ";
     nue::bench::write_phases_json(os, r.phases);
     os << "}" << (i + 1 < recs.size() ? "," : "") << "\n";
   }

@@ -60,9 +60,11 @@ struct TopoRecord {
 void write_json(const std::string& path, const std::vector<TopoRecord>& recs,
                 double overall) {
   std::ofstream os(path);
-  os << "{\n  \"overall_speedup_median\": " << overall
-     << ",\n  \"peak_rss_mb\": " << nue::peak_rss_mb()
-     << ",\n  \"topologies\": [\n";
+  os << "{\n  \"overall_speedup_median\": " << overall;
+  if (const auto rss = nue::peak_rss_mb()) {
+    os << ",\n  \"peak_rss_mb\": " << *rss;
+  }
+  os << ",\n  \"topologies\": [\n";
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const auto& r = recs[i];
     os << "    {\"torus\": \"" << r.torus << "\", \"events\": " << r.events

@@ -25,6 +25,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "nue/nue_routing.hpp"
@@ -109,17 +110,20 @@ struct ScaleRecord {
   double wall_ms = 0.0;
   bool valid = false;
   // VmHWM right after the run (monotone over the sweep, so the per-record
-  // value shows which fabric first raised the footprint; 0 = unavailable).
-  double peak_rss_mb = 0.0;
+  // value shows which fabric first raised the footprint; nullopt =
+  // unavailable, and the JSON key is omitted rather than written as 0).
+  std::optional<double> peak_rss_mb;
   std::vector<nue::bench::PhaseTiming> phases;
 };
 
 void write_json(const std::string& path,
                 const std::vector<ScaleRecord>& recs) {
   std::ofstream os(path);
-  os << "{\n  \"schema_version\": 1,\n  \"tool\": \"bench_scale\",\n"
-     << "  \"peak_rss_mb\": " << nue::peak_rss_mb() << ",\n"
-     << "  \"records\": [\n";
+  os << "{\n  \"schema_version\": 1,\n  \"tool\": \"bench_scale\",\n";
+  if (const auto rss = nue::peak_rss_mb()) {
+    os << "  \"peak_rss_mb\": " << *rss << ",\n";
+  }
+  os << "  \"records\": [\n";
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const auto& r = recs[i];
     os << "    {\"family\": \"" << r.family << "\", \"topology\": \""
@@ -129,8 +133,9 @@ void write_json(const std::string& path,
        << ", \"vls\": " << r.vls << ", \"threads\": " << r.threads
        << ", \"pivots\": " << r.pivots << ", \"build_ms\": " << r.build_ms
        << ", \"wall_ms\": " << r.wall_ms
-       << ", \"valid\": " << (r.valid ? "true" : "false")
-       << ", \"peak_rss_mb\": " << r.peak_rss_mb << ", \"phases\": ";
+       << ", \"valid\": " << (r.valid ? "true" : "false");
+    if (r.peak_rss_mb) os << ", \"peak_rss_mb\": " << *r.peak_rss_mb;
+    os << ", \"phases\": ";
     nue::bench::write_phases_json(os, r.phases);
     os << "}" << (i + 1 < recs.size() ? "," : "") << "\n";
   }
@@ -235,7 +240,11 @@ int main(int argc, char** argv) {
 
     char wall[32], rss[32];
     std::snprintf(wall, sizeof(wall), "%.2f", run.seconds);
-    std::snprintf(rss, sizeof(rss), "%.1f", rec.peak_rss_mb);
+    if (rec.peak_rss_mb) {
+      std::snprintf(rss, sizeof(rss), "%.1f", *rec.peak_rss_mb);
+    } else {
+      std::snprintf(rss, sizeof(rss), "n/a");
+    }
     table.row() << rec.family << rec.topology << rec.switches
                 << rec.channels << rec.dests << wall << rss
                 << (rec.valid ? "yes" : "NO");

@@ -12,10 +12,13 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
+# TSan also covers the churn regressions and the daemon's concurrent
+# query-during-storm path (epoch-snapshot reads racing repair commits).
 cmake -B build-tsan -S . -DSANITIZE=thread
 cmake --build build-tsan -j --target nue_tests
 TSAN_OPTIONS="halt_on_error=1" \
-  ./build-tsan/tests/nue_tests --gtest_filter='ParallelDeterminism.*'
+  ./build-tsan/tests/nue_tests \
+  --gtest_filter='ParallelDeterminism.*:NetworkChurn.*:ResilienceChurn.*:Daemon.*'
 
 cmake -B build-ubsan -S . -DSANITIZE=undefined
 cmake --build build-ubsan -j --target route_fuzz
@@ -59,6 +62,49 @@ python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
   --nonzero spans/by_name/nue.layer/count \
   --nonzero spans/by_name/pool.caller/count \
   --nonzero spans/by_name/validate.routing/count
+
+# Daemon smoke (docs/SERVICE.md): nue_managerd under ASan — startup with
+# two shards, a route query, a fault event through the repair ladder,
+# a post-event query, then a protocol-driven clean shutdown; the churn
+# regression tests (adjacency-pool accounting, resilience-manager reuse)
+# run under the same ASan build. Responses are schema-checked against
+# the protocol envelope, and the run report flushed at shutdown must
+# carry the service counters plus the shard's reconfig section.
+cmake --build build-asan -j --target nue_managerd nue_routectl nue_tests
+ASAN_OPTIONS="halt_on_error=1" \
+  ./build-asan/tests/nue_tests \
+  --gtest_filter='NetworkChurn.*:ResilienceChurn.*:Daemon.*'
+MANAGERD_SOCK="build-asan/managerd.sock"
+ASAN_OPTIONS="halt_on_error=1" \
+  ./build-asan/tools/nue_managerd --socket "$MANAGERD_SOCK" \
+  --load "a=torus:4x4:1@nue:2;b=random:20:50:2@dfsssp:8" \
+  --metrics-out build-asan/managerd.metrics.json &
+MANAGERD_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$MANAGERD_SOCK" ] && break
+  sleep 0.1
+done
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op status \
+  > build-asan/managerd.status.json
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op route \
+  --fabric a --src 16 --dst 31 > build-asan/managerd.route1.json
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op event \
+  --fabric a --kind link-down --id 4 > build-asan/managerd.event.json
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op route \
+  --fabric a --src 16 --dst 31 > build-asan/managerd.route2.json
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op shutdown
+wait "$MANAGERD_PID"
+for resp in status route1 event route2; do
+  python3 scripts/validate_json.py scripts/schemas/managerd.schema.json \
+    "build-asan/managerd.$resp.json"
+done
+python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
+  build-asan/managerd.metrics.json \
+  --nonzero counters/service.requests \
+  --nonzero counters/service.route_queries \
+  --nonzero counters/service.fault_events \
+  --nonzero counters/resilience.transitions \
+  --nonzero reconfig.a/transitions
 
 # Scale-bench smoke (docs/SCALING.md): tiny fabrics through the full
 # sweep machinery — sampled destinations, pivot-sampled escape roots,

@@ -15,7 +15,7 @@
 // stream cache lines instead of chasing per-node vector headers. Segments
 // grow by amortized relocation within the pool during construction and
 // the pool compacts itself (in node order, preserving each segment's
-// entry order) when relocation holes exceed the live size, so the
+// entry order) when dead space outweighs the live entries, so the
 // adjacency iteration order — and with it every deterministic tie-break
 // downstream — is exactly the order the old per-node vectors had in every
 // add/remove/restore history.
@@ -205,6 +205,72 @@ class Network {
     return chan_dst_[adj_pool_[adj_begin_[t]]];
   }
 
+  // --- adjacency-pool introspection ----------------------------------------
+
+  /// Accounting snapshot of the shared adjacency pool. Invariants (audited
+  /// by check_pool_invariants and the churn regression tests):
+  ///   used  = sum of segment capacities,
+  ///   live  = sum of segment lengths (live <= used),
+  ///   size  = used + holes (every pool slot is segment capacity or
+  ///           relocation waste),
+  ///   size <= 2 * live + kCompactSlack after any mutation (compaction
+  ///           keeps the dead space bounded under remove/restore churn).
+  struct PoolStats {
+    std::size_t size = 0;   // adj_pool_.size()
+    std::size_t used = 0;   // sum of segment capacities
+    std::size_t holes = 0;  // relocation waste pending compaction
+    std::size_t live = 0;   // alive adjacency entries (sum of lengths)
+  };
+  PoolStats pool_stats() const {
+    return {adj_pool_.size(), pool_used_, pool_holes_, pool_live_};
+  }
+
+  /// Dead space the pool tolerates (entries) before a mutation triggers
+  /// compaction; bounds the steady-state footprint of a long-running
+  /// fault/repair churn at 2x the live adjacency size plus this slack.
+  static constexpr std::size_t kCompactSlack = 1024;
+
+  /// O(nodes log nodes) structural audit of the adjacency pool: segment
+  /// bounds, pairwise disjointness, the accounting identities above, and
+  /// the compaction bound. Throws via NUE_CHECK on violation; the churn
+  /// tests call it after every operation batch.
+  void check_pool_invariants() const {
+    std::size_t used = 0, live = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> segments;
+    for (NodeId v = 0; v < adj_begin_.size(); ++v) {
+      NUE_CHECK_MSG(adj_len_[v] <= adj_cap_[v],
+                    "segment length exceeds capacity at node " << v);
+      NUE_CHECK_MSG(adj_begin_[v] + static_cast<std::size_t>(adj_cap_[v]) <=
+                        adj_pool_.size(),
+                    "segment of node " << v << " outside the pool");
+      used += adj_cap_[v];
+      live += adj_len_[v];
+      if (adj_cap_[v] > 0) segments.emplace_back(adj_begin_[v], adj_cap_[v]);
+    }
+    std::sort(segments.begin(), segments.end());
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+      NUE_CHECK_MSG(segments[i].first + static_cast<std::size_t>(
+                                            segments[i].second) <=
+                        segments[i + 1].first,
+                    "overlapping adjacency segments at offset "
+                        << segments[i + 1].first);
+    }
+    NUE_CHECK_MSG(used == pool_used_, "pool_used_ drift: counted "
+                                          << used << ", recorded "
+                                          << pool_used_);
+    NUE_CHECK_MSG(live == pool_live_, "pool_live_ drift: counted "
+                                          << live << ", recorded "
+                                          << pool_live_);
+    NUE_CHECK_MSG(pool_used_ + pool_holes_ == adj_pool_.size(),
+                  "pool accounting leak: used " << pool_used_ << " + holes "
+                                                << pool_holes_ << " != size "
+                                                << adj_pool_.size());
+    NUE_CHECK_MSG(adj_pool_.size() <= 2 * pool_live_ + kCompactSlack,
+                  "missed compaction: pool size " << adj_pool_.size()
+                                                  << " for " << pool_live_
+                                                  << " live entries");
+  }
+
  private:
   NodeId add_node(bool terminal) {
     const auto v = static_cast<NodeId>(is_terminal_.size());
@@ -219,8 +285,8 @@ class Network {
   }
 
   /// Append to v's adjacency segment, relocating it to the pool's end
-  /// (doubled capacity) when full. Amortized O(1); the hole left behind
-  /// is reclaimed by compact() once holes outgrow the live entries.
+  /// (doubled capacity) when full. Amortized O(1); dead space is
+  /// reclaimed by compact() once it outweighs the live entries.
   void push_adj(NodeId v, ChannelId c) {
     if (adj_len_[v] == adj_cap_[v]) {
       const std::uint32_t new_cap =
@@ -238,9 +304,14 @@ class Network {
       pool_used_ += new_cap - adj_cap_[v];
       adj_begin_[v] = static_cast<std::uint32_t>(nb);
       adj_cap_[v] = new_cap;
-      if (pool_holes_ > pool_used_ + 1024) compact();
     }
     adj_pool_[adj_begin_[v] + adj_len_[v]++] = c;
+    ++pool_live_;
+    // Compaction must come after the append lands: compact() shrinks every
+    // segment's capacity to its length, so running it with the new slot
+    // reserved but unwritten would hand that slot to the next segment and
+    // the append would corrupt a neighbour (or write past the pool).
+    maybe_compact();
   }
 
   /// Swap-remove from v's segment — the same order discipline the old
@@ -251,10 +322,23 @@ class Network {
       if (adj_pool_[b + i] == c) {
         adj_pool_[b + i] = adj_pool_[b + adj_len_[v] - 1];
         --adj_len_[v];
+        --pool_live_;
+        maybe_compact();
         return;
       }
     }
     NUE_CHECK_MSG(false, "channel " << c << " not in out list of " << v);
+  }
+
+  /// Compact when the dead space — relocation holes plus the capacity
+  /// slack of shrunken segments — outweighs the live entries. Measured
+  /// against `pool_live_`, not capacity: the previous trigger compared
+  /// holes against `pool_used_`, which every relocation grows in lockstep
+  /// with the hole it leaves, so holes could never outgrow it, compaction
+  /// was unreachable, and a remove/restore churn (the fabric-manager
+  /// daemon's steady state) grew the pool without bound.
+  void maybe_compact() {
+    if (adj_pool_.size() > 2 * pool_live_ + kCompactSlack) compact();
   }
 
   /// Repack every segment in node-id order (cache-optimal sweep layout),
@@ -263,7 +347,7 @@ class Network {
   /// doubling that got us here.
   void compact() {
     std::vector<ChannelId> fresh;
-    fresh.reserve(pool_used_ - (pool_used_ ? 0 : 0));
+    fresh.reserve(pool_live_);
     std::size_t at = 0;
     for (NodeId v = 0; v < adj_begin_.size(); ++v) {
       fresh.insert(fresh.end(), adj_pool_.begin() + adj_begin_[v],
@@ -296,6 +380,7 @@ class Network {
   std::vector<std::uint32_t> adj_cap_;
   std::size_t pool_used_ = 0;   // sum of segment capacities
   std::size_t pool_holes_ = 0;  // relocation waste pending compaction
+  std::size_t pool_live_ = 0;   // sum of segment lengths
   DynamicBitset is_terminal_;
   DynamicBitset alive_node_;
   DynamicBitset alive_channel_;

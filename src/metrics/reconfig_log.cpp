@@ -21,17 +21,15 @@ void write_json_string(std::ostream& os, const std::string& s) {
 
 ReconfigLog::Summary ReconfigLog::summarize() const {
   Summary s;
+  s.transitions = total_transitions_;
+  s.noops = total_noops_;
+  s.hitless = total_hitless_;
+  s.drained = total_drained_;
+  s.evicted = evicted_records();
+  s.max_repair_ms = max_repair_ms_;
   std::vector<double> repair;
   for (const TransitionRecord& r : records_) {
-    if (r.committed_step == "noop") {
-      ++s.noops;
-      continue;
-    }
-    ++s.transitions;
-    if (r.hitless) ++s.hitless;
-    if (r.drained) ++s.drained;
-    repair.push_back(r.repair_ms);
-    s.max_repair_ms = std::max(s.max_repair_ms, r.repair_ms);
+    if (r.committed_step != "noop") repair.push_back(r.repair_ms);
   }
   if (!repair.empty()) {
     s.median_repair_ms = percentile(repair, 50.0);
@@ -45,6 +43,7 @@ void ReconfigLog::write_json(std::ostream& os) const {
   os << "{\n  \"transitions\": " << s.transitions
      << ",\n  \"noops\": " << s.noops << ",\n  \"hitless\": " << s.hitless
      << ",\n  \"drained\": " << s.drained
+     << ",\n  \"evicted\": " << s.evicted
      << ",\n  \"median_repair_ms\": " << s.median_repair_ms
      << ",\n  \"p99_repair_ms\": " << s.p99_repair_ms
      << ",\n  \"max_repair_ms\": " << s.max_repair_ms

@@ -34,24 +34,81 @@ struct TransitionRecord {
 
 class ReconfigLog {
  public:
-  void add(TransitionRecord r) { records_.push_back(std::move(r)); }
+  void add(TransitionRecord r) {
+    absorb_into_totals(r);
+    records_.push_back(std::move(r));
+    trim();
+  }
+
+  /// The retained record window, oldest first. With a retention cap this
+  /// is a suffix of the full trail (see set_max_records).
   const std::vector<TransitionRecord>& records() const { return records_; }
 
+  /// Cap the retained record window at `n` (0 = unbounded, the one-shot
+  /// CLI default — replays want the full trail). The resident daemon sets
+  /// a cap so a shard's log cannot grow monotonically over an unbounded
+  /// event stream: once the window overflows, the oldest records are
+  /// dropped in amortized-O(1) batches. Every Summary count and the
+  /// repair-time maximum stay exact across eviction; median/p99 are
+  /// computed over the retained window only.
+  void set_max_records(std::size_t n) {
+    max_records_ = n;
+    trim();
+  }
+  std::size_t max_records() const { return max_records_; }
+
+  /// Records ever added (retained + evicted).
+  std::size_t total_records() const { return total_records_; }
+  std::size_t evicted_records() const { return total_records_ - records_.size(); }
+
   struct Summary {
-    std::size_t transitions = 0;  // records excluding noops
-    std::size_t noops = 0;
-    std::size_t hitless = 0;
-    std::size_t drained = 0;
-    double median_repair_ms = 0.0;
-    double p99_repair_ms = 0.0;
-    double max_repair_ms = 0.0;
+    std::size_t transitions = 0;  // records excluding noops (exact)
+    std::size_t noops = 0;        // exact
+    std::size_t hitless = 0;      // exact
+    std::size_t drained = 0;      // exact
+    std::size_t evicted = 0;      // records dropped from the window
+    double median_repair_ms = 0.0;  // over the retained window
+    double p99_repair_ms = 0.0;     // over the retained window
+    double max_repair_ms = 0.0;     // exact across eviction
   };
   Summary summarize() const;
 
   void write_json(std::ostream& os) const;
 
  private:
+  void absorb_into_totals(const TransitionRecord& r) {
+    ++total_records_;
+    if (r.committed_step == "noop") {
+      ++total_noops_;
+    } else {
+      ++total_transitions_;
+      if (r.hitless) ++total_hitless_;
+      if (r.drained) ++total_drained_;
+      if (r.repair_ms > max_repair_ms_) max_repair_ms_ = r.repair_ms;
+    }
+  }
+
+  /// Drop the oldest records down to half the cap once the window
+  /// overflows — halving batches make the vector erase amortized O(1)
+  /// per add. The totals above were folded in at add() time, so nothing
+  /// is lost but the per-record detail.
+  void trim() {
+    if (max_records_ == 0 || records_.size() <= max_records_) return;
+    const std::size_t keep = max_records_ - max_records_ / 2;
+    records_.erase(records_.begin(),
+                   records_.end() - static_cast<std::ptrdiff_t>(keep));
+  }
+
   std::vector<TransitionRecord> records_;
+  std::size_t max_records_ = 0;
+  // Running aggregates over every record ever added, so summarize() stays
+  // exact after eviction.
+  std::size_t total_records_ = 0;
+  std::size_t total_transitions_ = 0;
+  std::size_t total_noops_ = 0;
+  std::size_t total_hitless_ = 0;
+  std::size_t total_drained_ = 0;
+  double max_repair_ms_ = 0.0;
 };
 
 }  // namespace nue

@@ -64,6 +64,7 @@ ResilienceManager::ResilienceManager(Network net, RepairPolicy policy)
   NUE_CHECK_MSG(policy_.vls >= 1, "resilience: need at least one VL");
   NUE_CHECK_MSG(policy_.max_vls >= policy_.vls,
                 "resilience: max_vls below the base VL budget");
+  log_.set_max_records(policy_.log_max_records);
   TELEM_SPAN("resilience.initial");
   Timer timer;
   TransitionRecord rec;

@@ -66,8 +66,25 @@ struct RepairPolicy {
   std::uint64_t seed = 1;     // forwarded to Nue
   /// Worker threads for the routing engines (0 = process default).
   std::uint32_t num_threads = 1;
+  /// Retained ReconfigLog window (0 = unbounded, the one-shot CLI
+  /// default). A resident manager processing an unbounded event stream
+  /// must cap this or the verdict trail grows monotonically; summary
+  /// counts stay exact across eviction (metrics/reconfig_log.hpp).
+  std::size_t log_max_records = 0;
 };
 
+/// Thread-safety contract (the fabric-manager daemon's shard model,
+/// docs/SERVICE.md): table() and epoch() are safe to call concurrently
+/// with apply() and with each other — readers keep routing on their
+/// snapshot while apply() swaps in the successor epoch. apply()/replay()
+/// mutate the fabric and must be externally serialized (one event
+/// applier per manager, e.g. the shard's event mutex); net() and log()
+/// are only stable between apply() calls and follow the same rule.
+/// A single manager instance is built to survive unbounded event
+/// streams: every per-event structure is either reset per apply() or
+/// explicitly bounded (escape_roots_ by the VL budget, the verdict log
+/// by RepairPolicy::log_max_records, the fabric's adjacency pool by its
+/// compaction bound) — test_resilience_churn.cpp holds it to that.
 class ResilienceManager {
  public:
   /// Takes ownership of the fabric and routes the initial table through

@@ -1,0 +1,57 @@
+// Unix-domain socket front end for the fabric-manager service
+// (docs/SERVICE.md). Wire protocol: line-delimited JSON — one request
+// object per '\n'-terminated line, one response line back, in order,
+// per connection. Connections are independent; requests on different
+// connections run concurrently (each request is dispatched onto the
+// shared worker pool, util/thread_pool.hpp), which is what lets route
+// queries against one shard proceed while another shard climbs the
+// repair ladder.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace nue::service {
+
+class SocketServer {
+ public:
+  /// Binds and listens on `path` (an existing socket file is replaced —
+  /// managerd owns its socket path). Throws std::runtime_error on bind
+  /// failures.
+  SocketServer(std::string path, ManagerService& service);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Serve until the service acknowledges a `shutdown` request (or
+  /// stop() is called from another thread). Graceful: stops accepting,
+  /// then drains every open connection before returning, so a caller
+  /// may flush telemetry exporters immediately after.
+  void serve();
+
+  /// Ask serve() to wind down (idempotent, callable from any thread or
+  /// signal-safe contexts via the self-pipe).
+  void stop();
+
+ private:
+  void handle_connection(int fd);
+
+  std::string path_;
+  ManagerService& service_;
+  int listen_fd_ = -1;
+  int wake_read_ = -1;   // self-pipe: stop() pokes the poll loop
+  int wake_write_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::mutex threads_mu_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace nue::service

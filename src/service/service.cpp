@@ -1,0 +1,343 @@
+#include "service/service.hpp"
+
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "routing/dump.hpp"
+#include "telemetry/telemetry.hpp"
+#include "topology/generate.hpp"
+#include "util/error.hpp"
+
+namespace nue::service {
+
+namespace {
+
+/// Success/failure envelope shared by every op, so managerd.schema.json
+/// can describe any response without oneOf (scripts/validate_json.py has
+/// no union support): "ok" and "op" always, "error" only on failure,
+/// op-specific members only on success.
+Json ok_response(const std::string& op) {
+  Json r = Json::object();
+  r.set("ok", true);
+  r.set("op", op);
+  return r;
+}
+
+Json error_response(const std::string& op, const std::string& what) {
+  Json r = Json::object();
+  r.set("ok", false);
+  r.set("op", op);
+  r.set("error", what);
+  return r;
+}
+
+}  // namespace
+
+FaultEvent parse_fault_event(const Json& req) {
+  const std::string kind = req.str("kind");
+  FaultEvent e;
+  if (kind == "link-down") {
+    e.kind = FaultEventKind::kLinkDown;
+  } else if (kind == "switch-down") {
+    e.kind = FaultEventKind::kSwitchDown;
+  } else if (kind == "link-restore") {
+    e.kind = FaultEventKind::kLinkRestore;
+  } else if (kind == "switch-restore") {
+    e.kind = FaultEventKind::kSwitchRestore;
+  } else {
+    NUE_CHECK_MSG(false, "unknown event kind '" << kind
+                         << "' (want link-down|switch-down|link-restore|"
+                            "switch-restore)");
+  }
+  NUE_CHECK_MSG(req.has("id"), "event needs an \"id\" member");
+  e.id = static_cast<std::uint32_t>(req.num("id"));
+  return e;
+}
+
+// --- FabricShard ------------------------------------------------------------
+
+FabricShard::FabricShard(std::string name, std::string generate,
+                         resilience::RepairPolicy policy)
+    : name_(std::move(name)),
+      generate_(std::move(generate)),
+      mgr_(generate_topology(generate_).net, std::move(policy)) {}
+
+Json FabricShard::route(std::uint32_t src, std::uint32_t dst) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::counter("service.route_queries").add();
+  // Snapshot first: everything below reads this epoch's table plus the
+  // fabric's immutable channel-endpoint arrays, so a concurrent event on
+  // this shard cannot tear the walk (see the header's concurrency notes).
+  const std::shared_ptr<const RoutingResult> rr = mgr_.table();
+  const std::uint64_t epoch = mgr_.epoch();
+  const Network& net = mgr_.net();
+  try {
+    NUE_CHECK_MSG(src < net.num_nodes() && dst < net.num_nodes(),
+                  "node id out of range (fabric has " << net.num_nodes()
+                                                      << " nodes)");
+    const std::vector<ChannelId> path = rr->trace(net, src, dst);
+    const std::uint32_t di = rr->dest_index(dst);
+    Json hops = Json::array();
+    Json vls = Json::array();
+    Json nodes = Json::array();
+    nodes.push_back(src);
+    for (const ChannelId c : path) {
+      hops.push_back(c);
+      vls.push_back(static_cast<std::uint32_t>(rr->vl(net.src(c), src, di)));
+      nodes.push_back(net.dst(c));
+    }
+    Json r = ok_response("route");
+    r.set("fabric", name_);
+    r.set("epoch", epoch);
+    r.set("src", src);
+    r.set("dst", dst);
+    r.set("hops", path.size());
+    r.set("channels", std::move(hops));
+    r.set("nodes", std::move(nodes));
+    r.set("vls", std::move(vls));
+    return r;
+  } catch (const std::exception& e) {
+    route_errors_.fetch_add(1, std::memory_order_relaxed);
+    Json r = error_response("route", e.what());
+    r.set("fabric", name_);
+    r.set("epoch", epoch);
+    return r;
+  }
+}
+
+Json FabricShard::apply_event(const FaultEvent& e) {
+  std::lock_guard<std::mutex> lock(event_mu_);
+  events_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::counter("service.fault_events").add();
+  const TransitionRecord rec = mgr_.apply(e);
+  Json r = ok_response("event");
+  r.set("fabric", name_);
+  r.set("event", rec.event);
+  r.set("epoch", rec.epoch);
+  r.set("step", rec.committed_step);
+  r.set("hitless", rec.hitless);
+  r.set("drained", rec.drained);
+  r.set("affected_dests", rec.affected_dests);
+  r.set("repair_ms", Json(rec.repair_ms));
+  return r;
+}
+
+Json FabricShard::storm(std::size_t count, std::uint64_t seed,
+                        double restore_fraction) {
+  std::lock_guard<std::mutex> lock(event_mu_);
+  const FaultTrace trace =
+      draw_fault_trace(mgr_.net(), generate_, seed, count, restore_fraction);
+  std::size_t transitions = 0, noops = 0, hitless = 0, drained = 0;
+  for (const FaultEvent& e : trace.events) {
+    events_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("service.fault_events").add();
+    const TransitionRecord rec = mgr_.apply(e);
+    if (rec.committed_step == "noop") {
+      ++noops;
+    } else {
+      ++transitions;
+      if (rec.hitless) ++hitless;
+      if (rec.drained) ++drained;
+    }
+  }
+  Json r = ok_response("storm");
+  r.set("fabric", name_);
+  r.set("events", trace.events.size());
+  r.set("transitions", transitions);
+  r.set("noops", noops);
+  r.set("hitless", hitless);
+  r.set("drained", drained);
+  r.set("epoch", mgr_.epoch());
+  return r;
+}
+
+Json FabricShard::tables() {
+  // Dumps read the fabric's liveness bitsets next to the table, so they
+  // serialize with events — unlike route(), which only needs the
+  // snapshot (and the dump must be of exactly one epoch anyway).
+  std::lock_guard<std::mutex> lock(event_mu_);
+  std::ostringstream os;
+  write_forwarding_tables(os, mgr_.net(), *mgr_.table());
+  Json r = ok_response("tables");
+  r.set("fabric", name_);
+  r.set("epoch", mgr_.epoch());
+  r.set("dump", os.str());
+  return r;
+}
+
+Json FabricShard::status() {
+  std::lock_guard<std::mutex> lock(event_mu_);
+  const auto sum = mgr_.log().summarize();
+  Json r = Json::object();
+  r.set("fabric", name_);
+  r.set("generate", generate_);
+  r.set("engine", resilience::engine_name(mgr_.policy().engine));
+  r.set("epoch", mgr_.epoch());
+  r.set("switches", mgr_.net().num_alive_switches());
+  r.set("terminals", mgr_.net().num_alive_terminals());
+  r.set("queries", queries_.load(std::memory_order_relaxed));
+  r.set("events", events_.load(std::memory_order_relaxed));
+  r.set("route_errors", route_errors_.load(std::memory_order_relaxed));
+  r.set("transitions", sum.transitions);
+  r.set("hitless", sum.hitless);
+  r.set("drained", sum.drained);
+  r.set("noops", sum.noops);
+  r.set("log_records", mgr_.log().records().size());
+  r.set("log_evicted", mgr_.log().evicted_records());
+  return r;
+}
+
+std::string FabricShard::reconfig_log_json() {
+  std::lock_guard<std::mutex> lock(event_mu_);
+  std::ostringstream os;
+  mgr_.log().write_json(os);
+  return os.str();
+}
+
+// --- ManagerService ---------------------------------------------------------
+
+void ManagerService::load(const std::string& name, const std::string& generate,
+                          resilience::RepairPolicy policy) {
+  NUE_CHECK_MSG(!name.empty(), "fabric name must be non-empty");
+  // Build outside the map lock: loads are the slow path (full initial
+  // route) and must not stall queries against existing shards.
+  auto shard =
+      std::make_shared<FabricShard>(name, generate, std::move(policy));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : shards_) {
+    NUE_CHECK_MSG(s->name() != name, "fabric '" << name << "' already loaded");
+  }
+  shards_.push_back(std::move(shard));
+}
+
+std::shared_ptr<FabricShard> ManagerService::find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : shards_) {
+    if (s->name() == name) return s;
+  }
+  return nullptr;
+}
+
+Json ManagerService::op_status() {
+  std::vector<std::shared_ptr<FabricShard>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = shards_;
+  }
+  Json fabrics = Json::array();
+  for (const auto& s : snapshot) fabrics.push_back(s->status());
+  Json r = ok_response("status");
+  r.set("fabrics", std::move(fabrics));
+  return r;
+}
+
+Json ManagerService::op_load(const Json& req) {
+  const std::string name = req.str("fabric");
+  const std::string generate = req.str("generate");
+  NUE_CHECK_MSG(!generate.empty(), "load needs a \"generate\" spec");
+  resilience::RepairPolicy policy;
+  const std::string engine = req.str("engine", "nue");
+  const auto parsed = resilience::engine_from_name(engine);
+  NUE_CHECK_MSG(parsed.has_value(),
+                "unknown repair engine '" << engine << "'");
+  policy.engine = *parsed;
+  policy.vls = static_cast<std::uint32_t>(req.num("vls", 2));
+  policy.max_vls = static_cast<std::uint32_t>(
+      req.num("max_vls", std::max<double>(policy.vls, 8)));
+  policy.seed = static_cast<std::uint64_t>(req.num("seed", 1));
+  policy.num_threads = static_cast<std::uint32_t>(req.num("threads", 1));
+  policy.log_max_records =
+      static_cast<std::size_t>(req.num("log_max_records", 512));
+  load(name, generate, policy);
+  Json r = ok_response("load");
+  r.set("fabric", name);
+  r.set("generate", generate);
+  return r;
+}
+
+Json ManagerService::op_unload(const Json& req) {
+  const std::string name = req.str("fabric");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = shards_.begin(); it != shards_.end(); ++it) {
+    if ((*it)->name() == name) {
+      shards_.erase(it);  // in-flight ops keep their shared_ptr alive
+      Json r = ok_response("unload");
+      r.set("fabric", name);
+      return r;
+    }
+  }
+  NUE_CHECK_MSG(false, "fabric '" << name << "' is not loaded");
+  return Json();  // unreachable: the check above throws
+}
+
+Json ManagerService::handle(const Json& req) {
+  telemetry::counter("service.requests").add();
+  const std::string op = req.is_object() ? req.str("op") : "";
+  Json resp;
+  try {
+    NUE_CHECK_MSG(req.is_object(), "request must be a JSON object");
+    NUE_CHECK_MSG(!op.empty(), "request needs an \"op\" member");
+    if (op == "status") {
+      resp = op_status();
+    } else if (op == "load") {
+      resp = op_load(req);
+    } else if (op == "unload") {
+      resp = op_unload(req);
+    } else if (op == "shutdown") {
+      shutdown_.store(true, std::memory_order_release);
+      resp = ok_response("shutdown");
+    } else if (op == "route" || op == "tables" || op == "event" ||
+               op == "storm" || op == "reconfig-log") {
+      const std::string name = req.str("fabric");
+      auto shard = find(name);
+      NUE_CHECK_MSG(shard != nullptr,
+                    "fabric '" << name << "' is not loaded");
+      if (op == "route") {
+        NUE_CHECK_MSG(req.has("src") && req.has("dst"),
+                      "route needs \"src\" and \"dst\"");
+        resp = shard->route(static_cast<std::uint32_t>(req.num("src")),
+                            static_cast<std::uint32_t>(req.num("dst")));
+      } else if (op == "tables") {
+        resp = shard->tables();
+      } else if (op == "event") {
+        resp = shard->apply_event(parse_fault_event(req));
+      } else if (op == "storm") {
+        resp = shard->storm(static_cast<std::size_t>(req.num("events", 16)),
+                            static_cast<std::uint64_t>(req.num("seed", 1)),
+                            req.num("restore_fraction", 0.3));
+      } else {
+        Json r = ok_response("reconfig-log");
+        r.set("fabric", name);
+        r.set("log", shard->reconfig_log_json());
+        resp = r;
+      }
+    } else {
+      NUE_CHECK_MSG(false, "unknown op '" << op << "'");
+    }
+  } catch (const std::exception& e) {
+    telemetry::counter("service.request_errors").add();
+    resp = error_response(op, e.what());
+  }
+  // Correlation id for pipelining clients ("req_id", echoed verbatim —
+  // plain "id" is taken by the event op's element id).
+  if (const Json* id = req.find("req_id")) resp.set("req_id", *id);
+  return resp;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ManagerService::report_sections() {
+  std::vector<std::shared_ptr<FabricShard>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = shards_;
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(snapshot.size());
+  for (const auto& s : snapshot) {
+    out.emplace_back("reconfig." + s->name(), s->reconfig_log_json());
+  }
+  return out;
+}
+
+}  // namespace nue::service

@@ -1,0 +1,110 @@
+// nue_managerd's core: fabric shards and the request dispatcher
+// (docs/SERVICE.md). A shard is one fabric under management — its live
+// resilience manager (src/resilience), the epoch-swapped routing-table
+// pair inside it, and per-shard telemetry counters. The service maps
+// fabric names to shards and turns protocol requests (service/json.hpp
+// values, already parsed off the wire by service/server.*) into
+// responses.
+//
+// Concurrency model (the whole point of the shard split):
+//
+//   * route queries never take the shard's event lock. They grab the
+//     manager's table() snapshot (shared_ptr double buffer) and walk the
+//     forwarding table via RoutingResult::trace, which reads only the
+//     table's own arrays plus the fabric's immutable channel-endpoint
+//     arrays — safe concurrently with fault events mutating liveness and
+//     adjacency on the same shard. Every response therefore comes from a
+//     fully validated, already-committed epoch, never a half-repaired
+//     table.
+//   * fault/repair events, table dumps, and log reads serialize on the
+//     shard's event mutex (ResilienceManager::apply's contract).
+//   * shard map changes (load/unload) take the service's map mutex;
+//     requests against different shards proceed independently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "resilience/resilience.hpp"
+#include "service/json.hpp"
+#include "topology/faults.hpp"
+
+namespace nue::service {
+
+/// One managed fabric: resilience manager + request counters.
+class FabricShard {
+ public:
+  /// Builds the fabric from the generator spec and routes the initial
+  /// table (resilience::ResilienceManager's constructor — the heavy
+  /// part of `load`). Throws on a bad spec or unroutable fabric.
+  FabricShard(std::string name, std::string generate,
+              resilience::RepairPolicy policy);
+
+  const std::string& name() const { return name_; }
+  const std::string& generate() const { return generate_; }
+
+  /// Route src -> dst on the current epoch; lock-free w.r.t. events.
+  Json route(std::uint32_t src, std::uint32_t dst);
+  /// Apply one fault/repair event through the repair ladder.
+  Json apply_event(const FaultEvent& e);
+  /// Draw `count` random events server-side and apply them all.
+  Json storm(std::size_t count, std::uint64_t seed, double restore_fraction);
+  /// Deterministic forwarding-table dump (routing/dump.hpp) + its epoch.
+  Json tables();
+  Json status();
+  /// The shard's ReconfigLog as raw JSON (metrics/reconfig_log.hpp).
+  std::string reconfig_log_json();
+
+ private:
+  std::string name_;
+  std::string generate_;
+  resilience::ResilienceManager mgr_;
+  std::mutex event_mu_;  // serializes apply/dump/log on this shard
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> route_errors_{0};
+};
+
+class ManagerService {
+ public:
+  /// Load a fabric as a new shard (also the CLI --load path). Throws on
+  /// duplicate names, bad specs, or unroutable fabrics.
+  void load(const std::string& name, const std::string& generate,
+            resilience::RepairPolicy policy);
+
+  /// Dispatch one request. Never throws: every failure becomes an
+  /// {"ok": false, "error": ...} response. A "req_id" member is echoed
+  /// verbatim so clients can pipeline.
+  Json handle(const Json& req);
+
+  /// Set once a `shutdown` request has been acknowledged; the server's
+  /// accept loop polls this to wind down.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Per-shard reconfiguration logs as raw-JSON extra sections for the
+  /// telemetry run report flushed at shutdown ("reconfig.<fabric>").
+  std::vector<std::pair<std::string, std::string>> report_sections();
+
+ private:
+  std::shared_ptr<FabricShard> find(const std::string& name);
+  Json op_status();
+  Json op_load(const Json& req);
+  Json op_unload(const Json& req);
+
+  std::mutex mu_;  // guards shards_ (the map, not the shards)
+  std::vector<std::shared_ptr<FabricShard>> shards_;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// Parse the wire form of an event ({"kind": "link-down", "id": 42}).
+/// Throws std::logic_error on an unknown kind.
+FaultEvent parse_fault_event(const Json& req);
+
+}  // namespace nue::service

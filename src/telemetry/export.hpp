@@ -145,7 +145,12 @@ inline void write_run_report(
     }
     if (!first) os << "\n    ";
   }
-  os << "}\n  },\n  \"peak_rss_mb\": " << peak_rss_mb();
+  os << "}\n  }";
+  // Omitted (not 0) when the kernel does not expose VmHWM — the schema
+  // keeps the field optional so consumers read absence as "unavailable".
+  if (const auto rss = peak_rss_mb()) {
+    os << ",\n  \"peak_rss_mb\": " << *rss;
+  }
   for (const auto& [key, raw_json] : extra) {
     os << ",\n  ";
     detail::write_json_string(os, key);

@@ -1,0 +1,99 @@
+#include "topology/generate.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "topology/misc_topologies.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, sep)) out.push_back(item);
+  return out;
+}
+
+std::uint32_t to_u32(const std::string& s, const char* what) {
+  NUE_CHECK_MSG(!s.empty(), "missing " << what);
+  return static_cast<std::uint32_t>(std::strtoul(s.c_str(), nullptr, 10));
+}
+
+}  // namespace
+
+GeneratedTopology generate_topology(const std::string& spec) {
+  GeneratedTopology g;
+  const auto parts = split(spec, ':');
+  NUE_CHECK_MSG(!parts.empty(), "empty generator spec");
+  const std::string& kind = parts[0];
+  auto arg = [&](std::size_t i, std::uint32_t def) {
+    return parts.size() > i ? to_u32(parts[i], "generate argument") : def;
+  };
+  if (kind == "torus") {
+    NUE_CHECK_MSG(parts.size() >= 2, "torus needs dims, e.g. torus:4x4x3");
+    TorusSpec t;
+    for (const auto& d : split(parts[1], 'x')) {
+      t.dims.push_back(to_u32(d, "torus dimension"));
+    }
+    t.terminals_per_switch = arg(2, 1);
+    t.redundancy = arg(3, 1);
+    g.net = make_torus(t);
+    g.torus = t;
+  } else if (kind == "random") {
+    RandomSpec r;
+    r.switches = arg(1, 125);
+    r.links = arg(2, 1000);
+    r.terminals_per_switch = arg(3, 8);
+    Rng rng(arg(4, 1));
+    g.net = make_random(r, rng);
+  } else if (kind == "fattree") {
+    FatTreeSpec f;
+    f.k = arg(1, 4);
+    f.n = arg(2, 3);
+    f.terminals_per_leaf = arg(3, f.k);
+    g.net = make_kary_ntree(f);
+    g.fattree = f;
+  } else if (kind == "kautz") {
+    KautzSpec k;
+    k.d = arg(1, 5);
+    k.k = arg(2, 3);
+    k.terminals_per_switch = arg(3, 7);
+    k.redundancy = arg(4, 2);
+    g.net = make_kautz(k);
+  } else if (kind == "dragonfly") {
+    DragonflySpec d;
+    d.a = arg(1, 12);
+    d.p = arg(2, 6);
+    d.h = arg(3, 6);
+    d.g = arg(4, 15);
+    g.net = make_dragonfly(d);
+  } else if (kind == "hyperx") {
+    HyperXSpec h;
+    h.shape.clear();
+    NUE_CHECK_MSG(parts.size() >= 2, "hyperx needs a shape, e.g. hyperx:4x4");
+    for (const auto& d : split(parts[1], 'x')) {
+      h.shape.push_back(to_u32(d, "hyperx dimension"));
+    }
+    h.terminals_per_switch = arg(2, 2);
+    g.net = make_hyperx(h);
+  } else if (kind == "hypercube") {
+    g.net = make_hypercube(arg(1, 4), arg(2, 1));
+  } else if (kind == "cascade") {
+    CascadeSpec c;
+    g.net = make_cascade(c);
+  } else if (kind == "tsubame") {
+    ClosSpec c;
+    g.net = make_tsubame25_like(c);
+  } else {
+    NUE_CHECK_MSG(false, "unknown topology kind '" << kind << "'");
+  }
+  return g;
+}
+
+}  // namespace nue

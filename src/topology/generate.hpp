@@ -1,0 +1,46 @@
+// Colon-separated topology generator specs ("torus:4x4x3:4",
+// "random:125:1000:8", "fattree:4:3", ...) resolved into a built fabric.
+// This is the one grammar every front end shares: nue_route's --generate
+// flag, fault traces (FaultTrace::generate re-instantiates the fabric a
+// trace was drawn on), and the fabric-manager daemon's `load` op
+// (docs/SERVICE.md) all parse their specs here, so a spec recorded by
+// one tool always means the same fabric to the others.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/network.hpp"
+#include "topology/torus.hpp"
+#include "topology/trees.hpp"
+
+namespace nue {
+
+/// A generated fabric plus the geometry the topology-aware engines need
+/// (torus-qos wants the ring structure, fat-tree d-mod-k the level
+/// layout); empty for the geometry-free generators.
+struct GeneratedTopology {
+  Network net;
+  std::optional<TorusSpec> torus;
+  std::optional<FatTreeSpec> fattree;
+};
+
+/// Build the fabric a generator spec describes. Grammar (arguments after
+/// the kind are optional and default sensibly):
+///
+///   torus:AxBx...[:terminals[:redundancy]]
+///   random:switches:links:terminals_per_switch[:seed]
+///   fattree:k[:n[:terminals_per_leaf]]
+///   kautz:d:k[:terminals[:redundancy]]
+///   dragonfly:a:p:h:g
+///   hyperx:AxB...[:terminals]
+///   hypercube:dim[:terminals]
+///   cascade | tsubame
+///
+/// Throws std::logic_error (NUE_CHECK) on an unknown kind or malformed
+/// arguments. Deterministic: the same spec always yields the same
+/// fabric, which is what lets the daemon's tables be diffed against a
+/// one-shot nue_route run.
+GeneratedTopology generate_topology(const std::string& spec);
+
+}  // namespace nue

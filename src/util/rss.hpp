@@ -3,35 +3,47 @@
 // which is what "did the million-switch sweep fit in RAM" actually asks.
 #pragma once
 
-#include <cstdio>
-#include <cstring>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <sstream>
+#include <string>
 
 namespace nue {
+
+/// Parse the VmHWM high-water mark out of a /proc/self/status-shaped
+/// stream. Returns nullopt when the field is absent (kernels or
+/// sandboxes that strip it) or malformed — a missing value must read as
+/// "unavailable", never as a garbage number that lands in a bench
+/// report. Exposed separately from peak_rss_mb() so the degraded paths
+/// are unit-testable without a fake procfs.
+inline std::optional<double> peak_rss_mb_from_status(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    long long kb = 0;
+    std::string unit;
+    if (!(fields >> kb >> unit) || kb < 0 || unit != "kB") {
+      return std::nullopt;
+    }
+    return static_cast<double>(kb) / 1024.0;
+  }
+  return std::nullopt;
+}
 
 /// Peak resident-set size of the current process in MiB, read from
 /// /proc/self/status (VmHWM — the high-water mark, not the current RSS,
 /// so a value captured after a run covers the run's largest footprint).
-/// Returns 0.0 on platforms without procfs or if the read fails; callers
-/// treat 0.0 as "unavailable".
-inline double peak_rss_mb() {
+/// Returns nullopt on platforms without procfs or when the field cannot
+/// be read; exporters omit the value rather than emitting a fake 0.
+inline std::optional<double> peak_rss_mb() {
 #if defined(__linux__)
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (!f) return 0.0;
-  char line[256];
-  double mb = 0.0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      long kb = 0;
-      if (std::sscanf(line + 6, "%ld", &kb) == 1) {
-        mb = static_cast<double>(kb) / 1024.0;
-      }
-      break;
-    }
-  }
-  std::fclose(f);
-  return mb;
+  std::ifstream f("/proc/self/status");
+  if (!f.is_open()) return std::nullopt;
+  return peak_rss_mb_from_status(f);
 #else
-  return 0.0;
+  return std::nullopt;
 #endif
 }
 

@@ -1,0 +1,261 @@
+// Adjacency-pool churn regression (ISSUE 7 satellite): the shared CSR
+// pool behind Network::out(v) must survive thousands of mixed
+// add/remove/restore operations — the fabric-manager daemon's steady
+// state — without accounting drift, missed compaction, or segment
+// corruption. Every batch is cross-checked against a shadow model that
+// applies the documented order discipline (append on add/restore,
+// swap-remove on erase) with plain per-node vectors.
+//
+// Two real bugs this suite was written against:
+//   * compact() used to run *between* push_adj reserving a slot and
+//     writing it; compaction shrinks capacities to lengths, so the append
+//     then wrote into the next node's segment (or past the pool's end).
+//   * the compaction trigger compared relocation holes against summed
+//     capacity, which relocation grows in lockstep with the holes — the
+//     condition could never fire, so remove/restore churn grew the pool
+//     monotonically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "test_helpers.hpp"
+#include "topology/misc_topologies.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+/// Plain per-node adjacency vectors maintained with the exact discipline
+/// network.hpp documents; the pool must match them element for element.
+class ShadowAdjacency {
+ public:
+  explicit ShadowAdjacency(const Network& net) : out_(net.num_nodes()) {
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      const auto span = net.out(v);
+      out_[v].assign(span.begin(), span.end());
+    }
+  }
+
+  void add_pair(const Network& net, ChannelId even) {
+    out_[net.src(even)].push_back(even);
+    out_[net.src(even + 1)].push_back(even + 1);
+  }
+
+  void erase_pair(const Network& net, ChannelId even) {
+    erase_one(net.src(even), even);
+    erase_one(net.src(even + 1), even + 1);
+  }
+
+  const std::vector<ChannelId>& at(NodeId v) const { return out_[v]; }
+
+  void expect_matches(const Network& net) const {
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      const auto span = net.out(v);
+      ASSERT_EQ(span.size(), out_[v].size()) << "degree drift at node " << v;
+      for (std::size_t i = 0; i < span.size(); ++i) {
+        ASSERT_EQ(span[i], out_[v][i])
+            << "adjacency entry " << i << " of node " << v << " drifted";
+      }
+    }
+  }
+
+ private:
+  void erase_one(NodeId v, ChannelId c) {
+    auto& vec = out_[v];
+    const auto it = std::find(vec.begin(), vec.end(), c);
+    ASSERT_NE(it, vec.end());
+    *it = vec.back();  // swap-remove, matching erase_adj
+    vec.pop_back();
+  }
+
+  std::vector<std::vector<ChannelId>> out_;
+};
+
+/// Kill node v the way Network::remove_node does (pop from the back of
+/// its list), mirroring each removal into the shadow.
+void shadow_remove_node(Network& net, ShadowAdjacency& shadow, NodeId v) {
+  while (!shadow.at(v).empty()) {
+    const ChannelId c = shadow.at(v).back() & ~1u;
+    shadow.erase_pair(net, c);
+  }
+  net.remove_node(v);
+}
+
+TEST(NetworkChurn, MixedOperationsKeepPoolAndOrderIntact) {
+  RandomSpec spec;
+  spec.switches = 80;
+  spec.links = 1200;
+  spec.terminals_per_switch = 2;
+  Rng topo_rng(17);
+  Network net = make_random(spec, topo_rng);
+  net.check_pool_invariants();
+  ShadowAdjacency shadow(net);
+  shadow.expect_matches(net);
+
+  Rng rng(23);
+  std::size_t compactions = 0;
+  std::size_t prev_holes = net.pool_stats().holes;
+  const auto note_compaction = [&] {
+    const auto stats = net.pool_stats();
+    if (stats.holes == 0 && prev_holes > 0) ++compactions;
+    prev_holes = stats.holes;
+  };
+
+  for (int round = 0; round < 6000; ++round) {
+    const std::uint64_t op = rng.next_u64() % 100;
+    if (op < 45) {
+      // Remove a random alive duplex link.
+      std::vector<ChannelId> alive;
+      for (ChannelId c = 0; c < net.num_channels(); c += 2) {
+        if (net.channel_alive(c)) alive.push_back(c);
+      }
+      if (alive.empty()) continue;
+      const ChannelId c = alive[rng.next_u64() % alive.size()];
+      shadow.erase_pair(net, c);
+      net.remove_link(c);
+    } else if (op < 85) {
+      // Restore a random dead pair whose endpoints are alive.
+      std::vector<ChannelId> dead;
+      for (ChannelId c = 0; c < net.num_channels(); c += 2) {
+        if (!net.channel_alive(c) && net.node_alive(net.src(c)) &&
+            net.node_alive(net.dst(c))) {
+          dead.push_back(c);
+        }
+      }
+      if (dead.empty()) continue;
+      const ChannelId c = dead[rng.next_u64() % dead.size()];
+      net.restore_link(c);
+      shadow.add_pair(net, c);
+    } else if (op < 92) {
+      // Fresh link between two distinct alive switches (the pool keeps
+      // growing segments while churn pokes holes elsewhere).
+      const auto sws = net.switches();
+      if (sws.size() < 2) continue;
+      const NodeId u = sws[rng.next_u64() % sws.size()];
+      const NodeId v = sws[rng.next_u64() % sws.size()];
+      if (u == v) continue;
+      const ChannelId c = net.add_link(u, v);
+      shadow.add_pair(net, c);
+    } else if (op < 96) {
+      // Take a whole switch down.
+      const auto sws = net.switches();
+      if (sws.size() <= 2) continue;
+      shadow_remove_node(net, shadow, sws[rng.next_u64() % sws.size()]);
+    } else {
+      // Bring a dead switch back, then revive its links that can return.
+      std::vector<NodeId> dead;
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        if (net.is_switch(v) && !net.node_alive(v)) dead.push_back(v);
+      }
+      if (dead.empty()) continue;
+      const NodeId v = dead[rng.next_u64() % dead.size()];
+      net.restore_node(v);
+      for (ChannelId c = 0; c < net.num_channels(); c += 2) {
+        if (!net.channel_alive(c) && (net.src(c) == v || net.dst(c) == v) &&
+            net.node_alive(net.src(c)) && net.node_alive(net.dst(c))) {
+          net.restore_link(c);
+          shadow.add_pair(net, c);
+        }
+      }
+    }
+    note_compaction();
+    net.check_pool_invariants();
+    if (round % 250 == 0) shadow.expect_matches(net);
+  }
+  shadow.expect_matches(net);
+  net.check_pool_invariants();
+  // The churn must have actually exercised compaction — with the broken
+  // trigger this stayed 0 and the pool never shrank.
+  EXPECT_GT(compactions, 0u);
+}
+
+TEST(NetworkChurn, SustainedRemovalCompactsThePool) {
+  RandomSpec spec;
+  spec.switches = 100;
+  spec.links = 1500;
+  spec.terminals_per_switch = 2;
+  Rng topo_rng(3);
+  Network net = make_random(spec, topo_rng);
+  const std::size_t pristine_size = net.pool_stats().size;
+  const std::size_t pristine_live = net.pool_stats().live;
+  ShadowAdjacency shadow(net);
+
+  // Kill the bulk of the switch-to-switch links: live entries collapse,
+  // so the pool must give the dead space back instead of holding the
+  // pristine footprint forever.
+  Rng rng(7);
+  std::vector<ChannelId> alive;
+  for (ChannelId c = 0; c < net.num_channels(); c += 2) {
+    if (net.channel_alive(c) && net.is_switch(net.src(c)) &&
+        net.is_switch(net.dst(c))) {
+      alive.push_back(c);
+    }
+  }
+  std::size_t removed = 0;
+  for (const ChannelId c : alive) {
+    if (rng.next_u64() % 10 < 9) {
+      shadow.erase_pair(net, c);
+      net.remove_link(c);
+      ++removed;
+      net.check_pool_invariants();
+    }
+  }
+  ASSERT_GT(removed, alive.size() / 2);
+  const auto stats = net.pool_stats();
+  EXPECT_LE(stats.size, 2 * stats.live + Network::kCompactSlack);
+  EXPECT_LT(stats.size, pristine_size);
+  shadow.expect_matches(net);
+
+  // Restore everything: adjacency contents must come back exactly in
+  // event order, and the pool regrows without tripping any invariant.
+  for (ChannelId c = 0; c < net.num_channels(); c += 2) {
+    if (!net.channel_alive(c)) {
+      net.restore_link(c);
+      shadow.add_pair(net, c);
+      net.check_pool_invariants();
+    }
+  }
+  shadow.expect_matches(net);
+  EXPECT_EQ(net.pool_stats().live, pristine_live);
+  EXPECT_EQ(net.num_alive_channels(), net.num_channels());
+}
+
+TEST(NetworkChurn, CompactionDuringRestoreKeepsSegmentsDisjoint) {
+  // Aim churn at the historical crash: drive the pool just below the
+  // compaction threshold with removals, then push_adj (via restore_link)
+  // must relocate, cross the threshold, and compact — with the append
+  // already landed. The shadow comparison catches the old in-pool
+  // corruption even without ASan.
+  Network net = test::make_ring(400, 2);
+  ShadowAdjacency shadow(net);
+  Rng rng(41);
+  std::vector<ChannelId> ring;
+  for (ChannelId c = 0; c < net.num_channels(); c += 2) {
+    if (net.is_switch(net.src(c)) && net.is_switch(net.dst(c))) {
+      ring.push_back(c);
+    }
+  }
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    for (const ChannelId c : ring) {
+      if (net.channel_alive(c) && rng.next_u64() % 4 != 0) {
+        shadow.erase_pair(net, c);
+        net.remove_link(c);
+      }
+    }
+    net.check_pool_invariants();
+    for (const ChannelId c : ring) {
+      if (!net.channel_alive(c)) {
+        net.restore_link(c);
+        shadow.add_pair(net, c);
+      }
+    }
+    net.check_pool_invariants();
+    shadow.expect_matches(net);
+  }
+}
+
+}  // namespace
+}  // namespace nue

@@ -1,0 +1,313 @@
+// Fabric-manager daemon integration tests (ISSUE 7 tentpole,
+// docs/SERVICE.md): the JSON wire format, the request dispatcher, and
+// the full daemon loop — a SocketServer on a temp Unix socket, two
+// fabric shards, concurrent route queries during a fault/repair storm —
+// asserting every response comes from a validated committed epoch and
+// that the daemon's final tables are byte-identical to an offline
+// ResilienceManager replay of the same event sequence (which is what
+// one-shot `nue_route --fault-trace` runs).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "routing/dump.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "topology/faults.hpp"
+#include "topology/generate.hpp"
+
+namespace nue {
+namespace {
+
+using service::Client;
+using service::Json;
+using service::ManagerService;
+using service::SocketServer;
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"op":"route","fabric":"a","src":16,"dst":31,"deep":[1,2.5,true,)"
+      R"(null,{"k":"v"}],"esc":"a\"b\\c\ndA"})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j.str("op"), "route");
+  EXPECT_EQ(j.num("src"), 16.0);
+  EXPECT_EQ(j.str("esc"), "a\"b\\c\ndA");
+  const Json* deep = j.find("deep");
+  ASSERT_NE(deep, nullptr);
+  ASSERT_EQ(deep->items().size(), 5u);
+  EXPECT_TRUE(deep->items()[3].is_null());
+  // dump() -> parse() is the identity on structure.
+  const Json again = Json::parse(j.dump());
+  EXPECT_EQ(again.dump(), j.dump());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+        "\"unterminated", "{\"a\":1,}"}) {
+    EXPECT_THROW(Json::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, NumbersAndSetSemantics) {
+  Json j = Json::object();
+  j.set("n", std::uint64_t{1} << 40);
+  j.set("f", Json(2.5));
+  j.set("n", 7);  // overwrite keeps position
+  EXPECT_EQ(j.dump(), "{\"n\":7,\"f\":2.5}");
+}
+
+TEST(ManagerServiceDispatch, ErrorsAreEnvelopedNotThrown) {
+  ManagerService svc;
+  EXPECT_FALSE(svc.handle(Json::parse("[1]")).boolean("ok"));
+  EXPECT_FALSE(svc.handle(Json::parse("{}")).boolean("ok"));
+  EXPECT_FALSE(svc.handle(Json::parse(R"({"op":"warp"})")).boolean("ok"));
+  const Json missing =
+      svc.handle(Json::parse(R"({"op":"route","fabric":"nope"})"));
+  EXPECT_FALSE(missing.boolean("ok"));
+  EXPECT_NE(missing.str("error").find("not loaded"), std::string::npos);
+  const Json badload = svc.handle(
+      Json::parse(R"({"op":"load","fabric":"x","generate":"warp:3"})"));
+  EXPECT_FALSE(badload.boolean("ok"));
+  // req_id correlation survives the error path.
+  const Json echoed =
+      svc.handle(Json::parse(R"({"op":"warp","req_id":42})"));
+  ASSERT_NE(echoed.find("req_id"), nullptr);
+  EXPECT_EQ(echoed.find("req_id")->as_number(), 42.0);
+}
+
+TEST(ManagerServiceDispatch, LoadRouteEventUnload) {
+  ManagerService svc;
+  ASSERT_TRUE(svc.handle(Json::parse(
+                      R"({"op":"load","fabric":"t","generate":"torus:3x3:1",)"
+                      R"("engine":"nue","vls":2,"seed":5})"))
+                  .boolean("ok"));
+  EXPECT_FALSE(svc.handle(Json::parse(
+                       R"({"op":"load","fabric":"t","generate":"torus:3x3:1"})"))
+                   .boolean("ok"))
+      << "duplicate names must be rejected";
+  const Json r = svc.handle(
+      Json::parse(R"({"op":"route","fabric":"t","src":9,"dst":17})"));
+  ASSERT_TRUE(r.boolean("ok")) << r.str("error");
+  EXPECT_EQ(r.num("epoch"), 1.0);
+  const auto& nodes = r.find("nodes")->items();
+  ASSERT_GE(nodes.size(), 2u);
+  EXPECT_EQ(nodes.front().as_number(), 9.0);
+  EXPECT_EQ(nodes.back().as_number(), 17.0);
+  const Json ev = svc.handle(Json::parse(
+      R"({"op":"event","fabric":"t","kind":"link-down","id":0})"));
+  ASSERT_TRUE(ev.boolean("ok")) << ev.str("error");
+  EXPECT_EQ(ev.num("epoch"), 2.0);
+  const Json log =
+      svc.handle(Json::parse(R"({"op":"reconfig-log","fabric":"t"})"));
+  ASSERT_TRUE(log.boolean("ok"));
+  // The embedded ReconfigLog is itself valid JSON with both transitions.
+  const Json parsed_log = Json::parse(log.str("log"));
+  EXPECT_EQ(parsed_log.find("records")->items().size(), 2u);
+  ASSERT_TRUE(
+      svc.handle(Json::parse(R"({"op":"unload","fabric":"t"})")).boolean("ok"));
+  EXPECT_FALSE(
+      svc.handle(Json::parse(R"({"op":"route","fabric":"t","src":9,"dst":17})"))
+          .boolean("ok"));
+}
+
+std::string temp_socket_path(const char* tag) {
+  return "/tmp/nue_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// The acceptance scenario: two shards, a fault/repair storm applied over
+// the protocol, route queries hammering both shards concurrently, and a
+// byte-identical cross-check against the offline replay path.
+TEST(Daemon, ConcurrentQueriesDuringFaultStormMatchOfflineReplay) {
+  const std::string spec_a = "torus:4x4:1";
+  const std::string spec_b = "random:20:50:2";
+  resilience::RepairPolicy pol_a;
+  pol_a.engine = resilience::Engine::kNue;
+  pol_a.vls = 2;
+  pol_a.max_vls = 8;
+  pol_a.seed = 3;
+  pol_a.num_threads = 1;
+  pol_a.log_max_records = 64;
+  resilience::RepairPolicy pol_b = pol_a;
+  pol_b.engine = resilience::Engine::kDfsssp;
+  pol_b.vls = 4;
+
+  // The event storm, drawn offline so the daemon and the reference
+  // replay consume the identical sequence.
+  const FaultTrace storm = draw_fault_trace(generate_topology(spec_a).net,
+                                            spec_a, 17, 48, 0.45);
+  ASSERT_GE(storm.events.size(), 24u);
+
+  ManagerService svc;
+  svc.load("a", spec_a, pol_a);
+  svc.load("b", spec_b, pol_b);
+  const std::string path = temp_socket_path("daemon");
+  SocketServer server(path, svc);
+  std::thread serve_thread([&server] { server.serve(); });
+
+  // Query workers: one connection each, alternating shards, recording
+  // per-connection epochs (which must be monotone — table snapshots can
+  // only move forward) and validating every successful path's shape.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ok_routes{0};
+  std::atomic<std::uint64_t> dead_dest_routes{0};
+  std::atomic<bool> failed{false};
+  const auto worker = [&](std::uint32_t salt) {
+    try {
+      Client client(path);
+      std::uint64_t last_epoch_a = 0;
+      std::uint64_t iter = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        ++iter;
+        const bool on_a = (iter + salt) % 3 != 0;
+        // Fabric a: terminals are nodes 16..31; fabric b: 20..59.
+        const std::uint32_t lo = on_a ? 16 : 20;
+        const std::uint32_t n = on_a ? 16 : 40;
+        const auto src = static_cast<std::uint32_t>(
+            lo + (iter * 7 + salt) % n);
+        auto dst =
+            static_cast<std::uint32_t>(lo + (iter * 13 + salt * 5) % n);
+        if (dst == src) dst = lo + (dst + 1 - lo) % n;
+        Json req = Json::object();
+        req.set("op", "route");
+        req.set("fabric", on_a ? "a" : "b");
+        req.set("src", src);
+        req.set("dst", dst);
+        const Json resp = client.request(req);
+        const auto epoch = static_cast<std::uint64_t>(resp.num("epoch"));
+        if (resp.boolean("ok")) {
+          ok_routes.fetch_add(1, std::memory_order_relaxed);
+          const auto& nodes = resp.find("nodes")->items();
+          if (nodes.front().as_number() != src ||
+              nodes.back().as_number() != dst ||
+              resp.num("hops") + 1 != static_cast<double>(nodes.size())) {
+            ADD_FAILURE() << "malformed path: " << resp.dump();
+            failed.store(true);
+            return;
+          }
+        } else {
+          // Legal only while the destination (or a hop) is dead mid-storm;
+          // still must carry a committed epoch.
+          dead_dest_routes.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (epoch < 1) {
+          ADD_FAILURE() << "response from uncommitted epoch: " << resp.dump();
+          failed.store(true);
+          return;
+        }
+        if (on_a) {
+          if (epoch < last_epoch_a) {
+            ADD_FAILURE() << "epoch went backwards: " << epoch << " < "
+                          << last_epoch_a;
+            failed.store(true);
+            return;
+          }
+          last_epoch_a = epoch;
+        }
+      }
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "query worker died: " << e.what();
+      failed.store(true);
+    }
+  };
+  std::vector<std::thread> workers;
+  for (std::uint32_t i = 0; i < 4; ++i) workers.emplace_back(worker, i);
+
+  // The storm, over the wire, while the workers hammer both shards.
+  {
+    Client events(path);
+    for (const FaultEvent& e : storm.events) {
+      Json req = Json::object();
+      req.set("op", "event");
+      req.set("fabric", "a");
+      req.set("kind", fault_event_name(e.kind));
+      req.set("id", e.id);
+      const Json resp = events.request(req);
+      ASSERT_TRUE(resp.boolean("ok")) << resp.str("error");
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_GT(ok_routes.load(), 0u) << "storm never saw a successful query";
+
+  // Offline reference: same fabric, same policy, same events — the
+  // daemon's final table must be byte-identical to the one-shot replay.
+  resilience::ResilienceManager offline(generate_topology(spec_a).net, pol_a);
+  for (const FaultEvent& e : storm.events) offline.apply(e);
+  std::ostringstream expected;
+  write_forwarding_tables(expected, offline.net(), *offline.table());
+
+  Client client(path);
+  Json treq = Json::object();
+  treq.set("op", "tables");
+  treq.set("fabric", "a");
+  const Json tables = client.request(treq);
+  ASSERT_TRUE(tables.boolean("ok")) << tables.str("error");
+  EXPECT_EQ(static_cast<std::uint64_t>(tables.num("epoch")),
+            offline.epoch());
+  EXPECT_EQ(tables.str("dump"), expected.str())
+      << "daemon tables diverged from the offline replay";
+
+  // Shard b was pristine throughout: its dump must equal a fresh route.
+  resilience::ResilienceManager offline_b(generate_topology(spec_b).net,
+                                          pol_b);
+  std::ostringstream expected_b;
+  write_forwarding_tables(expected_b, offline_b.net(), *offline_b.table());
+  Json breq = Json::object();
+  breq.set("op", "tables");
+  breq.set("fabric", "b");
+  const Json tables_b = client.request(breq);
+  ASSERT_TRUE(tables_b.boolean("ok"));
+  EXPECT_EQ(tables_b.str("dump"), expected_b.str());
+
+  // Graceful shutdown over the protocol: serve() drains and returns.
+  Json shutdown = Json::object();
+  shutdown.set("op", "shutdown");
+  EXPECT_TRUE(client.request(shutdown).boolean("ok"));
+  serve_thread.join();
+  EXPECT_TRUE(svc.shutdown_requested());
+}
+
+TEST(Daemon, StormOpAndStatusCounters) {
+  ManagerService svc;
+  resilience::RepairPolicy pol;
+  pol.engine = resilience::Engine::kNue;
+  pol.vls = 2;
+  pol.seed = 9;
+  pol.num_threads = 1;
+  pol.log_max_records = 32;
+  svc.load("t", "torus:3x3:1", pol);
+  const std::string path = temp_socket_path("storm");
+  SocketServer server(path, svc);
+  std::thread serve_thread([&server] { server.serve(); });
+  {
+    Client client(path);
+    const Json storm = client.request(Json::parse(
+        R"({"op":"storm","fabric":"t","events":20,"seed":4,"req_id":"s1"})"));
+    ASSERT_TRUE(storm.boolean("ok")) << storm.str("error");
+    EXPECT_EQ(storm.str("req_id"), "s1");
+    EXPECT_EQ(storm.num("events"), 20.0);
+    EXPECT_EQ(storm.num("transitions") + storm.num("noops"), 20.0);
+    const Json status = client.request(Json::parse(R"({"op":"status"})"));
+    ASSERT_TRUE(status.boolean("ok"));
+    const auto& fabrics = status.find("fabrics")->items();
+    ASSERT_EQ(fabrics.size(), 1u);
+    EXPECT_EQ(fabrics[0].num("events"), 20.0);
+    EXPECT_EQ(fabrics[0].str("engine"), "nue");
+    EXPECT_GE(fabrics[0].num("epoch"), 1.0);
+  }
+  server.stop();
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace nue

@@ -6,6 +6,7 @@
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "util/rss.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -133,6 +134,47 @@ TEST(Flags, UnknownFlagFailsFinish) {
   Flags f(3, const_cast<char**>(argv));
   (void)f.get_int("count", 1, "c");
   EXPECT_FALSE(f.finish());
+}
+
+// Satellite regression (ISSUE 7): a /proc/self/status without VmHWM —
+// stripped by some kernels and sandboxes — must read as "unavailable"
+// (nullopt), never as a garbage number or a fake 0 in a report.
+TEST(Rss, ParsesWellFormedVmHwm) {
+  std::istringstream status(
+      "Name:\tnue_route\nVmPeak:\t  123456 kB\nVmHWM:\t    2048 kB\n"
+      "VmRSS:\t    1024 kB\n");
+  const auto mb = peak_rss_mb_from_status(status);
+  ASSERT_TRUE(mb.has_value());
+  EXPECT_DOUBLE_EQ(*mb, 2.0);
+}
+
+TEST(Rss, MissingVmHwmIsUnavailable) {
+  std::istringstream status(
+      "Name:\tnue_route\nVmPeak:\t  123456 kB\nVmRSS:\t    1024 kB\n");
+  EXPECT_FALSE(peak_rss_mb_from_status(status).has_value());
+}
+
+TEST(Rss, EmptyStatusIsUnavailable) {
+  std::istringstream status("");
+  EXPECT_FALSE(peak_rss_mb_from_status(status).has_value());
+}
+
+TEST(Rss, MalformedVmHwmIsUnavailableNotGarbage) {
+  for (const char* line :
+       {"VmHWM:\n", "VmHWM:\tgarbage kB\n", "VmHWM:\t12 pages\n",
+        "VmHWM:\t-4 kB\n", "VmHWM:\t kB\n"}) {
+    std::istringstream status(std::string("Name:\tx\n") + line);
+    EXPECT_FALSE(peak_rss_mb_from_status(status).has_value()) << line;
+  }
+}
+
+TEST(Rss, LiveProcessValueIsSaneWhenPresent) {
+  // On Linux CI this is present and positive; elsewhere nullopt is the
+  // contract. Either way it must never be a denormal zero stand-in.
+  const auto mb = peak_rss_mb();
+  if (mb) {
+    EXPECT_GT(*mb, 0.0);
+  }
 }
 
 TEST(Check, ThrowsWithMessage) {

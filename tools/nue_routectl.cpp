@@ -1,0 +1,81 @@
+// nue_routectl — command-line client for nue_managerd (docs/SERVICE.md).
+// Builds one protocol request from flags (or sends --request verbatim),
+// prints the daemon's JSON response line to stdout, and exits 0 iff the
+// daemon answered {"ok": true}.
+//
+//   nue_routectl --socket /tmp/nue.sock --op status
+//   nue_routectl --socket /tmp/nue.sock --op route --fabric a --src 16 --dst 17
+//   nue_routectl --socket /tmp/nue.sock --op event --fabric a \
+//       --kind link-down --id 4
+//   nue_routectl --socket /tmp/nue.sock --op shutdown
+#include <iostream>
+#include <string>
+
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using nue::service::Client;
+  using nue::service::Json;
+  nue::Flags flags(argc, argv);
+  const std::string socket_path =
+      flags.get_string("socket", "", "nue_managerd socket path (required)");
+  const std::string raw = flags.get_string(
+      "request", "", "send this raw JSON request instead of building one");
+  const std::string op = flags.get_string(
+      "op", "status",
+      "status|load|unload|route|tables|event|storm|reconfig-log|shutdown");
+  const std::string fabric =
+      flags.get_string("fabric", "", "target fabric name");
+  const std::string generate =
+      flags.get_string("generate", "", "load: generator spec");
+  const std::string engine =
+      flags.get_string("engine", "nue", "load: repair engine");
+  const int vls = flags.get_int("vls", 2, "load: base VL budget");
+  const int src = flags.get_int("src", -1, "route: source node id");
+  const int dst = flags.get_int("dst", -1, "route: destination node id");
+  const std::string kind = flags.get_string(
+      "kind", "", "event: link-down|switch-down|link-restore|switch-restore");
+  const int id = flags.get_int("id", -1, "event: channel/node id");
+  const int events = flags.get_int("events", 16, "storm: event count");
+  const int seed = flags.get_int("seed", 1, "load/storm: seed");
+  if (!flags.finish()) return 1;
+  if (socket_path.empty()) {
+    std::cerr << "nue_routectl: --socket PATH is required\n";
+    return 1;
+  }
+
+  try {
+    Json req;
+    if (!raw.empty()) {
+      req = Json::parse(raw);
+    } else {
+      req = Json::object();
+      req.set("op", op);
+      if (!fabric.empty()) req.set("fabric", fabric);
+      if (op == "load") {
+        req.set("generate", generate);
+        req.set("engine", engine);
+        req.set("vls", vls);
+        req.set("seed", seed);
+      } else if (op == "route") {
+        req.set("src", src);
+        req.set("dst", dst);
+      } else if (op == "event") {
+        req.set("kind", kind);
+        req.set("id", id);
+      } else if (op == "storm") {
+        req.set("events", events);
+        req.set("seed", seed);
+      }
+    }
+    Client client(socket_path);
+    const Json resp = client.request(req);
+    std::cout << resp.dump() << "\n";
+    return resp.boolean("ok") ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "nue_routectl: " << e.what() << "\n";
+    return 1;
+  }
+}
