@@ -9,12 +9,29 @@
 // speedup of the incrementally repaired (hitless) events — the headline
 // number: incremental repair is expected >= 5x faster than recomputing.
 //
+// Storm mode (--storm N > 0) instead replays a sustained fault/repair
+// storm — N events per topology, drawn with a repair-heavy restore
+// fraction so the fabric keeps churning indefinitely — over a Fig. 11
+// tori subset plus a Dragonfly, twice per topology: once with the wave
+// scheduler enabled (the shipping default) and once with it disabled
+// (the drained-recompute baseline). Reported per topology: gate-failure
+// drains on both sides (the headline: zero with waves, nonzero without),
+// wave-chain counts and the observed staleness bound (longest chain, in
+// epochs), repair-latency p50/p99, the sustained event rate, and whether
+// a final resync() landed byte-identical to an offline recompute of the
+// end-state fabric. Storm mode pins vls=2/max_vls=4 — the budget regime
+// where dependency-heavy tables make the union gate fail regularly;
+// larger budgets make most transitions trivially compatible and the
+// comparison meaningless.
+//
 //   --max-switches N  largest torus to run (default 125 = 5x5x5)
 //   --fault-pct P     percentage of links to fail (default 10.0)
 //   --vls K           virtual lanes for the repair engine (default 4)
 //   --terminals T     terminals per switch (default 2)
 //   --threads N       routing worker threads (default 1)
 //   --seed S          fault-trace seed (default 31)
+//   --storm N         storm mode: N fault/repair events per topology
+//   --restore F       storm restore fraction (default 0.5)
 //   --csv FILE        CSV output path ('' = skip)
 //   --json FILE       per-topology records (default BENCH_reconfig.json)
 #include <algorithm>
@@ -27,9 +44,11 @@
 #include "bench_common.hpp"
 #include "nue/nue_routing.hpp"
 #include "resilience/resilience.hpp"
+#include "routing/dump.hpp"
 #include "routing/validate.hpp"
 #include "telemetry/cli.hpp"
 #include "topology/faults.hpp"
+#include "topology/generate.hpp"
 #include "topology/torus.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -81,6 +100,122 @@ void write_json(const std::string& path, const std::vector<TopoRecord>& recs,
   os << "  ]\n}\n";
 }
 
+// --- storm mode -------------------------------------------------------------
+
+struct StormRecord {
+  std::string topo;
+  std::size_t events = 0;
+  std::size_t transitions = 0;
+  std::size_t noops = 0;
+  std::size_t hitless = 0;
+  std::size_t drains = 0;           // gate-failure drains, waves enabled
+  std::size_t wave_chains = 0;      // gate failures the scheduler staged
+  std::size_t wave_commits = 0;     // epochs those chains committed
+  std::size_t max_chain_epochs = 0; // observed staleness bound (epochs)
+  std::size_t baseline_drains = 0;  // same trace, wave scheduler disabled
+  double p50_repair_ms = 0.0;
+  double p99_repair_ms = 0.0;
+  double events_per_sec = 0.0;
+  bool resync_matches_offline = false;
+};
+
+StormRecord run_storm(const std::string& topo, std::size_t events,
+                      std::uint64_t seed, double restore,
+                      std::uint32_t threads) {
+  using namespace nue;
+  Network net = generate_topology(topo).net;
+  const FaultTrace trace = draw_fault_trace(net, topo, seed, events, restore);
+  if (trace.events.size() < events) {
+    std::cerr << "warning: only " << trace.events.size() << "/" << events
+              << " events drawable on " << topo << "\n";
+  }
+
+  resilience::RepairPolicy policy;
+  policy.engine = resilience::Engine::kNue;
+  policy.vls = 2;
+  policy.max_vls = 4;
+  policy.seed = seed;
+  policy.num_threads = threads;
+  policy.log_max_records = 256;
+
+  StormRecord rec;
+  rec.topo = topo;
+  std::vector<double> repair_ms;
+  resilience::ResilienceManager mgr(net, policy);
+  Timer wall;
+  for (const FaultEvent& e : trace.events) {
+    const TransitionRecord tr = mgr.apply(e);
+    ++rec.events;
+    if (tr.committed_step == "noop") {
+      ++rec.noops;
+      continue;
+    }
+    ++rec.transitions;
+    repair_ms.push_back(tr.repair_ms);
+    if (tr.hitless) ++rec.hitless;
+    if (tr.drained) ++rec.drains;
+    if (tr.wave_count > 0) {
+      ++rec.wave_chains;
+      rec.wave_commits += tr.wave_count;
+      rec.max_chain_epochs =
+          std::max<std::size_t>(rec.max_chain_epochs, tr.wave_count);
+    }
+  }
+  const double secs = wall.millis() / 1000.0;
+  rec.events_per_sec = secs > 0 ? rec.events / secs : 0.0;
+  rec.p50_repair_ms = quantile(repair_ms, 0.5);
+  rec.p99_repair_ms = quantile(repair_ms, 0.99);
+
+  // Convergence anchor: after the storm, one resync() must land exactly
+  // where an offline recompute of the end-state fabric lands — waves may
+  // only change HOW the manager got there, never where it is.
+  mgr.resync();
+  Network offline = generate_topology(topo).net;
+  for (const FaultEvent& e : trace.events) apply_fault_event(offline, e);
+  resilience::ResilienceManager fresh(std::move(offline), policy);
+  std::ostringstream live_dump, fresh_dump;
+  write_forwarding_tables(live_dump, mgr.net(), *mgr.table());
+  write_forwarding_tables(fresh_dump, fresh.net(), *fresh.table());
+  rec.resync_matches_offline = live_dump.str() == fresh_dump.str();
+
+  // The baseline: identical trace, wave scheduler off — every chain the
+  // run above staged is forced through the drained-recompute fallback.
+  resilience::RepairPolicy no_waves = policy;
+  no_waves.enable_waves = false;
+  resilience::ResilienceManager base(std::move(net), no_waves);
+  for (const FaultEvent& e : trace.events) {
+    if (base.apply(e).drained) ++rec.baseline_drains;
+  }
+  return rec;
+}
+
+void write_storm_json(const std::string& path,
+                      const std::vector<StormRecord>& recs) {
+  std::ofstream os(path);
+  os << "{\n";
+  if (const auto rss = nue::peak_rss_mb()) {
+    os << "  \"peak_rss_mb\": " << *rss << ",\n";
+  }
+  os << "  \"storm\": [\n";
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    os << "    {\"topo\": \"" << r.topo << "\", \"events\": " << r.events
+       << ", \"transitions\": " << r.transitions << ", \"noops\": " << r.noops
+       << ", \"hitless\": " << r.hitless << ", \"drains\": " << r.drains
+       << ", \"wave_chains\": " << r.wave_chains
+       << ", \"wave_commits\": " << r.wave_commits
+       << ", \"max_chain_epochs\": " << r.max_chain_epochs
+       << ", \"baseline_drains\": " << r.baseline_drains
+       << ", \"p50_repair_ms\": " << r.p50_repair_ms
+       << ", \"p99_repair_ms\": " << r.p99_repair_ms
+       << ", \"events_per_sec\": " << r.events_per_sec
+       << ", \"resync_matches_offline\": "
+       << (r.resync_matches_offline ? "true" : "false") << "}"
+       << (i + 1 < recs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,12 +233,57 @@ int main(int argc, char** argv) {
       flags.get_int("threads", 1, "routing worker threads"));
   const auto seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 31, "fault seed"));
+  const auto storm_events = static_cast<std::size_t>(flags.get_int(
+      "storm", 0, "storm mode: fault/repair events per topology (0 = off)"));
+  const double restore =
+      flags.get_double("restore", 0.5, "storm restore fraction");
   const std::string csv = flags.get_string("csv", "", "CSV output path");
   const std::string json_path = flags.get_string(
       "json", "BENCH_reconfig.json", "per-topology JSON ('' = skip)");
   telemetry::Cli telem;
   telem.register_flags(flags);
   if (!flags.finish()) return 1;
+
+  if (storm_events > 0) {
+    // Fig. 11 tori subset plus a 36-switch Dragonfly(4,2,2,9) — the
+    // topology family where global links concentrate dependencies and
+    // gate failures are routine.
+    const std::vector<std::string> topos = {"torus:3x3x3:1", "torus:4x4x4:1",
+                                            "dragonfly:4:2:2:9"};
+    Table storm_table({"topology", "events", "hitless", "drains",
+                       "waves (chains/epochs)", "max chain", "base drains",
+                       "p50 [ms]", "p99 [ms]", "ev/s", "resync=="});
+    std::vector<StormRecord> storms;
+    bool all_zero_drain = true, all_resync = true;
+    for (std::size_t i = 0; i < topos.size(); ++i) {
+      StormRecord r =
+          run_storm(topos[i], storm_events, seed + i, restore, threads);
+      std::ostringstream waves;
+      waves << r.wave_chains << "/" << r.wave_commits;
+      storm_table.row() << r.topo << r.events << r.hitless << r.drains
+                        << waves.str() << r.max_chain_epochs
+                        << r.baseline_drains << r.p50_repair_ms
+                        << r.p99_repair_ms << r.events_per_sec
+                        << (r.resync_matches_offline ? "yes" : "NO");
+      all_zero_drain = all_zero_drain && r.drains == 0;
+      all_resync = all_resync && r.resync_matches_offline;
+      storms.push_back(std::move(r));
+    }
+    storm_table.print(std::cout);
+    std::cout << (all_zero_drain
+                      ? "zero gate-failure drains with waves enabled\n"
+                      : "DRAINS OCCURRED with waves enabled (see table)\n");
+    if (!csv.empty()) storm_table.write_csv(csv);
+    if (!json_path.empty()) write_storm_json(json_path, storms);
+    if (telem.wanted()) {
+      telem.finish("bench_reconfig",
+                   {{"storm", std::to_string(storm_events)},
+                    {"restore", std::to_string(restore)},
+                    {"seed", std::to_string(seed)},
+                    {"threads", std::to_string(threads)}});
+    }
+    return all_resync ? 0 : 1;
+  }
 
   std::vector<std::vector<std::uint32_t>> sizes = {
       {3, 3, 3}, {4, 4, 4}, {5, 5, 5}, {6, 6, 6}, {7, 7, 7}};

@@ -12,13 +12,15 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-# TSan also covers the churn regressions and the daemon's concurrent
-# query-during-storm path (epoch-snapshot reads racing repair commits).
+# TSan also covers the churn regressions, the daemon's concurrent
+# query-during-storm path (epoch-snapshot reads racing repair commits),
+# and the wave-scheduler suite (multi-epoch migration chains committing
+# through the same swap while readers hold table snapshots).
 cmake -B build-tsan -S . -DSANITIZE=thread
 cmake --build build-tsan -j --target nue_tests
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/nue_tests \
-  --gtest_filter='ParallelDeterminism.*:NetworkChurn.*:ResilienceChurn.*:Daemon.*'
+  --gtest_filter='ParallelDeterminism.*:NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*'
 
 cmake -B build-ubsan -S . -DSANITIZE=undefined
 cmake --build build-ubsan -j --target route_fuzz
@@ -73,7 +75,7 @@ python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
 cmake --build build-asan -j --target nue_managerd nue_routectl nue_tests
 ASAN_OPTIONS="halt_on_error=1" \
   ./build-asan/tests/nue_tests \
-  --gtest_filter='NetworkChurn.*:ResilienceChurn.*:Daemon.*'
+  --gtest_filter='NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*'
 MANAGERD_SOCK="build-asan/managerd.sock"
 ASAN_OPTIONS="halt_on_error=1" \
   ./build-asan/tools/nue_managerd --socket "$MANAGERD_SOCK" \
@@ -92,18 +94,35 @@ done
   --fabric a --kind link-down --id 4 > build-asan/managerd.event.json
 ./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op route \
   --fabric a --src 16 --dst 31 > build-asan/managerd.route2.json
+# Zero-drain storm smoke (docs/RESILIENCE.md): a 200-event fault/repair
+# storm on the live shard under ASan. The fixed seed is known to force
+# dozens of union-gate failures on this fabric, and with the wave
+# scheduler armed every one must commit as a migration chain — the
+# shutdown report's resilience.drains counter is asserted exactly zero
+# (the counter is always emitted, so a silent rename cannot pass).
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op storm \
+  --fabric a --events 200 --seed 1 > build-asan/managerd.storm.json
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op status \
+  > build-asan/managerd.status2.json
 ./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op shutdown
 wait "$MANAGERD_PID"
-for resp in status route1 event route2; do
+for resp in status route1 event route2 storm status2; do
   python3 scripts/validate_json.py scripts/schemas/managerd.schema.json \
     "build-asan/managerd.$resp.json"
 done
+python3 scripts/validate_json.py scripts/schemas/managerd.schema.json \
+  build-asan/managerd.storm.json \
+  --nonzero waved \
+  --zero drains
 python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
   build-asan/managerd.metrics.json \
   --nonzero counters/service.requests \
   --nonzero counters/service.route_queries \
   --nonzero counters/service.fault_events \
   --nonzero counters/resilience.transitions \
+  --nonzero counters/resilience.waves \
+  --nonzero counters/resilience.zero_drain_saves \
+  --zero counters/resilience.drains \
   --nonzero reconfig.a/transitions
 
 # Scale-bench smoke (docs/SCALING.md): tiny fabrics through the full

@@ -11,9 +11,14 @@ Extra assertions beyond the schema:
                    non-empty container). PATH segments are separated by
                    '/' because metric names themselves contain dots,
                    e.g. --nonzero counters/nue.backtracks
+  --zero PATH      require the value at PATH to exist and be exactly 0.
+                   The path must be present — a counter that was never
+                   touched does not count as zero (the zero-drain
+                   acceptance gate wants proof the drain path was armed
+                   and never fired), e.g. --zero counters/resilience.drains
 
 Usage:
-  validate_json.py SCHEMA DOC [--nonzero PATH]...
+  validate_json.py SCHEMA DOC [--nonzero PATH]... [--zero PATH]...
 Exit code 0 = valid, 1 = violation (printed to stderr).
 """
 import json
@@ -84,10 +89,14 @@ def main(argv):
         return 1
     schema_path, doc_path = argv[1], argv[2]
     nonzero = []
+    zero = []
     args = argv[3:]
     while args:
         if args[0] == "--nonzero" and len(args) >= 2:
             nonzero.append(args[1])
+            args = args[2:]
+        elif args[0] == "--zero" and len(args) >= 2:
+            zero.append(args[1])
             args = args[2:]
         else:
             print(f"unknown argument {args[0]}", file=sys.stderr)
@@ -112,11 +121,20 @@ def main(argv):
                 errors.append(f"--nonzero {path}: empty")
         elif value <= 0:
             errors.append(f"--nonzero {path}: {value} is not > 0")
+    for path in zero:
+        value = lookup(doc, path)
+        if value is None:
+            errors.append(f"--zero {path}: path not found")
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(
+                f"--zero {path}: not a number ({type(value).__name__})")
+        elif value != 0:
+            errors.append(f"--zero {path}: {value} is not 0")
     if errors:
         for e in errors:
             print(f"{doc_path}: {e}", file=sys.stderr)
         return 1
-    print(f"{doc_path}: OK ({len(nonzero)} nonzero checks)")
+    print(f"{doc_path}: OK ({len(nonzero)} nonzero, {len(zero)} zero checks)")
     return 0
 
 

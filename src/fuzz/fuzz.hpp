@@ -144,6 +144,8 @@ struct OracleReport {
   std::size_t reconfig_transitions = 0;   // non-noop epoch swaps driven
   std::size_t reconfig_hitless = 0;
   std::size_t reconfig_drained = 0;
+  std::size_t reconfig_waved = 0;         // wave chains (drains avoided)
+  std::size_t reconfig_wave_commits = 0;  // epochs those chains committed
   /// "<kind>: detail" strings; empty = scenario passed every invariant.
   std::vector<std::string> violations;
 
@@ -178,10 +180,13 @@ OracleReport run_scenario(const ScenarioSpec& spec,
 /// and cover every alive terminal (reconfig-invalid-table), and every
 /// transition the manager calls hitless must pass an INDEPENDENT pairwise
 /// union-CDG re-check (reconfig-union-cycle) — differential against the
-/// manager's own column-based gate. An event the manager cannot survive is
-/// reconfig-event-crash. Engines without a live repair mode (minhop,
-/// torus-qos, fattree) report as inapplicable. `build_out` receives the
-/// pre-trace fabric, so reproducer dumps stay comparable.
+/// manager's own column-based gate. Intermediate epochs of a migration-
+/// wave chain (src/resilience/waves.hpp) are exempt from full validation
+/// (bounded staleness is their design) but every one must pass the
+/// pairwise union re-check against its predecessor. An event the manager
+/// cannot survive is reconfig-event-crash. Engines without a live repair
+/// mode (minhop, torus-qos, fattree) report as inapplicable. `build_out`
+/// receives the pre-trace fabric, so reproducer dumps stay comparable.
 OracleReport run_reconfig_scenario(const ScenarioSpec& spec,
                                    const std::vector<Removal>& removals = {},
                                    const OracleConfig& cfg = {},

@@ -117,9 +117,33 @@ OracleReport run_reconfig_scenario(const ScenarioSpec& spec,
     mgr.set_commit_hook([&](const Network& net, const RoutingResult* old,
                             const RoutingResult& fresh,
                             const TransitionRecord& rec) {
-      const ValidationReport v = validate_routing(net, fresh);
       std::ostringstream where;
       where << "epoch " << rec.epoch << " after " << rec.event;
+      const bool intermediate =
+          rec.wave_count > 0 && rec.wave_index < rec.wave_count;
+      if (intermediate) {
+        // Intermediate wave epochs are gated on pairwise union acyclicity
+        // ONLY: they may legitimately carry broken/stale columns (a
+        // fault-affected destination scheduled into a later wave keeps
+        // serving its pre-fault column — the bounded-staleness window) or
+        // holes (a joined destination not yet migrated), so full
+        // validation and terminal coverage apply to the chain's final
+        // epoch, not here. The union check is the whole safety claim of
+        // a wave, so every one is re-proved differentially.
+        where << " (wave " << rec.wave_index << "/" << rec.wave_count << ")";
+        if (old == nullptr) {
+          add_violation(rep, "reconfig-union-cycle",
+                        where.str() + ": wave epoch committed with no "
+                                      "predecessor table");
+        } else if (!pairwise_union_acyclic(net, *old, fresh)) {
+          add_violation(rep, "reconfig-union-cycle",
+                        where.str() +
+                            ": intermediate wave epoch's pairwise union "
+                            "CDG has a cycle");
+        }
+        return;
+      }
+      const ValidationReport v = validate_routing(net, fresh);
       if (!v.ok()) {
         add_violation(rep, "reconfig-invalid-table",
                       where.str() + ": " + v.detail);
@@ -147,6 +171,10 @@ OracleReport run_reconfig_scenario(const ScenarioSpec& spec,
       ++rep.reconfig_transitions;
       if (r.hitless) ++rep.reconfig_hitless;
       if (r.drained) ++rep.reconfig_drained;
+      if (r.wave_count > 0) {
+        ++rep.reconfig_waved;
+        rep.reconfig_wave_commits += r.wave_count;
+      }
     }
     rep.validation = validate_routing(mgr.net(), *mgr.table());
 

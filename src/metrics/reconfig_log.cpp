@@ -25,6 +25,9 @@ ReconfigLog::Summary ReconfigLog::summarize() const {
   s.noops = total_noops_;
   s.hitless = total_hitless_;
   s.drained = total_drained_;
+  s.waved = total_waved_;
+  s.wave_commits = total_wave_commits_;
+  s.by_step = total_by_step_;
   s.evicted = evicted_records();
   s.max_repair_ms = max_repair_ms_;
   std::vector<double> repair;
@@ -43,8 +46,18 @@ void ReconfigLog::write_json(std::ostream& os) const {
   os << "{\n  \"transitions\": " << s.transitions
      << ",\n  \"noops\": " << s.noops << ",\n  \"hitless\": " << s.hitless
      << ",\n  \"drained\": " << s.drained
+     << ",\n  \"waved\": " << s.waved
+     << ",\n  \"wave_commits\": " << s.wave_commits
      << ",\n  \"evicted\": " << s.evicted
-     << ",\n  \"median_repair_ms\": " << s.median_repair_ms
+     << ",\n  \"by_step\": {";
+  bool first_step = true;
+  for (const auto& [step, count] : s.by_step) {
+    if (!first_step) os << ", ";
+    first_step = false;
+    write_json_string(os, step);
+    os << ": " << count;
+  }
+  os << "},\n  \"median_repair_ms\": " << s.median_repair_ms
      << ",\n  \"p99_repair_ms\": " << s.p99_repair_ms
      << ",\n  \"max_repair_ms\": " << s.max_repair_ms
      << ",\n  \"records\": [\n";
@@ -56,8 +69,12 @@ void ReconfigLog::write_json(std::ostream& os) const {
        << ", \"total_dests\": " << r.total_dests << ", \"step\": ";
     write_json_string(os, r.committed_step);
     os << ", \"hitless\": " << (r.hitless ? "true" : "false")
-       << ", \"drained\": " << (r.drained ? "true" : "false")
-       << ", \"repair_ms\": " << r.repair_ms << ", \"verdicts\": [";
+       << ", \"drained\": " << (r.drained ? "true" : "false");
+    if (r.wave_count > 0) {
+      os << ", \"wave_index\": " << r.wave_index
+         << ", \"wave_count\": " << r.wave_count;
+    }
+    os << ", \"repair_ms\": " << r.repair_ms << ", \"verdicts\": [";
     for (std::size_t j = 0; j < r.verdicts.size(); ++j) {
       if (j) os << ", ";
       write_json_string(os, r.verdicts[j]);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,11 +22,21 @@ struct TransitionRecord {
   std::size_t total_dests = 0;     // destinations in the committed table
   /// Rung of the repair ladder that produced the committed table:
   /// "incremental", "full-recompute", "more-vls", "nue-fallback" — or
-  /// "noop" when the event left every column intact (epoch unchanged).
+  /// "noop" when the event left every column intact (epoch unchanged), or
+  /// "wave" for the intermediate epochs of a migration-wave chain (the
+  /// chain's final record carries the producing rung).
   std::string committed_step;
   bool union_gate_checked = false;  // false for noops / the initial table
   bool hitless = false;     // union-CDG gate passed: swapped without drain
   bool drained = false;     // gate failed: drained full recompute installed
+  /// Migration-wave chain linkage (src/resilience/waves.hpp): a
+  /// transition whose direct union gate failed but that scheduled into
+  /// dependency-safe waves commits wave_count epochs — wave_count - 1
+  /// intermediate records (committed_step "wave", affected_dests = the
+  /// columns that wave migrated) then the final record. 0/0 = ordinary
+  /// single-epoch transition.
+  std::uint32_t wave_index = 0;  // 1-based position within the chain
+  std::uint32_t wave_count = 0;  // epochs in the chain (0 = not a chain)
   double repair_ms = 0.0;   // event applied -> table committed
   /// One line per ladder attempt, in order ("incremental: ok", "more-vls:
   /// engine declined: ...", "incremental: over budget (12.3ms > 5ms)").
@@ -66,7 +77,16 @@ class ReconfigLog {
     std::size_t noops = 0;        // exact
     std::size_t hitless = 0;      // exact
     std::size_t drained = 0;      // exact
+    std::size_t waved = 0;        // wave chains completed: drains avoided
+                                  // by the wave scheduler (exact)
+    std::size_t wave_commits = 0;  // epochs committed as part of a wave
+                                   // chain, intermediates + finals (exact)
     std::size_t evicted = 0;      // records dropped from the window
+    /// Committed-step -> record count, "noop" and "wave" included — the
+    /// per-rung ladder statistics, exact across eviction like every other
+    /// count here (a bounded resident manager must not lose its drain/
+    /// rung breakdown when the window trims).
+    std::map<std::string, std::size_t> by_step;
     double median_repair_ms = 0.0;  // over the retained window
     double p99_repair_ms = 0.0;     // over the retained window
     double max_repair_ms = 0.0;     // exact across eviction
@@ -78,6 +98,11 @@ class ReconfigLog {
  private:
   void absorb_into_totals(const TransitionRecord& r) {
     ++total_records_;
+    ++total_by_step_[r.committed_step];
+    if (r.wave_count > 0) {
+      ++total_wave_commits_;
+      if (r.wave_index == r.wave_count) ++total_waved_;
+    }
     if (r.committed_step == "noop") {
       ++total_noops_;
     } else {
@@ -108,6 +133,9 @@ class ReconfigLog {
   std::size_t total_noops_ = 0;
   std::size_t total_hitless_ = 0;
   std::size_t total_drained_ = 0;
+  std::size_t total_waved_ = 0;
+  std::size_t total_wave_commits_ = 0;
+  std::map<std::string, std::size_t> total_by_step_;
   double max_repair_ms_ = 0.0;
 };
 

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "nue/nue_routing.hpp"
+#include "resilience/waves.hpp"
 #include "routing/dfsssp.hpp"
 #include "routing/lash.hpp"
 #include "routing/sssp_engine.hpp"
@@ -29,12 +30,21 @@ const char* rung_span_name(const char* rung) {
 }
 
 /// Mirror a transition record onto the telemetry registry (the structured
-/// ReconfigLog stays the source of truth for --reconfig-json).
+/// ReconfigLog stays the source of truth for --reconfig-json). The gate
+/// counters are touched with 0 on every record so they exist — as zeros —
+/// in the run report of a storm that never drained; the tier-1 storm
+/// smoke asserts exactly that via validate_json.py --zero.
 void publish_transition(const TransitionRecord& rec) {
   if (!telemetry::enabled()) return;
   telemetry::counter("resilience.transitions").add_always(1);
   if (rec.hitless) telemetry::counter("resilience.hitless").add_always(1);
-  if (rec.drained) telemetry::counter("resilience.drained").add_always(1);
+  telemetry::counter("resilience.drains").add_always(rec.drained ? 1 : 0);
+  telemetry::counter("resilience.waves")
+      .add_always(rec.wave_count > 0 ? 1 : 0);
+  telemetry::counter("resilience.zero_drain_saves")
+      .add_always(rec.wave_count > 0 && rec.wave_index == rec.wave_count
+                      ? 1
+                      : 0);
   telemetry::histogram("resilience.repair_us")
       .record_always(static_cast<std::uint64_t>(rec.repair_ms * 1000.0));
 }
@@ -115,6 +125,24 @@ TransitionRecord ResilienceManager::apply(const FaultEvent& e) {
   }
 
   Candidate cand = run_ladder(old.get(), /*incremental=*/true, rec.verdicts);
+  return gate_and_commit(old, std::move(cand), std::move(rec), timer);
+}
+
+TransitionRecord ResilienceManager::resync() {
+  TELEM_SPAN("resilience.resync");
+  Timer timer;
+  TransitionRecord rec;
+  rec.event = "resync";
+  rec.total_dests = net_.terminals().size();
+  rec.affected_dests = rec.total_dests;
+  const std::shared_ptr<const RoutingResult> old = table();
+  Candidate cand = run_ladder(old.get(), /*incremental=*/false, rec.verdicts);
+  return gate_and_commit(old, std::move(cand), std::move(rec), timer);
+}
+
+TransitionRecord ResilienceManager::gate_and_commit(
+    const std::shared_ptr<const RoutingResult>& old, Candidate cand,
+    TransitionRecord rec, Timer& timer) {
   rec.union_gate_checked = true;
   Timer gate_timer;
   const bool gate_ok = union_cdg_acyclic(net_, *old, *cand.rr);
@@ -124,15 +152,109 @@ TransitionRecord ResilienceManager::apply(const FaultEvent& e) {
     std::ostringstream os;
     os << "union-gate: acyclic, hitless swap [" << gate_ms << "ms]";
     rec.verdicts.push_back(os.str());
-  } else {
-    // Old and new dependencies together would close a cycle, so the two
-    // routing functions must never coexist in the fabric: drain, then
-    // install a fresh full recompute (Theorem 1 applies to it alone).
-    rec.drained = true;
-    rec.verdicts.push_back("union-gate: cycle, drained full recompute");
-    if (cand.step == "incremental") {
-      cand = run_ladder(old.get(), /*incremental=*/false, rec.verdicts);
+    rec.committed_step = cand.step;
+    rec.repair_ms = timer.millis();
+    commit(std::move(*cand.rr), rec);
+    return rec;
+  }
+  if (policy_.enable_waves) {
+    // Old and new dependencies together would close a cycle, but the
+    // cycle is a property of the whole pair: try to stage the changed
+    // columns into migration waves whose every intermediate union stays
+    // acyclic (waves.hpp) — a chain of hitless swaps instead of a drain.
+    TELEM_SPAN("resilience.wave_chain");
+    Timer plan_timer;
+    const WavePlan plan =
+        schedule_waves(net_, *old, *cand.rr, policy_.max_waves);
+    if (plan.ok()) {
+      rec.hitless = true;
+      rec.wave_count = static_cast<std::uint32_t>(plan.waves.size());
+      rec.wave_index = rec.wave_count;
+      std::ostringstream os;
+      os << "union-gate: cycle, wave schedule: " << plan.waves.size()
+         << " waves over " << plan.changed_dests
+         << " changed columns (staleness bound " << plan.max_affected_wave
+         << ") [" << plan_timer.millis() << "ms]";
+      rec.verdicts.push_back(os.str());
+      std::vector<std::uint8_t> take_new(cand.rr->destinations().size(), 0);
+      for (std::size_t w = 0; w + 1 < plan.waves.size(); ++w) {
+        for (NodeId d : plan.waves[w]) {
+          take_new[cand.rr->dest_index(d)] = 1;
+        }
+        TransitionRecord wrec;
+        wrec.event = rec.event;
+        wrec.total_dests = rec.total_dests;
+        wrec.affected_dests = plan.waves[w].size();
+        wrec.committed_step = "wave";
+        wrec.union_gate_checked = true;
+        wrec.hitless = true;
+        wrec.wave_index = static_cast<std::uint32_t>(w + 1);
+        wrec.wave_count = rec.wave_count;
+        std::ostringstream wos;
+        wos << "wave " << w + 1 << "/" << plan.waves.size() << ": migrated "
+            << plan.waves[w].size()
+            << " columns, union acyclic by schedule";
+        wrec.verdicts.push_back(wos.str());
+        wrec.repair_ms = timer.millis();
+        commit(blend_tables(net_, *old, *cand.rr, take_new), wrec);
+      }
+      // The chain's last epoch commits the candidate itself (not a
+      // blend), so the wave path and the direct-gate path install
+      // byte-identical final tables.
+      rec.committed_step = cand.step;
+      rec.repair_ms = timer.millis();
+      commit(std::move(*cand.rr), rec);
+      return rec;
     }
+    rec.verdicts.push_back("wave-scheduler: " + plan.failure);
+    // Per-column waves are stuck — typical when the committed rung is a
+    // full recompute and nearly every column changed, so wave 1 has to
+    // beat the entire old dependency graph. Escape through lane
+    // headroom: the candidate shifted into the unused upper lanes shares
+    // no (channel, VL) vertex with the old epoch, so both unions of the
+    // 2-epoch chain old -> shifted -> candidate are acyclic by
+    // construction (union_cdg_acyclic's vertex space is max(old, new)
+    // lanes wide). This is what keeps sustained storms drain-free even
+    // when the greedy scheduler cannot stage the pair.
+    const std::uint32_t shift = old->num_vls();
+    if (shift + cand.rr->num_vls() <= policy_.max_vls) {
+      rec.hitless = true;
+      rec.wave_count = 2;
+      rec.wave_index = 2;
+      std::ostringstream os;
+      os << "vl-shift chain: 2 epochs through lanes [" << shift << ", "
+         << shift + cand.rr->num_vls() << ")";
+      rec.verdicts.push_back(os.str());
+      TransitionRecord wrec;
+      wrec.event = rec.event;
+      wrec.total_dests = rec.total_dests;
+      wrec.affected_dests = rec.total_dests;  // every column changes lanes
+      wrec.committed_step = "wave";
+      wrec.union_gate_checked = true;
+      wrec.hitless = true;
+      wrec.wave_index = 1;
+      wrec.wave_count = 2;
+      wrec.verdicts.push_back(
+          "wave 1/2: vl-shifted candidate, union vertex-disjoint");
+      wrec.repair_ms = timer.millis();
+      commit(shift_vls(net_, *cand.rr, shift), wrec);
+      rec.committed_step = cand.step;
+      rec.repair_ms = timer.millis();
+      commit(std::move(*cand.rr), rec);
+      return rec;
+    }
+    std::ostringstream nos;
+    nos << "vl-shift: no lane headroom (" << shift << " + "
+        << cand.rr->num_vls() << " > " << policy_.max_vls << ")";
+    rec.verdicts.push_back(nos.str());
+  }
+  // No wave schedule (or waves disabled): the two routing functions must
+  // never coexist in the fabric — drain, then install a fresh full
+  // recompute (Theorem 1 applies to it alone).
+  rec.drained = true;
+  rec.verdicts.push_back("union-gate: cycle, drained full recompute");
+  if (cand.step == "incremental") {
+    cand = run_ladder(old.get(), /*incremental=*/false, rec.verdicts);
   }
   rec.committed_step = cand.step;
   rec.repair_ms = timer.millis();

@@ -20,10 +20,15 @@
 //   3. runs the transition-safety gate before the atomic epoch swap: the
 //      union CDG of the old and new tables must be acyclic (UPR
 //      compatibility), because in-flight packets hold resources per the
-//      old table while new injections follow the new one. A gate failure
-//      falls back to a drained full recompute — correct by Theorem 1
-//      because old and new traffic never coexist — and is recorded as
-//      such, never silently skipped.
+//      old table while new injections follow the new one. When the direct
+//      gate fails, the wave scheduler (waves.hpp) tries to partition the
+//      changed columns into migration waves whose intermediate tables
+//      keep every adjacent union acyclic — the transition then commits as
+//      a multi-epoch chain of hitless swaps instead of draining. Only
+//      when no schedule exists does the manager fall back to a drained
+//      full recompute — correct by Theorem 1 because old and new traffic
+//      never coexist — recorded with the scheduler's verdict, never
+//      silently skipped.
 //
 // Every transition's verdicts land in a metrics::ReconfigLog
 // (src/metrics/reconfig_log.hpp); bench_reconfig and `nue_route
@@ -42,6 +47,7 @@
 #include "metrics/reconfig_log.hpp"
 #include "routing/routing.hpp"
 #include "topology/faults.hpp"
+#include "util/timer.hpp"
 
 namespace nue::resilience {
 
@@ -66,6 +72,15 @@ struct RepairPolicy {
   std::uint64_t seed = 1;     // forwarded to Nue
   /// Worker threads for the routing engines (0 = process default).
   std::uint32_t num_threads = 1;
+  /// Attempt a migration-wave schedule (waves.hpp) when the direct union
+  /// gate fails, before falling back to the drained recompute. Off turns
+  /// every gate failure back into a drain (the pre-wave behavior; the
+  /// bench's baseline mode).
+  bool enable_waves = true;
+  /// Upper bound on the epochs of one wave chain; a schedule that needs
+  /// more drains instead (bounded staleness: a fault-affected column is
+  /// stale for at most max_waves epochs).
+  std::size_t max_waves = 8;
   /// Retained ReconfigLog window (0 = unbounded, the one-shot CLI
   /// default). A resident manager processing an unbounded event stream
   /// must cap this or the verdict trail grows monotonically; summary
@@ -117,8 +132,19 @@ class ResilienceManager {
   /// Apply one runtime event: mutate the fabric, repair, gate, swap.
   /// Throws std::logic_error on an event that is illegal on the current
   /// fabric (apply_fault_event's contract) — the fabric is unchanged in
-  /// that case.
+  /// that case. A transition whose direct gate fails but that the wave
+  /// scheduler can stage commits several epochs (each through the same
+  /// atomic swap, each logged); the returned record is the chain's final
+  /// one (wave_index == wave_count > 0 identifies it).
   TransitionRecord apply(const FaultEvent& e);
+
+  /// Recompute the table from scratch on the current fabric and commit it
+  /// through the same gate -> waves -> drain tail as apply() (event
+  /// "resync", every column counted affected). Deterministic engines make
+  /// the committed table byte-identical to a fresh manager built on an
+  /// identically mutated fabric — the convergence anchor for long churn
+  /// streams (bench_reconfig's storm mode ends with one).
+  TransitionRecord resync();
 
   /// Apply a whole trace (events only; the caller instantiated the
   /// fabric from trace.generate before constructing the manager).
@@ -150,6 +176,13 @@ class ResilienceManager {
   std::string incremental_error(const RoutingResult& rr,
                                 const RoutingResult& old) const;
   void commit(RoutingResult rr, TransitionRecord& record);
+  /// The shared transition tail of apply()/resync(): union gate, wave
+  /// scheduling on gate failure, drained-recompute fallback, commit(s).
+  /// `rec` carries the ladder verdicts in; the chain's final record comes
+  /// back. `timer` spans the whole event for per-record repair_ms.
+  TransitionRecord gate_and_commit(
+      const std::shared_ptr<const RoutingResult>& old, Candidate cand,
+      TransitionRecord rec, Timer& timer);
   /// Fold a run's layer-indexed escape roots into escape_roots_ (entries
   /// of kInvalidNode mean "layer untouched" and keep the remembered root).
   void remember_roots(const std::vector<NodeId>& roots);

@@ -1,0 +1,388 @@
+#include "resilience/waves.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "routing/validate.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace nue::resilience {
+
+namespace {
+
+/// Dependency edge in the shared (channel, VL) vertex space of a table
+/// pair: vertex = channel * stride + slot, stride = max VL budget + 1,
+/// slot stride-1 the overflow vertex for out-of-range lanes (same
+/// aliasing argument as induced_cdg). Committed tables are validated
+/// vl_in_range, so the overflow slot never fires here in practice — it
+/// only keeps a hypothetically broken lane from hiding behind a legal
+/// dependency.
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+struct DepExtractor {
+  const Network& net;
+  std::uint32_t stride;
+
+  std::uint32_t slot(std::uint8_t vl) const {
+    return vl < stride - 1 ? vl : stride - 1;
+  }
+
+  /// Dependencies of one forwarding column: column-derived in O(nodes)
+  /// for VL schemes where the lane at a node is source-independent
+  /// (kPerDest, kPerHop — mirrors union_cdg_acyclic's accumulator), exact
+  /// stale-tolerant per-source walks for kPerSource. Sorted and
+  /// deduplicated so the incremental admission checks stay proportional
+  /// to the real delta.
+  std::vector<Edge> column(const RoutingResult& rr, std::uint32_t di) const {
+    std::vector<Edge> edges;
+    const NodeId d = rr.destinations()[di];
+    if (rr.vl_mode() == VlMode::kPerSource) {
+      for (NodeId s : net.terminals()) {
+        if (s == d || !net.node_alive(s)) continue;
+        NodeId at = s;
+        std::size_t hops = 0;
+        auto prev = static_cast<std::uint32_t>(-1);
+        while (at != d && hops++ <= net.num_nodes()) {
+          const ChannelId c = rr.next(at, di);
+          if (c == kInvalidChannel || net.src(c) != at ||
+              !net.channel_alive(c)) {
+            break;  // stale prefix: emitted dependencies stay
+          }
+          const std::uint32_t cur = c * stride + slot(rr.vl(at, s, di));
+          if (prev != static_cast<std::uint32_t>(-1)) {
+            edges.emplace_back(prev, cur);
+          }
+          prev = cur;
+          at = net.dst(c);
+        }
+      }
+    } else {
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        if (v == d || !net.node_alive(v)) continue;
+        const ChannelId c = rr.next(v, di);
+        if (c == kInvalidChannel || net.src(c) != v ||
+            !net.channel_alive(c)) {
+          continue;  // hole/stale entry: no resource requested here
+        }
+        const NodeId u = net.dst(c);
+        if (u == d || !net.node_alive(u)) continue;
+        const ChannelId c2 = rr.next(u, di);
+        if (c2 == kInvalidChannel || net.src(c2) != u ||
+            !net.channel_alive(c2)) {
+          continue;
+        }
+        edges.emplace_back(c * stride + slot(rr.vl(v, v, di)),
+                           c2 * stride + slot(rr.vl(u, u, di)));
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+  }
+};
+
+/// Forwarding columns equal over the alive fabric. Entries at dead nodes
+/// are ignored: no packet can be there to request a resource, and the
+/// splice/reroute producers legitimately leave holes where the old table
+/// kept stale entries.
+bool columns_equal(const Network& net, const RoutingResult& a,
+                   std::uint32_t adi, const RoutingResult& b,
+                   std::uint32_t bdi, NodeId d) {
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (v == d || !net.node_alive(v)) continue;
+    if (a.next(v, adi) != b.next(v, bdi)) return false;
+  }
+  switch (a.vl_mode()) {
+    case VlMode::kPerDest:
+      return a.vl(d, d, adi) == b.vl(d, d, bdi);
+    case VlMode::kPerSource:
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        if (v == d || !net.node_alive(v)) continue;
+        if (a.vl(d, v, adi) != b.vl(d, v, bdi)) return false;
+      }
+      return true;
+    case VlMode::kPerHop:
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        if (v == d || !net.node_alive(v)) continue;
+        if (a.vl(v, d, adi) != b.vl(v, d, bdi)) return false;
+      }
+      return true;
+  }
+  return true;
+}
+
+/// Incrementally growable dependency graph with a maintained topological
+/// order: a candidate edge set whose edges all run forward in the current
+/// order is admitted without a recheck; otherwise one Kahn pass decides
+/// (and a rejected candidate pays a second pass to restore the order).
+struct TopoGraph {
+  explicit TopoGraph(std::size_t n) : adj(n), pos(n, 0) {}
+
+  void add_edges(const std::vector<Edge>& es) {
+    for (const Edge& e : es) adj[e.first].push_back(e.second);
+  }
+
+  /// Kahn's algorithm; refills pos. False iff the graph has a cycle.
+  bool recompute_topo() {
+    const std::size_t n = adj.size();
+    std::vector<std::uint32_t> indeg(n, 0);
+    for (const auto& out : adj) {
+      for (std::uint32_t w : out) ++indeg[w];
+    }
+    std::vector<std::uint32_t> queue;
+    queue.reserve(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (indeg[v] == 0) queue.push_back(v);
+    }
+    std::size_t head = 0;
+    std::uint32_t done = 0;
+    while (head < queue.size()) {
+      const std::uint32_t v = queue[head++];
+      pos[v] = done++;
+      for (std::uint32_t w : adj[v]) {
+        if (--indeg[w] == 0) queue.push_back(w);
+      }
+    }
+    return done == n;
+  }
+
+  /// Admit es iff the graph stays acyclic; on rejection the graph (and
+  /// the topological order) are left as before.
+  bool try_add(const std::vector<Edge>& es) {
+    bool forward = true;
+    for (const Edge& e : es) {
+      if (pos[e.first] >= pos[e.second]) {
+        forward = false;
+        break;
+      }
+    }
+    add_edges(es);
+    if (forward) return true;  // the existing order certifies acyclicity
+    if (recompute_topo()) return true;
+    for (auto it = es.rbegin(); it != es.rend(); ++it) {
+      adj[it->first].pop_back();
+    }
+    recompute_topo();  // pos is partial after a failed pass; restore it
+    return false;
+  }
+
+  std::vector<std::vector<std::uint32_t>> adj;
+  std::vector<std::uint32_t> pos;
+};
+
+}  // namespace
+
+WavePlan schedule_waves(const Network& net, const RoutingResult& old_rr,
+                        const RoutingResult& new_rr, std::size_t max_waves) {
+  TELEM_SPAN("resilience.wave_schedule");
+  WavePlan plan;
+  if (old_rr.vl_mode() != new_rr.vl_mode()) {
+    plan.failure = "vl-mode mismatch between old and new table";
+    return plan;
+  }
+  if (max_waves == 0) {
+    plan.failure = "wave budget is zero";
+    return plan;
+  }
+  const std::uint32_t stride =
+      std::max(old_rr.num_vls(), new_rr.num_vls()) + 1;
+  const DepExtractor ex{net, stride};
+
+  // Classify every column: shared (byte-equal over the alive fabric, its
+  // dependencies are immutable background), changed (migrates in some
+  // wave), or dropped (only the old table routes it — its dependencies
+  // retire with the first wave, exactly when the epoch that dropped the
+  // column starts draining its predecessor).
+  struct Delta {
+    NodeId d = 0;
+    bool affected = false;  // broken by the fault or newly joined
+    std::vector<Edge> e_old, e_new;
+  };
+  std::vector<Delta> deltas;
+  std::vector<Edge> base_edges;
+  std::vector<Edge> dropped_edges;
+
+  std::vector<std::uint8_t> broken(net.num_nodes(), 0);
+  for (NodeId d : affected_destinations(net, old_rr)) broken[d] = 1;
+
+  for (std::size_t di = 0; di < new_rr.destinations().size(); ++di) {
+    const NodeId d = new_rr.destinations()[di];
+    const auto di32 = static_cast<std::uint32_t>(di);
+    const std::uint32_t old_di = old_rr.dest_index(d);
+    if (old_di == RoutingResult::kNoDest) {
+      Delta dl;
+      dl.d = d;
+      dl.affected = true;
+      dl.e_new = ex.column(new_rr, di32);
+      deltas.push_back(std::move(dl));
+      continue;
+    }
+    if (columns_equal(net, old_rr, old_di, new_rr, di32, d)) {
+      const std::vector<Edge> es = ex.column(new_rr, di32);
+      base_edges.insert(base_edges.end(), es.begin(), es.end());
+      continue;
+    }
+    Delta dl;
+    dl.d = d;
+    dl.affected = broken[d] != 0;
+    dl.e_old = ex.column(old_rr, old_di);
+    dl.e_new = ex.column(new_rr, di32);
+    deltas.push_back(std::move(dl));
+  }
+  std::size_t dropped = 0;
+  for (std::size_t di = 0; di < old_rr.destinations().size(); ++di) {
+    const NodeId d = old_rr.destinations()[di];
+    if (new_rr.is_destination(d)) continue;
+    ++dropped;
+    const std::vector<Edge> es =
+        ex.column(old_rr, static_cast<std::uint32_t>(di));
+    dropped_edges.insert(dropped_edges.end(), es.begin(), es.end());
+  }
+  plan.changed_dests = deltas.size() + dropped;
+  if (deltas.empty()) {
+    plan.failure = "no changed columns to migrate";
+    return plan;
+  }
+
+  // Migration order: fault-affected and joined columns first (they are
+  // the ones serving stale/absent routes until their wave lands — front
+  // placement minimizes the staleness bound), then by node id. Stable and
+  // input-deterministic, so the schedule is too.
+  std::stable_sort(deltas.begin(), deltas.end(),
+                   [](const Delta& a, const Delta& b) {
+                     if (a.affected != b.affected) return a.affected;
+                     return a.d < b.d;
+                   });
+
+  const std::size_t num_vertices = net.num_channels() * stride;
+  std::vector<std::uint8_t> migrated(deltas.size(), 0);
+  std::size_t remaining = deltas.size();
+  while (remaining > 0) {
+    if (plan.waves.size() >= max_waves) {
+      std::ostringstream os;
+      os << "wave budget exhausted: " << remaining
+         << " columns unscheduled after " << plan.waves.size() << " waves";
+      plan.failure = os.str();
+      plan.waves.clear();
+      return plan;
+    }
+    // Rebuild the intermediate state's dependency graph: shared columns,
+    // the old dependencies of everything not yet migrated (including this
+    // wave's own candidates — old and new coexist while the wave's epoch
+    // drains its predecessor), the new dependencies of everything already
+    // migrated, and — first wave only — the dropped columns still held by
+    // in-flight traffic of the pre-transition epoch.
+    TopoGraph g(num_vertices);
+    g.add_edges(base_edges);
+    if (plan.waves.empty()) g.add_edges(dropped_edges);
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      g.add_edges(migrated[i] ? deltas[i].e_new : deltas[i].e_old);
+    }
+    if (!g.recompute_topo()) {
+      // The base state mirrors an already-committed (or by-construction
+      // acyclic) table, so this is unreachable unless a producer broke
+      // its contract; report, never crash the repair path.
+      plan.failure = "intermediate dependency graph cyclic before the wave";
+      plan.waves.clear();
+      return plan;
+    }
+    std::vector<NodeId> wave;
+    bool wave_affected = false;
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      if (migrated[i]) continue;
+      if (!g.try_add(deltas[i].e_new)) continue;
+      migrated[i] = 1;
+      --remaining;
+      wave.push_back(deltas[i].d);
+      wave_affected = wave_affected || deltas[i].affected;
+    }
+    if (wave.empty()) {
+      std::ostringstream os;
+      os << "stuck: none of the " << remaining
+         << " remaining columns admissible in wave "
+         << plan.waves.size() + 1;
+      plan.failure = os.str();
+      plan.waves.clear();
+      return plan;
+    }
+    std::sort(wave.begin(), wave.end());
+    plan.waves.push_back(std::move(wave));
+    if (wave_affected) plan.max_affected_wave = plan.waves.size();
+  }
+  return plan;
+}
+
+RoutingResult shift_vls(const Network& net, const RoutingResult& rr,
+                        std::uint32_t shift) {
+  RoutingResult out(net.num_nodes(), rr.destinations(),
+                    shift + rr.num_vls(), rr.vl_mode());
+  for (std::size_t di = 0; di < rr.destinations().size(); ++di) {
+    const NodeId d = rr.destinations()[di];
+    const auto di32 = static_cast<std::uint32_t>(di);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v == d) continue;
+      out.set_next(v, di32, rr.next(v, di32));
+    }
+    switch (rr.vl_mode()) {
+      case VlMode::kPerDest:
+        out.set_dest_vl(di32,
+                        static_cast<std::uint8_t>(rr.vl(d, d, di32) + shift));
+        break;
+      case VlMode::kPerSource:
+        for (NodeId v = 0; v < net.num_nodes(); ++v) {
+          out.set_source_vl(
+              v, di32, static_cast<std::uint8_t>(rr.vl(d, v, di32) + shift));
+        }
+        break;
+      case VlMode::kPerHop:
+        for (NodeId v = 0; v < net.num_nodes(); ++v) {
+          out.set_hop_vl(
+              v, di32, static_cast<std::uint8_t>(rr.vl(v, d, di32) + shift));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+RoutingResult blend_tables(const Network& net, const RoutingResult& old_rr,
+                           const RoutingResult& new_rr,
+                           const std::vector<std::uint8_t>& take_new) {
+  const std::uint32_t vls = std::max(old_rr.num_vls(), new_rr.num_vls());
+  RoutingResult rr(net.num_nodes(), new_rr.destinations(), vls,
+                   new_rr.vl_mode());
+  for (std::size_t di = 0; di < new_rr.destinations().size(); ++di) {
+    const NodeId d = new_rr.destinations()[di];
+    const auto di32 = static_cast<std::uint32_t>(di);
+    const std::uint32_t old_di = old_rr.dest_index(d);
+    const bool use_new = take_new[di] != 0;
+    if (!use_new && old_di == RoutingResult::kNoDest) {
+      continue;  // joined, not yet migrated: the column stays holes
+    }
+    const RoutingResult& src = use_new ? new_rr : old_rr;
+    const std::uint32_t sdi = use_new ? di32 : old_di;
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (v == d) continue;
+      rr.set_next(v, di32, src.next(v, sdi));
+    }
+    switch (rr.vl_mode()) {
+      case VlMode::kPerDest:
+        rr.set_dest_vl(di32, src.vl(d, d, sdi));
+        break;
+      case VlMode::kPerSource:
+        for (NodeId v = 0; v < net.num_nodes(); ++v) {
+          rr.set_source_vl(v, di32, src.vl(d, v, sdi));
+        }
+        break;
+      case VlMode::kPerHop:
+        for (NodeId v = 0; v < net.num_nodes(); ++v) {
+          rr.set_hop_vl(v, di32, src.vl(v, d, sdi));
+        }
+        break;
+    }
+  }
+  return rr;
+}
+
+}  // namespace nue::resilience

@@ -118,6 +118,7 @@ Json FabricShard::apply_event(const FaultEvent& e) {
   r.set("step", rec.committed_step);
   r.set("hitless", rec.hitless);
   r.set("drained", rec.drained);
+  r.set("waves", rec.wave_count);
   r.set("affected_dests", rec.affected_dests);
   r.set("repair_ms", Json(rec.repair_ms));
   return r;
@@ -129,6 +130,7 @@ Json FabricShard::storm(std::size_t count, std::uint64_t seed,
   const FaultTrace trace =
       draw_fault_trace(mgr_.net(), generate_, seed, count, restore_fraction);
   std::size_t transitions = 0, noops = 0, hitless = 0, drained = 0;
+  std::size_t waved = 0;
   for (const FaultEvent& e : trace.events) {
     events_.fetch_add(1, std::memory_order_relaxed);
     telemetry::counter("service.fault_events").add();
@@ -139,6 +141,7 @@ Json FabricShard::storm(std::size_t count, std::uint64_t seed,
       ++transitions;
       if (rec.hitless) ++hitless;
       if (rec.drained) ++drained;
+      if (rec.wave_count > 0) ++waved;
     }
   }
   Json r = ok_response("storm");
@@ -146,8 +149,11 @@ Json FabricShard::storm(std::size_t count, std::uint64_t seed,
   r.set("events", trace.events.size());
   r.set("transitions", transitions);
   r.set("noops", noops);
-  r.set("hitless", hitless);
-  r.set("drained", drained);
+  // Counts, not the event response's booleans — distinct names keep the
+  // one-envelope schema (managerd.schema.json) free of union types.
+  r.set("hitless_swaps", hitless);
+  r.set("drains", drained);
+  r.set("waved", waved);
   r.set("epoch", mgr_.epoch());
   return r;
 }
@@ -182,7 +188,15 @@ Json FabricShard::status() {
   r.set("transitions", sum.transitions);
   r.set("hitless", sum.hitless);
   r.set("drained", sum.drained);
+  r.set("waves", sum.wave_commits);
+  r.set("zero_drain_saves", sum.waved);
   r.set("noops", sum.noops);
+  // Per-rung ladder outcomes (exact across log eviction) so an operator
+  // can see from `nue_routectl status` alone whether a shard has ever
+  // drained, waved, or climbed past the incremental rung.
+  Json rungs = Json::object();
+  for (const auto& [step, count] : sum.by_step) rungs.set(step, count);
+  r.set("rungs", rungs);
   r.set("log_records", mgr_.log().records().size());
   r.set("log_evicted", mgr_.log().evicted_records());
   return r;

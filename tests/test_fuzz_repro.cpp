@@ -7,6 +7,9 @@
 #include <sstream>
 
 #include "fuzz/fuzz.hpp"
+#include "resilience/resilience.hpp"
+#include "topology/faults.hpp"
+#include "topology/generate.hpp"
 
 namespace nue::fuzz {
 namespace {
@@ -154,6 +157,51 @@ TEST(FuzzRepro, ShippedCorpusReplays) {
     ++replayed;
   }
   EXPECT_GE(replayed, 3u);
+}
+
+TEST(FuzzRepro, ShippedUnionGateTraceForcesAGateFailure) {
+  // The adversarial fault trace committed under tests/corpus/ — the
+  // shortest prefix of a churn storm whose last event makes the union CDG
+  // of the active and the repaired table cyclic. Replayed here on both
+  // sides of the wave scheduler: with waves disabled the gate failure
+  // must drain (the trace stays adversarial), with waves enabled the same
+  // transition must commit as a zero-drain migration chain.
+  const std::filesystem::path path =
+      std::filesystem::path(NUE_TEST_CORPUS_DIR) / "torus-3x3-union-gate.trace";
+  ASSERT_TRUE(std::filesystem::is_regular_file(path)) << path;
+  const FaultTrace trace = load_fault_trace_file(path.string());
+  EXPECT_EQ(trace.generate, "torus:3x3:1");
+  ASSERT_FALSE(trace.events.empty());
+
+  resilience::RepairPolicy pol;
+  pol.engine = resilience::Engine::kNue;
+  pol.vls = 2;
+  pol.max_vls = 4;
+  pol.seed = trace.seed;
+  pol.num_threads = 1;
+
+  resilience::RepairPolicy baseline = pol;
+  baseline.enable_waves = false;
+  resilience::ResilienceManager drained(generate_topology(trace.generate).net,
+                                        baseline);
+  drained.replay(trace);
+  const auto off = drained.log().summarize();
+  EXPECT_GT(off.drained, 0u) << "trace no longer forces a gate failure";
+  EXPECT_EQ(off.waved, 0u);
+
+  resilience::ResilienceManager waved(generate_topology(trace.generate).net,
+                                      pol);
+  const auto records = waved.replay(trace);
+  const auto on = waved.log().summarize();
+  EXPECT_EQ(on.drained, 0u);
+  EXPECT_GT(on.waved, 0u);
+  EXPECT_GE(on.wave_commits, 2 * on.waved);
+  // The harvested prefix ends on the gate-failure event, so the replay's
+  // last record is a chain final.
+  ASSERT_FALSE(records.empty());
+  EXPECT_GT(records.back().wave_count, 0u);
+  EXPECT_EQ(records.back().wave_index, records.back().wave_count);
+  EXPECT_FALSE(records.back().drained);
 }
 
 TEST(FuzzRepro, RejectsMalformedFiles) {

@@ -127,24 +127,30 @@ std::string temp_socket_path(const char* tag) {
 // the protocol, route queries hammering both shards concurrently, and a
 // byte-identical cross-check against the offline replay path.
 TEST(Daemon, ConcurrentQueriesDuringFaultStormMatchOfflineReplay) {
-  const std::string spec_a = "torus:4x4:1";
+  // Fabric a deliberately uses the churn configuration that is known to
+  // force union-gate failures (see test_waves.cpp): the storm drives the
+  // manager through multi-epoch wave chains while clients are mid-query,
+  // so the monotone-epoch assertions below cover intermediate wave
+  // commits, not just ordinary swaps.
+  const std::string spec_a = "torus:3x3:1";
   const std::string spec_b = "random:20:50:2";
   resilience::RepairPolicy pol_a;
   pol_a.engine = resilience::Engine::kNue;
   pol_a.vls = 2;
-  pol_a.max_vls = 8;
-  pol_a.seed = 3;
+  pol_a.max_vls = 4;
+  pol_a.seed = 29;
   pol_a.num_threads = 1;
   pol_a.log_max_records = 64;
   resilience::RepairPolicy pol_b = pol_a;
   pol_b.engine = resilience::Engine::kDfsssp;
   pol_b.vls = 4;
+  pol_b.max_vls = 8;
 
   // The event storm, drawn offline so the daemon and the reference
   // replay consume the identical sequence.
   const FaultTrace storm = draw_fault_trace(generate_topology(spec_a).net,
-                                            spec_a, 17, 48, 0.45);
-  ASSERT_GE(storm.events.size(), 24u);
+                                            spec_a, 29, 300, 0.5);
+  ASSERT_GE(storm.events.size(), 150u);
 
   ManagerService svc;
   svc.load("a", spec_a, pol_a);
@@ -168,9 +174,9 @@ TEST(Daemon, ConcurrentQueriesDuringFaultStormMatchOfflineReplay) {
       while (!stop.load(std::memory_order_acquire)) {
         ++iter;
         const bool on_a = (iter + salt) % 3 != 0;
-        // Fabric a: terminals are nodes 16..31; fabric b: 20..59.
-        const std::uint32_t lo = on_a ? 16 : 20;
-        const std::uint32_t n = on_a ? 16 : 40;
+        // Fabric a: terminals are nodes 9..17; fabric b: 20..59.
+        const std::uint32_t lo = on_a ? 9 : 20;
+        const std::uint32_t n = on_a ? 9 : 40;
         const auto src = static_cast<std::uint32_t>(
             lo + (iter * 7 + salt) % n);
         auto dst =
@@ -221,9 +227,16 @@ TEST(Daemon, ConcurrentQueriesDuringFaultStormMatchOfflineReplay) {
   std::vector<std::thread> workers;
   for (std::uint32_t i = 0; i < 4; ++i) workers.emplace_back(worker, i);
 
-  // The storm, over the wire, while the workers hammer both shards.
+  // The storm, over the wire, while the workers hammer both shards. Wave
+  // chains surface in the event response: a chain's "epoch" is its final
+  // committed epoch and "waves" its chain length, so the daemon-side
+  // epoch must advance by exactly the chain length — the intermediates
+  // were committed (and were visible to the query workers), never
+  // skipped.
+  std::uint64_t wave_chains = 0, wave_epochs = 0;
   {
     Client events(path);
+    std::uint64_t last_epoch = 1;
     for (const FaultEvent& e : storm.events) {
       Json req = Json::object();
       req.set("op", "event");
@@ -232,12 +245,46 @@ TEST(Daemon, ConcurrentQueriesDuringFaultStormMatchOfflineReplay) {
       req.set("id", e.id);
       const Json resp = events.request(req);
       ASSERT_TRUE(resp.boolean("ok")) << resp.str("error");
+      const auto epoch = static_cast<std::uint64_t>(resp.num("epoch"));
+      const auto waves = static_cast<std::uint64_t>(resp.num("waves"));
+      if (waves > 0) {
+        ++wave_chains;
+        wave_epochs += waves;
+        ASSERT_GE(waves, 2u) << resp.dump();
+        ASSERT_EQ(epoch, last_epoch + waves) << resp.dump();
+        ASSERT_FALSE(resp.boolean("drained")) << resp.dump();
+      } else {
+        ASSERT_LE(epoch, last_epoch + 1) << resp.dump();
+      }
+      last_epoch = epoch;
     }
   }
   stop.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
   ASSERT_FALSE(failed.load());
   EXPECT_GT(ok_routes.load(), 0u) << "storm never saw a successful query";
+  EXPECT_GT(wave_chains, 0u)
+      << "storm no longer exercises mid-wave daemon reads";
+
+  // The per-shard status op reports the same wave history the event
+  // responses accumulated — the operator-visible zero-drain evidence.
+  {
+    Client client(path);
+    const Json status = client.request(Json::parse(R"({"op":"status"})"));
+    ASSERT_TRUE(status.boolean("ok"));
+    for (const Json& fab : status.find("fabrics")->items()) {
+      if (fab.str("fabric") != "a") continue;
+      EXPECT_EQ(static_cast<std::uint64_t>(fab.num("zero_drain_saves")),
+                wave_chains);
+      EXPECT_EQ(static_cast<std::uint64_t>(fab.num("waves")), wave_epochs);
+      EXPECT_EQ(fab.num("drained"), 0.0) << fab.dump();
+      const Json* rungs = fab.find("rungs");
+      ASSERT_NE(rungs, nullptr);
+      EXPECT_EQ(static_cast<std::uint64_t>(rungs->num("wave")),
+                wave_epochs - wave_chains)
+          << "one intermediate 'wave' rung per non-final chain epoch";
+    }
+  }
 
   // Offline reference: same fabric, same policy, same events — the
   // daemon's final table must be byte-identical to the one-shot replay.

@@ -48,6 +48,8 @@ struct Totals {
   std::size_t reconfig_transitions = 0;
   std::size_t reconfig_hitless = 0;
   std::size_t reconfig_drained = 0;
+  std::size_t reconfig_waved = 0;         // wave chains (drains avoided)
+  std::size_t reconfig_wave_commits = 0;  // epochs those chains committed
 };
 
 Totals summarize(const std::vector<ScenarioOutcome>& outcomes) {
@@ -67,6 +69,8 @@ Totals summarize(const std::vector<ScenarioOutcome>& outcomes) {
       t.reconfig_transitions += o.report.reconfig_transitions;
       t.reconfig_hitless += o.report.reconfig_hitless;
       t.reconfig_drained += o.report.reconfig_drained;
+      t.reconfig_waved += o.report.reconfig_waved;
+      t.reconfig_wave_commits += o.report.reconfig_wave_commits;
     }
   }
   return t;
@@ -97,6 +101,8 @@ void write_json(const std::string& path,
      << ",\n  \"reconfig_transitions\": " << t.reconfig_transitions
      << ",\n  \"reconfig_hitless\": " << t.reconfig_hitless
      << ",\n  \"reconfig_drained\": " << t.reconfig_drained
+     << ",\n  \"reconfig_waved\": " << t.reconfig_waved
+     << ",\n  \"reconfig_wave_commits\": " << t.reconfig_wave_commits
      << ",\n  \"failures\": [\n";
   bool first = true;
   for (const auto& o : outcomes) {
@@ -322,7 +328,8 @@ int main(int argc, char** argv) {
     std::cout << "reconfig: " << t.reconfig_checked << " scenarios, "
               << t.reconfig_transitions << " transitions ("
               << t.reconfig_hitless << " hitless, " << t.reconfig_drained
-              << " drained)\n";
+              << " drained, " << t.reconfig_waved << " waved across "
+              << t.reconfig_wave_commits << " wave epochs)\n";
   }
   if (mutation != Mutation::kNone) {
     // Self-test sweep: violations are the expected outcome; the failure
