@@ -46,7 +46,10 @@
 #include "resilience/resilience.hpp"
 #include "routing/dump.hpp"
 #include "routing/validate.hpp"
+#include "service/json.hpp"
+#include "service/service.hpp"
 #include "telemetry/cli.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topology/faults.hpp"
 #include "topology/generate.hpp"
 #include "topology/torus.hpp"
@@ -117,7 +120,71 @@ struct StormRecord {
   double p99_repair_ms = 0.0;
   double events_per_sec = 0.0;
   bool resync_matches_offline = false;
+  // Daemon-side live plane: the same trace replayed through
+  // ManagerService::handle with the journal armed and metrics scrapes
+  // interleaved — the request-latency SLO and journal throughput a
+  // resident nue_managerd would report for this storm.
+  double svc_p50_request_us = 0.0;
+  double svc_p99_request_us = 0.0;
+  double journal_entries_per_sec = 0.0;
 };
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> request_us_buckets() {
+  for (const auto& h :
+       nue::telemetry::Registry::instance().histogram_snapshot()) {
+    if (h.name == "service.request_us") return h.buckets;
+  }
+  return {};
+}
+
+/// Replay the trace through the full service path (dispatcher, commit
+/// hooks, journal, scrapes) and fold the daemon-side SLOs into `rec`.
+/// The registry is process-global, so latencies are taken as the bucket
+/// delta across this run (the bench may storm several topologies).
+void measure_service_path(const std::string& topo,
+                          const nue::FaultTrace& trace,
+                          const nue::resilience::RepairPolicy& policy,
+                          StormRecord& rec) {
+  using nue::service::Json;
+  const nue::telemetry::EnabledScope telem_on(true);
+  const auto before = request_us_buckets();
+  nue::service::ManagerService svc;
+  svc.load("storm", topo, policy);
+  const std::uint64_t journal_before = svc.journal().total();
+
+  nue::Timer wall;
+  std::size_t applied = 0;
+  for (const nue::FaultEvent& e : trace.events) {
+    Json req = Json::object();
+    req.set("op", "event");
+    req.set("fabric", "storm");
+    req.set("kind", nue::fault_event_name(e.kind));
+    req.set("id", e.id);
+    NUE_CHECK(svc.handle(req).boolean("ok"));
+    if (++applied % 16 == 0) {
+      NUE_CHECK(svc.handle(Json::parse(R"({"op":"metrics"})")).boolean("ok"));
+      NUE_CHECK(svc.handle(Json::parse(R"({"op":"journal"})")).boolean("ok"));
+    }
+  }
+  const double secs = wall.millis() / 1000.0;
+
+  // Non-empty buckets only, sorted by edge; counts never shrink, so the
+  // before-set of edges is a subset of the after-set.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> delta;
+  std::size_t bi = 0;
+  for (const auto& [le, n] : request_us_buckets()) {
+    std::uint64_t prev = 0;
+    if (bi < before.size() && before[bi].first == le) {
+      prev = before[bi].second;
+      ++bi;
+    }
+    delta.emplace_back(le, n - prev);
+  }
+  rec.svc_p50_request_us = nue::telemetry::quantile_from_buckets(delta, 0.5);
+  rec.svc_p99_request_us = nue::telemetry::quantile_from_buckets(delta, 0.99);
+  const std::uint64_t journaled = svc.journal().total() - journal_before;
+  rec.journal_entries_per_sec = secs > 0 ? journaled / secs : 0.0;
+}
 
 StormRecord run_storm(const std::string& topo, std::size_t events,
                       std::uint64_t seed, double restore,
@@ -186,6 +253,8 @@ StormRecord run_storm(const std::string& topo, std::size_t events,
   for (const FaultEvent& e : trace.events) {
     if (base.apply(e).drained) ++rec.baseline_drains;
   }
+
+  measure_service_path(topo, trace, policy, rec);
   return rec;
 }
 
@@ -209,6 +278,9 @@ void write_storm_json(const std::string& path,
        << ", \"p50_repair_ms\": " << r.p50_repair_ms
        << ", \"p99_repair_ms\": " << r.p99_repair_ms
        << ", \"events_per_sec\": " << r.events_per_sec
+       << ", \"svc_p50_request_us\": " << r.svc_p50_request_us
+       << ", \"svc_p99_request_us\": " << r.svc_p99_request_us
+       << ", \"journal_entries_per_sec\": " << r.journal_entries_per_sec
        << ", \"resync_matches_offline\": "
        << (r.resync_matches_offline ? "true" : "false") << "}"
        << (i + 1 < recs.size() ? "," : "") << "\n";
@@ -252,18 +324,21 @@ int main(int argc, char** argv) {
                                             "dragonfly:4:2:2:9"};
     Table storm_table({"topology", "events", "hitless", "drains",
                        "waves (chains/epochs)", "max chain", "base drains",
-                       "p50 [ms]", "p99 [ms]", "ev/s", "resync=="});
+                       "p50 [ms]", "p99 [ms]", "ev/s", "svc p50/p99 [us]",
+                       "jrnl/s", "resync=="});
     std::vector<StormRecord> storms;
     bool all_zero_drain = true, all_resync = true;
     for (std::size_t i = 0; i < topos.size(); ++i) {
       StormRecord r =
           run_storm(topos[i], storm_events, seed + i, restore, threads);
-      std::ostringstream waves;
+      std::ostringstream waves, svc_us;
       waves << r.wave_chains << "/" << r.wave_commits;
+      svc_us << r.svc_p50_request_us << "/" << r.svc_p99_request_us;
       storm_table.row() << r.topo << r.events << r.hitless << r.drains
                         << waves.str() << r.max_chain_epochs
                         << r.baseline_drains << r.p50_repair_ms
                         << r.p99_repair_ms << r.events_per_sec
+                        << svc_us.str() << r.journal_entries_per_sec
                         << (r.resync_matches_offline ? "yes" : "NO");
       all_zero_drain = all_zero_drain && r.drains == 0;
       all_resync = all_resync && r.resync_matches_offline;

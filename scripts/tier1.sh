@@ -14,13 +14,15 @@ ctest --test-dir build --output-on-failure -j
 
 # TSan also covers the churn regressions, the daemon's concurrent
 # query-during-storm path (epoch-snapshot reads racing repair commits),
-# and the wave-scheduler suite (multi-epoch migration chains committing
-# through the same swap while readers hold table snapshots).
+# the wave-scheduler suite (multi-epoch migration chains committing
+# through the same swap while readers hold table snapshots), and the
+# live observability plane (scraper threads reading metrics/journal
+# against an in-flight storm).
 cmake -B build-tsan -S . -DSANITIZE=thread
 cmake --build build-tsan -j --target nue_tests
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/nue_tests \
-  --gtest_filter='ParallelDeterminism.*:NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*'
+  --gtest_filter='ParallelDeterminism.*:NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*:LivePlane.*'
 
 cmake -B build-ubsan -S . -DSANITIZE=undefined
 cmake --build build-ubsan -j --target route_fuzz
@@ -75,24 +77,28 @@ python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
 cmake --build build-asan -j --target nue_managerd nue_routectl nue_tests
 ASAN_OPTIONS="halt_on_error=1" \
   ./build-asan/tests/nue_tests \
-  --gtest_filter='NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*'
+  --gtest_filter='NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*:LivePlane.*'
 MANAGERD_SOCK="build-asan/managerd.sock"
+rm -rf build-asan/flightrec build-asan/managerd.journal.jsonl
 ASAN_OPTIONS="halt_on_error=1" \
   ./build-asan/tools/nue_managerd --socket "$MANAGERD_SOCK" \
   --load "a=torus:4x4:1@nue:2;b=random:20:50:2@dfsssp:8" \
-  --metrics-out build-asan/managerd.metrics.json &
+  --metrics-out build-asan/managerd.metrics.json \
+  --journal build-asan/managerd.journal.jsonl \
+  --flightrec-dir build-asan/flightrec \
+  --prom-out build-asan/managerd.prom &
 MANAGERD_PID=$!
 for _ in $(seq 1 100); do
   [ -S "$MANAGERD_SOCK" ] && break
   sleep 0.1
 done
-./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op status \
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op status --json \
   > build-asan/managerd.status.json
-./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op route \
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op route --json \
   --fabric a --src 16 --dst 31 > build-asan/managerd.route1.json
-./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op event \
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op event --json \
   --fabric a --kind link-down --id 4 > build-asan/managerd.event.json
-./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op route \
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op route --json \
   --fabric a --src 16 --dst 31 > build-asan/managerd.route2.json
 # Zero-drain storm smoke (docs/RESILIENCE.md): a 200-event fault/repair
 # storm on the live shard under ASan. The fixed seed is known to force
@@ -100,11 +106,24 @@ done
 # scheduler armed every one must commit as a migration chain — the
 # shutdown report's resilience.drains counter is asserted exactly zero
 # (the counter is always emitted, so a silent rename cannot pass).
-./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op storm \
-  --fabric a --events 200 --seed 1 > build-asan/managerd.storm.json
-./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op status \
+# The storm runs in the background and the live plane is scraped against
+# it mid-flight: two `metrics` snapshots (schema-valid, counters
+# monotone between them — the torn-scrape gate) plus a `journal` tail.
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op storm --json \
+  --fabric a --events 200 --seed 1 > build-asan/managerd.storm.json &
+STORM_PID=$!
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op metrics --json \
+  > build-asan/managerd.metrics1.json
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op metrics --json \
+  > build-asan/managerd.metrics2.json
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op journal --json \
+  > build-asan/managerd.journal.json
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op watch \
+  --iterations 1 > build-asan/managerd.watch.txt
+wait "$STORM_PID"
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op status --json \
   > build-asan/managerd.status2.json
-./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op shutdown
+./build-asan/tools/nue_routectl --socket "$MANAGERD_SOCK" --op shutdown --json
 wait "$MANAGERD_PID"
 for resp in status route1 event route2 storm status2; do
   python3 scripts/validate_json.py scripts/schemas/managerd.schema.json \
@@ -114,6 +133,28 @@ python3 scripts/validate_json.py scripts/schemas/managerd.schema.json \
   build-asan/managerd.storm.json \
   --nonzero waved \
   --zero drains
+python3 scripts/validate_json.py scripts/schemas/live_metrics.schema.json \
+  build-asan/managerd.metrics2.json \
+  --require-monotonic build-asan/managerd.metrics1.json \
+  --nonzero report/counters/service.requests
+python3 scripts/validate_json.py scripts/schemas/journal.schema.json \
+  build-asan/managerd.journal.json \
+  --nonzero total
+grep -q 'epoch' build-asan/managerd.watch.txt
+# The storm's union-gate failures must have tripped the flight recorder,
+# and the shutdown Prometheus exposition must carry the service SLOs.
+ls build-asan/flightrec/flightrec-a-*.json > /dev/null
+python3 -c "import json,glob; json.load(open(glob.glob('build-asan/flightrec/flightrec-a-*.json')[0]))"
+grep -q '^service_request_us_bucket{le="+Inf"}' build-asan/managerd.prom
+grep -q '^# TYPE service_requests counter' build-asan/managerd.prom
+python3 -c "
+import json
+lines = [json.loads(l) for l in open('build-asan/managerd.journal.jsonl')]
+assert lines, 'journal mirror is empty'
+assert any(e['kind'] == 'gate-failure' for e in lines), 'no gate-failure journaled'
+seqs = [e['seq'] for e in lines]
+assert seqs == sorted(seqs), 'journal mirror out of order'
+"
 python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
   build-asan/managerd.metrics.json \
   --nonzero counters/service.requests \

@@ -16,9 +16,18 @@ Extra assertions beyond the schema:
                    touched does not count as zero (the zero-drain
                    acceptance gate wants proof the drain path was armed
                    and never fired), e.g. --zero counters/resilience.drains
+  --require-monotonic PREV.json
+                   require every counter and every histogram count/sum
+                   present in PREV to be <= its value in DOC. PREV and
+                   DOC may each be a live `metrics` response (sections
+                   under "report") or a run report (sections at top
+                   level). This is the torn-scrape detector for the
+                   daemon's live plane: two successive in-flight scrapes
+                   of a monotone registry must never go backwards.
 
 Usage:
   validate_json.py SCHEMA DOC [--nonzero PATH]... [--zero PATH]...
+                   [--require-monotonic PREV.json]...
 Exit code 0 = valid, 1 = violation (printed to stderr).
 """
 import json
@@ -74,6 +83,42 @@ def validate(value, schema, path, errors):
                 validate(sub, items, f"{path}/{i}", errors)
 
 
+def _metric_sections(doc):
+    """Counters/histograms of either a live `metrics` response (nested
+    under "report") or a run report (top level)."""
+    root = doc.get("report", doc) if isinstance(doc, dict) else {}
+    if not isinstance(root, dict):
+        root = {}
+    return root.get("counters") or {}, root.get("histograms") or {}
+
+
+def check_monotonic(prev, doc, prev_path, errors):
+    prev_counters, prev_hists = _metric_sections(prev)
+    counters, hists = _metric_sections(doc)
+    for name, before in prev_counters.items():
+        after = counters.get(name)
+        if not isinstance(after, (int, float)) or isinstance(after, bool):
+            errors.append(
+                f"--require-monotonic: counter '{name}' present in "
+                f"{prev_path} but not here")
+        elif after < before:
+            errors.append(
+                f"--require-monotonic: counter '{name}' went backwards "
+                f"({before} -> {after})")
+    for name, before in prev_hists.items():
+        after = hists.get(name)
+        if not isinstance(after, dict):
+            errors.append(
+                f"--require-monotonic: histogram '{name}' present in "
+                f"{prev_path} but not here")
+            continue
+        for field in ("count", "sum"):
+            if after.get(field, 0) < before.get(field, 0):
+                errors.append(
+                    f"--require-monotonic: histogram '{name}' {field} went "
+                    f"backwards ({before.get(field)} -> {after.get(field)})")
+
+
 def lookup(doc, path):
     node = doc
     for seg in path.split("/"):
@@ -90,6 +135,7 @@ def main(argv):
     schema_path, doc_path = argv[1], argv[2]
     nonzero = []
     zero = []
+    monotonic = []
     args = argv[3:]
     while args:
         if args[0] == "--nonzero" and len(args) >= 2:
@@ -97,6 +143,9 @@ def main(argv):
             args = args[2:]
         elif args[0] == "--zero" and len(args) >= 2:
             zero.append(args[1])
+            args = args[2:]
+        elif args[0] == "--require-monotonic" and len(args) >= 2:
+            monotonic.append(args[1])
             args = args[2:]
         else:
             print(f"unknown argument {args[0]}", file=sys.stderr)
@@ -112,6 +161,14 @@ def main(argv):
 
     errors = []
     validate(doc, schema, "$", errors)
+    for prev_path in monotonic:
+        try:
+            with open(prev_path) as f:
+                prev = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"--require-monotonic {prev_path}: {e}")
+            continue
+        check_monotonic(prev, doc, prev_path, errors)
     for path in nonzero:
         value = lookup(doc, path)
         if value is None:
@@ -134,7 +191,8 @@ def main(argv):
         for e in errors:
             print(f"{doc_path}: {e}", file=sys.stderr)
         return 1
-    print(f"{doc_path}: OK ({len(nonzero)} nonzero, {len(zero)} zero checks)")
+    print(f"{doc_path}: OK ({len(nonzero)} nonzero, {len(zero)} zero, "
+          f"{len(monotonic)} monotonic checks)")
     return 0
 
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "routing/dump.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 #include "topology/generate.hpp"
 #include "util/error.hpp"
@@ -30,6 +31,37 @@ Json error_response(const std::string& op, const std::string& what) {
   r.set("op", op);
   r.set("error", what);
   return r;
+}
+
+/// Per-op request-latency histogram name. Known ops get their own series
+/// (the `service.request_us.<op>` SLO family); anything else shares one
+/// bucket so a hostile client can't grow the registry unboundedly.
+const char* request_us_name(const std::string& op) {
+  if (op == "status") return "service.request_us.status";
+  if (op == "load") return "service.request_us.load";
+  if (op == "unload") return "service.request_us.unload";
+  if (op == "route") return "service.request_us.route";
+  if (op == "tables") return "service.request_us.tables";
+  if (op == "event") return "service.request_us.event";
+  if (op == "storm") return "service.request_us.storm";
+  if (op == "reconfig-log") return "service.request_us.reconfig-log";
+  if (op == "metrics") return "service.request_us.metrics";
+  if (op == "journal") return "service.request_us.journal";
+  if (op == "shutdown") return "service.request_us.shutdown";
+  return "service.request_us.other";
+}
+
+/// The verdict line that explains a failed direct union gate: the gate's
+/// own cycle verdict when present, else the wave scheduler's stuck
+/// verdict (the VL-shift/drain paths record that one first).
+std::string gate_failure_verdict(const TransitionRecord& rec) {
+  for (const std::string& v : rec.verdicts) {
+    if (v.rfind("union-gate: cycle", 0) == 0) return v;
+  }
+  for (const std::string& v : rec.verdicts) {
+    if (v.rfind("wave-scheduler:", 0) == 0) return v;
+  }
+  return rec.verdicts.empty() ? "" : rec.verdicts.back();
 }
 
 }  // namespace
@@ -58,10 +90,63 @@ FaultEvent parse_fault_event(const Json& req) {
 // --- FabricShard ------------------------------------------------------------
 
 FabricShard::FabricShard(std::string name, std::string generate,
-                         resilience::RepairPolicy policy)
+                         resilience::RepairPolicy policy,
+                         EventJournal* journal, FlightRecorder* flightrec)
     : name_(std::move(name)),
       generate_(std::move(generate)),
-      mgr_(generate_topology(generate_).net, std::move(policy)) {}
+      journal_(journal),
+      flightrec_(flightrec),
+      mgr_(generate_topology(generate_).net, std::move(policy)) {
+  last_commit_ns_.store(telemetry::now_ns(), std::memory_order_relaxed);
+  // Fires after every committed epoch, wave intermediates included. The
+  // initial table committed during mgr_'s construction above, before the
+  // hook existed — ManagerService::load journals that as a "load" entry.
+  mgr_.set_commit_hook([this](const Network&, const RoutingResult*,
+                              const RoutingResult&,
+                              const TransitionRecord& rec) {
+    last_commit_ns_.store(telemetry::now_ns(), std::memory_order_relaxed);
+    if (journal_ == nullptr) return;
+    journal_->append(make_entry(
+        rec, rec.committed_step == "wave" ? "wave" : "transition"));
+  });
+}
+
+JournalEntry FabricShard::make_entry(const TransitionRecord& rec,
+                                     const std::string& kind) const {
+  JournalEntry e;
+  e.fabric = name_;
+  e.kind = kind;
+  e.event = rec.event;
+  e.epoch = rec.epoch;
+  e.step = rec.committed_step;
+  e.hitless = rec.hitless;
+  e.drained = rec.drained;
+  e.wave_index = rec.wave_index;
+  e.wave_count = rec.wave_count;
+  e.repair_ms = rec.repair_ms;
+  e.verdict = rec.verdicts.empty() ? "" : rec.verdicts.back();
+  return e;
+}
+
+void FabricShard::observe_transition(const TransitionRecord& rec) {
+  if (journal_ == nullptr) return;
+  if (rec.committed_step == "noop") {
+    journal_->append(make_entry(rec, "noop"));
+    return;
+  }
+  // A transition that waved or drained is one whose direct union gate
+  // failed — the anomaly the journal flags and the flight recorder
+  // snapshots (commit entries for the epochs themselves already landed
+  // via the hook).
+  if (rec.wave_count == 0 && !rec.drained) return;
+  JournalEntry gate = make_entry(rec, "gate-failure");
+  gate.verdict = gate_failure_verdict(rec);
+  journal_->append(gate);
+  if (rec.drained) {
+    journal_->append(make_entry(rec, "drain"));
+  }
+  if (flightrec_ != nullptr) flightrec_->trigger(*journal_, gate);
+}
 
 Json FabricShard::route(std::uint32_t src, std::uint32_t dst) {
   queries_.fetch_add(1, std::memory_order_relaxed);
@@ -111,6 +196,7 @@ Json FabricShard::apply_event(const FaultEvent& e) {
   events_.fetch_add(1, std::memory_order_relaxed);
   telemetry::counter("service.fault_events").add();
   const TransitionRecord rec = mgr_.apply(e);
+  observe_transition(rec);
   Json r = ok_response("event");
   r.set("fabric", name_);
   r.set("event", rec.event);
@@ -135,6 +221,7 @@ Json FabricShard::storm(std::size_t count, std::uint64_t seed,
     events_.fetch_add(1, std::memory_order_relaxed);
     telemetry::counter("service.fault_events").add();
     const TransitionRecord rec = mgr_.apply(e);
+    observe_transition(rec);
     if (rec.committed_step == "noop") {
       ++noops;
     } else {
@@ -199,6 +286,17 @@ Json FabricShard::status() {
   r.set("rungs", rungs);
   r.set("log_records", mgr_.log().records().size());
   r.set("log_evicted", mgr_.log().evicted_records());
+  // Live SLO gauges: repair-latency quantiles over the retained log
+  // window plus the age of the committed epoch — what `routectl watch`
+  // renders per shard.
+  r.set("p50_repair_ms", Json(sum.median_repair_ms));
+  r.set("p99_repair_ms", Json(sum.p99_repair_ms));
+  r.set("max_repair_ms", Json(sum.max_repair_ms));
+  const double age_ms =
+      static_cast<double>(telemetry::now_ns() -
+                          last_commit_ns_.load(std::memory_order_relaxed)) /
+      1e6;
+  r.set("epoch_age_ms", Json(age_ms < 0 ? 0.0 : age_ms));
   return r;
 }
 
@@ -211,18 +309,36 @@ std::string FabricShard::reconfig_log_json() {
 
 // --- ManagerService ---------------------------------------------------------
 
+ManagerService::ManagerService(const ObservabilityOptions& obs)
+    : journal_(obs.journal_capacity), flightrec_(obs) {
+  if (!obs.journal_file.empty()) {
+    journal_.open_file(obs.journal_file, obs.journal_max_bytes);
+  }
+}
+
 void ManagerService::load(const std::string& name, const std::string& generate,
                           resilience::RepairPolicy policy) {
   NUE_CHECK_MSG(!name.empty(), "fabric name must be non-empty");
   // Build outside the map lock: loads are the slow path (full initial
   // route) and must not stall queries against existing shards.
-  auto shard =
-      std::make_shared<FabricShard>(name, generate, std::move(policy));
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& s : shards_) {
-    NUE_CHECK_MSG(s->name() != name, "fabric '" << name << "' already loaded");
+  auto shard = std::make_shared<FabricShard>(name, generate, std::move(policy),
+                                             &journal_, &flightrec_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& s : shards_) {
+      NUE_CHECK_MSG(s->name() != name,
+                    "fabric '" << name << "' already loaded");
+    }
+    shards_.push_back(shard);
   }
-  shards_.push_back(std::move(shard));
+  // The initial table committed inside the shard's constructor, before
+  // its commit hook existed — journal the lifecycle event here instead.
+  JournalEntry e;
+  e.fabric = name;
+  e.kind = "load";
+  e.event = generate;
+  e.epoch = shard->epoch();
+  journal_.append(std::move(e));
 }
 
 std::shared_ptr<FabricShard> ManagerService::find(const std::string& name) {
@@ -272,10 +388,17 @@ Json ManagerService::op_load(const Json& req) {
 
 Json ManagerService::op_unload(const Json& req) {
   const std::string name = req.str("fabric");
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   for (auto it = shards_.begin(); it != shards_.end(); ++it) {
     if ((*it)->name() == name) {
+      const std::uint64_t epoch = (*it)->epoch();
       shards_.erase(it);  // in-flight ops keep their shared_ptr alive
+      lock.unlock();
+      JournalEntry e;
+      e.fabric = name;
+      e.kind = "unload";
+      e.epoch = epoch;
+      journal_.append(std::move(e));
       Json r = ok_response("unload");
       r.set("fabric", name);
       return r;
@@ -285,9 +408,39 @@ Json ManagerService::op_unload(const Json& req) {
   return Json();  // unreachable: the check above throws
 }
 
+Json ManagerService::op_metrics(const Json& req) {
+  const std::string format = req.str("format", "json");
+  Json r = ok_response("metrics");
+  if (format == "prom") {
+    std::ostringstream os;
+    telemetry::write_prometheus_text(os);
+    r.set("text", os.str());
+    return r;
+  }
+  NUE_CHECK_MSG(format == "json",
+                "unknown metrics format '" << format << "' (want json|prom)");
+  r.set("report", live_metrics_report());
+  return r;
+}
+
+Json ManagerService::op_journal(const Json& req) {
+  const auto n = static_cast<std::size_t>(req.num("n", 64));
+  const std::string fabric = req.str("fabric", "");
+  Json entries = Json::array();
+  for (const JournalEntry& e : journal_.tail(n, fabric)) {
+    entries.push_back(e.to_json());
+  }
+  Json r = ok_response("journal");
+  r.set("entries", std::move(entries));
+  r.set("total", journal_.total());
+  r.set("evicted", journal_.evicted());
+  return r;
+}
+
 Json ManagerService::handle(const Json& req) {
   telemetry::counter("service.requests").add();
   const std::string op = req.is_object() ? req.str("op") : "";
+  const std::int64_t t0 = telemetry::now_ns();
   Json resp;
   try {
     NUE_CHECK_MSG(req.is_object(), "request must be a JSON object");
@@ -298,6 +451,10 @@ Json ManagerService::handle(const Json& req) {
       resp = op_load(req);
     } else if (op == "unload") {
       resp = op_unload(req);
+    } else if (op == "metrics") {
+      resp = op_metrics(req);
+    } else if (op == "journal") {
+      resp = op_journal(req);
     } else if (op == "shutdown") {
       shutdown_.store(true, std::memory_order_release);
       resp = ok_response("shutdown");
@@ -333,6 +490,12 @@ Json ManagerService::handle(const Json& req) {
     telemetry::counter("service.request_errors").add();
     resp = error_response(op, e.what());
   }
+  // Request-latency SLO series: overall and per op (errors included —
+  // a failing request still costs the client its latency).
+  const auto us =
+      static_cast<std::uint64_t>((telemetry::now_ns() - t0) / 1000);
+  telemetry::histogram("service.request_us").record(us);
+  telemetry::histogram(request_us_name(op)).record(us);
   // Correlation id for pipelining clients ("req_id", echoed verbatim —
   // plain "id" is taken by the event op's element id).
   if (const Json* id = req.find("req_id")) resp.set("req_id", *id);

@@ -32,21 +32,30 @@
 
 #include "resilience/resilience.hpp"
 #include "service/json.hpp"
+#include "service/observability.hpp"
 #include "topology/faults.hpp"
 
 namespace nue::service {
 
-/// One managed fabric: resilience manager + request counters.
+/// One managed fabric: resilience manager + request counters. With a
+/// journal attached, every commit (chain intermediates included) is
+/// journaled via the manager's commit hook, gate failures get a
+/// dedicated entry, and the flight recorder fires on them.
 class FabricShard {
  public:
   /// Builds the fabric from the generator spec and routes the initial
   /// table (resilience::ResilienceManager's constructor — the heavy
   /// part of `load`). Throws on a bad spec or unroutable fabric.
+  /// journal/flightrec may be null (offline/test shards) and must
+  /// outlive the shard otherwise.
   FabricShard(std::string name, std::string generate,
-              resilience::RepairPolicy policy);
+              resilience::RepairPolicy policy,
+              EventJournal* journal = nullptr,
+              FlightRecorder* flightrec = nullptr);
 
   const std::string& name() const { return name_; }
   const std::string& generate() const { return generate_; }
+  std::uint64_t epoch() const { return mgr_.epoch(); }
 
   /// Route src -> dst on the current epoch; lock-free w.r.t. events.
   Json route(std::uint32_t src, std::uint32_t dst);
@@ -61,17 +70,32 @@ class FabricShard {
   std::string reconfig_log_json();
 
  private:
+  /// Journal the non-commit observations of one applied event (noop,
+  /// gate-failure, drain) and pull the flight-recorder trigger. The
+  /// commit hook already journaled the committed epochs themselves.
+  void observe_transition(const TransitionRecord& rec);
+  JournalEntry make_entry(const TransitionRecord& rec,
+                          const std::string& kind) const;
+
   std::string name_;
   std::string generate_;
+  EventJournal* journal_ = nullptr;      // not owned; may be null
+  FlightRecorder* flightrec_ = nullptr;  // not owned; may be null
   resilience::ResilienceManager mgr_;
   std::mutex event_mu_;  // serializes apply/dump/log on this shard
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> events_{0};
   std::atomic<std::uint64_t> route_errors_{0};
+  std::atomic<std::int64_t> last_commit_ns_{0};  // epoch-age gauge source
 };
 
 class ManagerService {
  public:
+  /// The default options journal to an in-memory ring only (no file, no
+  /// flight recorder) — the live plane's data structures are always on,
+  /// its disk sinks opt-in.
+  explicit ManagerService(const ObservabilityOptions& obs = {});
+
   /// Load a fabric as a new shard (also the CLI --load path). Throws on
   /// duplicate names, bad specs, or unroutable fabrics.
   void load(const std::string& name, const std::string& generate,
@@ -92,12 +116,21 @@ class ManagerService {
   /// telemetry run report flushed at shutdown ("reconfig.<fabric>").
   std::vector<std::pair<std::string, std::string>> report_sections();
 
+  const EventJournal& journal() const { return journal_; }
+  const FlightRecorder& flight_recorder() const { return flightrec_; }
+
  private:
   std::shared_ptr<FabricShard> find(const std::string& name);
   Json op_status();
   Json op_load(const Json& req);
   Json op_unload(const Json& req);
+  Json op_metrics(const Json& req);
+  Json op_journal(const Json& req);
 
+  // Declared before shards_: shards hold raw pointers into both, so the
+  // sinks must outlive every shard on destruction.
+  EventJournal journal_;
+  FlightRecorder flightrec_;
   std::mutex mu_;  // guards shards_ (the map, not the shards)
   std::vector<std::shared_ptr<FabricShard>> shards_;
   std::atomic<bool> shutdown_{false};

@@ -79,6 +79,51 @@ inline void write_chrome_trace(std::ostream& os,
 /// One "key": <raw json> section appended verbatim to the run report.
 using ExtraSection = std::pair<std::string, std::string>;
 
+namespace detail {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+/// registry names map dot (and any other separator) to '_', e.g.
+/// `service.request_us` -> `service_request_us`.
+inline std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty() || (name.front() >= '0' && name.front() <= '9')) {
+    out += '_';
+  }
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Prometheus text exposition (version 0.0.4) of the registry: counters
+/// as `counter`, histograms in the standard cumulative form
+/// (`_bucket{le="..."}` over the non-empty bit-width buckets plus
+/// `+Inf`, `_sum`, `_count`). Served live by the daemon's
+/// `metrics?format=prom` op and written at shutdown via `--prom-out`.
+inline void write_prometheus_text(std::ostream& os) {
+  for (const auto& [name, value] : Registry::instance().counter_snapshot()) {
+    const std::string p = detail::prom_name(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& h : Registry::instance().histogram_snapshot()) {
+    const std::string p = detail::prom_name(h.name);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [le, n] : h.buckets) {
+      cumulative += n;
+      os << p << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << p << "_sum " << h.sum << "\n";
+    os << p << "_count " << h.count << "\n";
+  }
+}
+
 /// Machine-readable run report: config + counters + histograms + span
 /// summary (+ extra raw-JSON sections). Counters and histograms are
 /// whatever the registry currently holds; spans summarize everything
@@ -88,7 +133,10 @@ inline void write_run_report(
     const std::vector<std::pair<std::string, std::string>>& config,
     const std::vector<ExtraSection>& extra = {}) {
   auto& tracer = Tracer::instance();
-  const auto by_name = tracer.aggregate_since(0);
+  // Lifetime aggregate, not aggregate_since(0): in a resident daemon the
+  // bounded central log evicts old spans, and the report must still show
+  // process totals (the live `metrics` op and the shutdown flush agree).
+  const auto by_name = tracer.aggregate_all();
   const std::uint64_t dropped = tracer.dropped();
 
   os << "{\n  \"schema_version\": " << kRunReportSchemaVersion

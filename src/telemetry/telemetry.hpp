@@ -15,9 +15,17 @@
 //     prove the merge race-free); counters are relaxed atomics. Buffers
 //     outlive their threads — the collector keeps shared ownership — so
 //     pool workers never invalidate a trace.
-//   * Lossless accounting: a full ring buffer drops new spans but counts
-//     every drop; exporters surface the count instead of silently
-//     truncating (satellite contract of PR 4).
+//   * Lossless accounting: a full ring buffer overwrites its oldest span
+//     and counts every overwrite; exporters surface the count instead of
+//     silently truncating (satellite contract of PR 4). Keeping the
+//     *newest* spans is what makes the flight recorder's "recent spans"
+//     bundle meaningful (docs/OBSERVABILITY.md, live plane).
+//   * Live-readable: every snapshot (counters, histograms, span
+//     aggregates) is safe to take while producers keep recording — the
+//     daemon's `metrics` op samples mid-storm. A histogram snapshot
+//     derives its count from the bucket array it just read, so a
+//     concurrent record can only make a snapshot *slightly stale*, never
+//     internally torn (count != sum of buckets).
 //
 // Everything is header-only and std-only so the header is usable from
 // util-layer headers (thread_pool.hpp) without new link dependencies.
@@ -32,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace nue::telemetry {
@@ -125,6 +134,16 @@ class Histogram {
     }
     return b;
   }
+  /// Inclusive upper bound of bucket i: bucket 0 holds {0}, bucket i
+  /// holds [2^(i-1), 2^i). Exported as the Prometheus-style `le` edge so
+  /// consumers never re-derive the bit-width bucketing.
+  static std::uint64_t upper_edge(std::size_t i) {
+    return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+  }
+  /// Inclusive lower bound of bucket i (quantile interpolation).
+  static std::uint64_t lower_edge(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
   std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }
@@ -183,9 +202,16 @@ class Registry {
     std::string name;
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;  // (le, n)
+    /// Non-empty buckets as (inclusive upper edge, count) pairs —
+    /// Histogram::upper_edge of the bucket index.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
   };
 
+  /// Safe to take while producers record concurrently (the daemon's live
+  /// `metrics` op): `count` is derived from the bucket loads themselves,
+  /// so a snapshot is always internally consistent — a racing record()
+  /// lands wholly in the next snapshot. `sum` is a separate relaxed load
+  /// and may lag/lead by in-flight samples.
   std::vector<HistogramSnapshot> histogram_snapshot() const {
     std::lock_guard<std::mutex> lk(mu_);
     std::vector<HistogramSnapshot> out;
@@ -193,12 +219,12 @@ class Registry {
     for (const auto& [name, h] : histograms_) {
       HistogramSnapshot s;
       s.name = name;
-      s.count = h->count();
       s.sum = h->sum();
       for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
         const std::uint64_t n = h->bucket(i);
         if (n == 0) continue;
-        s.buckets.emplace_back(i == 0 ? 1 : (std::uint64_t{1} << i), n);
+        s.count += n;
+        s.buckets.emplace_back(Histogram::upper_edge(i), n);
       }
       out.push_back(std::move(s));
     }
@@ -225,6 +251,37 @@ inline Histogram& histogram(std::string_view name) {
   return Registry::instance().histogram(name);
 }
 
+/// Quantile estimate from (inclusive upper edge, count) bucket pairs —
+/// the shape HistogramSnapshot::buckets and the run report's `le` arrays
+/// carry. Linear interpolation inside the winning bucket; exact for
+/// bucket 0 (the {0} bucket). Shared by `nue_routectl watch` and the
+/// bench harnesses so nobody re-derives the bit-width bucketing.
+inline double quantile_from_buckets(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& buckets,
+    double q) {
+  std::uint64_t total = 0;
+  for (const auto& [le, n] : buckets) total += n;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t before = 0;
+  for (const auto& [le, n] : buckets) {
+    if (n == 0) continue;
+    const double last_in_bucket = static_cast<double>(before + n - 1);
+    if (rank <= last_in_bucket) {
+      if (le == 0) return 0.0;
+      const double lo = static_cast<double>((le + 1) / 2);  // 2^(i-1)
+      const double hi = static_cast<double>(le);
+      const double frac =
+          n == 1 ? 0.0
+                 : (rank - static_cast<double>(before)) /
+                       static_cast<double>(n - 1);
+      return lo + frac * (hi - lo);
+    }
+    before += n;
+  }
+  return static_cast<double>(buckets.back().first);
+}
+
 // --- span tracer ------------------------------------------------------------
 
 /// One closed span. `name` must be a string literal (or otherwise outlive
@@ -237,9 +294,11 @@ struct Span {
   std::uint32_t depth = 0;  // nesting depth within the thread at open time
 };
 
-/// Per-thread span sink: a bounded buffer owned by one producer thread,
-/// drained by the collector under the same short lock. Overflow drops the
-/// new span and counts it (never silent).
+/// Per-thread span sink: a bounded ring owned by one producer thread,
+/// drained by the collector under the same short lock. Overflow
+/// overwrites the oldest span and counts it (never silent) — the ring
+/// always holds the newest spans, which is what the flight recorder
+/// snapshots on a gate failure.
 class ThreadBuffer {
  public:
   explicit ThreadBuffer(std::uint32_t tid, std::size_t capacity)
@@ -255,24 +314,49 @@ class ThreadBuffer {
   void push(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
             std::uint32_t depth) {
     std::lock_guard<std::mutex> lk(mu_);
-    if (spans_.size() >= capacity_) {
+    if (spans_.size() < capacity_) {
+      spans_.push_back(Span{name, start_ns, dur_ns, tid_, depth});
+      return;
+    }
+    if (capacity_ == 0) {
       ++dropped_;
       return;
     }
-    spans_.push_back(Span{name, start_ns, dur_ns, tid_, depth});
+    // Ring full: overwrite the oldest retained span (still counted as a
+    // drop — the exporters' lossless-accounting contract is about never
+    // hiding that spans were lost, not about which ones).
+    spans_[start_] = Span{name, start_ns, dur_ns, tid_, depth};
+    start_ = (start_ + 1) % spans_.size();
+    ++dropped_;
   }
 
-  /// Collector side: move the buffered spans out, add drops to `dropped`.
+  /// Collector side: move the buffered spans out in record order, add
+  /// drops to `dropped`.
   void drain_into(std::vector<Span>& out, std::uint64_t& dropped) {
     std::lock_guard<std::mutex> lk(mu_);
-    out.insert(out.end(), spans_.begin(), spans_.end());
+    out.insert(out.end(), spans_.begin() + static_cast<std::ptrdiff_t>(start_),
+               spans_.end());
+    out.insert(out.end(), spans_.begin(),
+               spans_.begin() + static_cast<std::ptrdiff_t>(start_));
     spans_.clear();
+    start_ = 0;
     dropped += dropped_;
     dropped_ = 0;
   }
 
   void set_capacity(std::size_t capacity) {
     std::lock_guard<std::mutex> lk(mu_);
+    if (spans_.size() > capacity) {
+      // Shrink by discarding oldest: rotate into record order first.
+      std::rotate(spans_.begin(),
+                  spans_.begin() + static_cast<std::ptrdiff_t>(start_),
+                  spans_.end());
+      start_ = 0;
+      dropped_ += spans_.size() - capacity;
+      spans_.erase(spans_.begin(),
+                   spans_.begin() +
+                       static_cast<std::ptrdiff_t>(spans_.size() - capacity));
+    }
     capacity_ = capacity;
   }
 
@@ -281,6 +365,7 @@ class ThreadBuffer {
   std::mutex mu_;
   std::size_t capacity_;
   std::vector<Span> spans_;
+  std::size_t start_ = 0;  // ring head once spans_.size() == capacity_
   std::uint64_t dropped_ = 0;
   std::uint32_t depth_ = 0;  // producer-thread-private
 };
@@ -295,6 +380,17 @@ struct SpanAggregate {
 /// collected-span log. collect() merges (losslessly, modulo counted
 /// drops) and is safe to call while other threads keep recording — a
 /// span recorded concurrently just lands in the next collect.
+///
+/// For resident processes (nue_managerd) the central log itself must be
+/// bounded: set_collected_capacity(n) turns it into a ring whose evicted
+/// spans fold into a persistent per-name aggregate before being dropped,
+/// so aggregate_all() — what the run report and the live `metrics` op
+/// export — stays exact for the life of the process while the retained
+/// spans (recent_spans()) stay fresh for the flight recorder. Marks
+/// returned by collect() are absolute collected-span indices, so
+/// aggregate_since() deltas keep working across evictions as long as the
+/// marked spans haven't been evicted yet (bench marks are consumed
+/// immediately; the daemon doesn't use marks).
 class Tracer {
  public:
   static constexpr std::size_t kDefaultBufferCapacity = 1 << 16;
@@ -317,20 +413,21 @@ class Tracer {
     return *buf;
   }
 
-  /// Drain every thread buffer into the central log; returns the log size
-  /// (a mark usable with spans_since for delta aggregation).
+  /// Drain every thread buffer into the central log; returns an absolute
+  /// mark (total spans ever collected) usable with aggregate_since for
+  /// delta aggregation.
   std::size_t collect() {
     std::lock_guard<std::mutex> lk(mu_);
-    for (auto& b : buffers_) b->drain_into(collected_, dropped_);
-    return collected_.size();
+    collect_locked();
+    return evicted_spans_ + collected_.size();
   }
 
   /// Sorted copy of everything collected so far (collect() first for
   /// freshness). Sort key (tid, start, -dur) gives parents before their
   /// children, which both exporters and the nesting test rely on.
   std::vector<Span> snapshot() {
-    collect();
     std::lock_guard<std::mutex> lk(mu_);
+    collect_locked();
     std::vector<Span> out = collected_;
     std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
       if (a.tid != b.tid) return a.tid < b.tid;
@@ -340,13 +437,17 @@ class Tracer {
     return out;
   }
 
-  /// Per-name aggregate of the spans collected after `mark` (from a prior
-  /// collect()), for per-phase bench attribution.
+  /// Per-name aggregate of the spans collected after `mark` (an absolute
+  /// mark from a prior collect()), for per-phase bench attribution. Spans
+  /// already evicted from the bounded log are not included — callers that
+  /// want process-lifetime totals use aggregate_all().
   std::map<std::string, SpanAggregate> aggregate_since(std::size_t mark) {
-    collect();
     std::lock_guard<std::mutex> lk(mu_);
+    collect_locked();
     std::map<std::string, SpanAggregate> out;
-    for (std::size_t i = std::min(mark, collected_.size());
+    const std::size_t start =
+        mark <= evicted_spans_ ? 0 : mark - evicted_spans_;
+    for (std::size_t i = std::min(start, collected_.size());
          i < collected_.size(); ++i) {
       auto& agg = out[collected_[i].name];
       ++agg.count;
@@ -355,9 +456,45 @@ class Tracer {
     return out;
   }
 
-  std::uint64_t dropped() {
-    collect();
+  /// Process-lifetime per-name aggregate: every span ever collected,
+  /// including those evicted from the bounded central log. This is what
+  /// the run report and the live `metrics` op export — scraping it
+  /// mid-run and flushing it at shutdown agree on totals.
+  std::map<std::string, SpanAggregate> aggregate_all() {
     std::lock_guard<std::mutex> lk(mu_);
+    collect_locked();
+    std::map<std::string, SpanAggregate> out = evicted_by_name_;
+    for (const Span& s : collected_) {
+      auto& agg = out[s.name];
+      ++agg.count;
+      agg.total_ns += s.dur_ns;
+    }
+    return out;
+  }
+
+  /// The newest `n` retained spans, sorted by start time — the flight
+  /// recorder's "what was running around the anomaly" bundle section.
+  std::vector<Span> recent_spans(std::size_t n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    collect_locked();
+    // The collected log is drain-ordered, not time-ordered (one segment
+    // per thread per collect); take a generous tail, time-sort, trim.
+    const std::size_t take = std::min(collected_.size(), n * 2);
+    std::vector<Span> out(collected_.end() - static_cast<std::ptrdiff_t>(take),
+                          collected_.end());
+    std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+      if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+      return a.dur_ns > b.dur_ns;
+    });
+    if (out.size() > n) {
+      out.erase(out.begin(), out.end() - static_cast<std::ptrdiff_t>(n));
+    }
+    return out;
+  }
+
+  std::uint64_t dropped() {
+    std::lock_guard<std::mutex> lk(mu_);
+    collect_locked();
     return dropped_;
   }
 
@@ -368,20 +505,57 @@ class Tracer {
     for (auto& b : buffers_) b->set_capacity(capacity);
   }
 
-  /// Clear the central log and drop counts (buffers stay registered).
-  void reset() {
-    collect();
+  /// Bound the central collected log (0 = unbounded, the one-shot-tool
+  /// default). Evicted spans fold into the persistent per-name aggregate
+  /// first, so aggregate_all() stays exact. Resident daemons set this so
+  /// an unbounded event stream can't grow the trace without bound.
+  void set_collected_capacity(std::size_t capacity) {
     std::lock_guard<std::mutex> lk(mu_);
+    collected_capacity_ = capacity;
+    evict_locked();
+  }
+
+  /// Clear the central log, evicted aggregates, and drop counts (buffers
+  /// stay registered).
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    collect_locked();
     collected_.clear();
+    evicted_by_name_.clear();
+    evicted_spans_ = 0;
     dropped_ = 0;
   }
 
  private:
+  void collect_locked() {
+    for (auto& b : buffers_) b->drain_into(collected_, dropped_);
+    evict_locked();
+  }
+
+  void evict_locked() {
+    if (collected_capacity_ == 0 ||
+        collected_.size() <= collected_capacity_) {
+      return;
+    }
+    const std::size_t excess = collected_.size() - collected_capacity_;
+    for (std::size_t i = 0; i < excess; ++i) {
+      auto& agg = evicted_by_name_[collected_[i].name];
+      ++agg.count;
+      agg.total_ns += collected_[i].dur_ns;
+    }
+    collected_.erase(collected_.begin(),
+                     collected_.begin() + static_cast<std::ptrdiff_t>(excess));
+    evicted_spans_ += excess;
+  }
+
   std::mutex mu_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   std::vector<Span> collected_;
+  std::map<std::string, SpanAggregate> evicted_by_name_;
+  std::uint64_t evicted_spans_ = 0;  // spans folded out of the bounded log
   std::uint64_t dropped_ = 0;
   std::size_t buffer_capacity_ = kDefaultBufferCapacity;
+  std::size_t collected_capacity_ = 0;  // 0 = unbounded
 };
 
 /// Reset every telemetry sink (tests and per-scenario fuzz isolation).

@@ -22,9 +22,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "telemetry/cli.hpp"
+#include "telemetry/export.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
@@ -101,6 +104,26 @@ int main(int argc, char** argv) {
   const auto log_max_records = static_cast<std::size_t>(flags.get_int(
       "log-max-records", 512,
       "per-shard ReconfigLog retention window (0 = unbounded)"));
+  service::ObservabilityOptions obs;
+  obs.journal_file = flags.get_string(
+      "journal", "", "mirror the event journal to this JSONL file "
+      "(rotates FILE -> FILE.1 at --journal-max-bytes)");
+  obs.journal_capacity = static_cast<std::size_t>(flags.get_int(
+      "journal-max-records", 4096, "in-memory journal ring capacity"));
+  obs.journal_max_bytes = static_cast<std::size_t>(flags.get_int(
+      "journal-max-bytes", 8 << 20,
+      "journal file rotation threshold in bytes (0 = never rotate)"));
+  obs.flightrec_dir = flags.get_string(
+      "flightrec-dir", "",
+      "write flightrec-<fabric>-<epoch>.json bundles here on gate "
+      "failures ('' = flight recorder off)");
+  obs.flightrec_max_bundles = static_cast<std::size_t>(flags.get_int(
+      "flightrec-max-bundles", 16,
+      "cap on flight-recorder bundles per process"));
+  const std::string prom_out = flags.get_string(
+      "prom-out", "",
+      "write a Prometheus text exposition of the registry at shutdown "
+      "(the live equivalent is the metrics op with format=prom)");
   telemetry::Cli telem;
   telem.register_flags(flags);
   const std::uint32_t threads = flags.get_threads();
@@ -111,8 +134,18 @@ int main(int argc, char** argv) {
   }
   set_default_threads(threads);
 
+  // The live plane is always on in the daemon: the `metrics`/`journal`
+  // ops and the request-latency SLOs must answer whether or not anyone
+  // asked for a shutdown flush. Telemetry never influences control flow
+  // (routing tables are bit-identical either way — the offline-replay
+  // cross-check in tests/test_service.cpp holds with it enabled), and
+  // the central span log is bounded so a resident process can't grow
+  // its trace without bound.
+  telemetry::set_enabled(true);
+  telemetry::Tracer::instance().set_collected_capacity(1 << 16);
+
   try {
-    service::ManagerService svc;
+    service::ManagerService svc(obs);
     for (const auto& item : split(load, ';')) {
       const LoadSpec spec = parse_load(item, log_max_records);
       svc.load(spec.name, spec.generate, spec.policy);
@@ -137,6 +170,14 @@ int main(int argc, char** argv) {
                     {"load", load},
                     {"threads", std::to_string(threads)}},
                    svc.report_sections());
+    }
+    if (!prom_out.empty()) {
+      std::ofstream os(prom_out);
+      if (!os) {
+        std::cerr << "cannot write --prom-out " << prom_out << "\n";
+      } else {
+        telemetry::write_prometheus_text(os);
+      }
     }
     return 0;
   } catch (const std::exception& e) {
