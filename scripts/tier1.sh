@@ -15,14 +15,16 @@ ctest --test-dir build --output-on-failure -j
 # TSan also covers the churn regressions, the daemon's concurrent
 # query-during-storm path (epoch-snapshot reads racing repair commits),
 # the wave-scheduler suite (multi-epoch migration chains committing
-# through the same swap while readers hold table snapshots), and the
+# through the same swap while readers hold table snapshots), the
 # live observability plane (scraper threads reading metrics/journal
-# against an in-flight storm).
+# against an in-flight storm), and the event-engine suites (the engine
+# itself is single-threaded, but its runs sit downstream of the
+# thread-pooled routing phase).
 cmake -B build-tsan -S . -DSANITIZE=thread
 cmake --build build-tsan -j --target nue_tests
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/nue_tests \
-  --gtest_filter='ParallelDeterminism.*:NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*:LivePlane.*'
+  --gtest_filter='ParallelDeterminism.*:NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*:LivePlane.*:EventSim.*:SimParity.*:Scenario.*'
 
 cmake -B build-ubsan -S . -DSANITIZE=undefined
 cmake --build build-ubsan -j --target route_fuzz
@@ -77,7 +79,7 @@ python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
 cmake --build build-asan -j --target nue_managerd nue_routectl nue_tests
 ASAN_OPTIONS="halt_on_error=1" \
   ./build-asan/tests/nue_tests \
-  --gtest_filter='NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*:LivePlane.*'
+  --gtest_filter='NetworkChurn.*:ResilienceChurn.*:Daemon.*:WaveScheduler.*:LivePlane.*:EventSim.*:SimParity.*:Scenario.*'
 MANAGERD_SOCK="build-asan/managerd.sock"
 rm -rf build-asan/flightrec build-asan/managerd.journal.jsonl
 ASAN_OPTIONS="halt_on_error=1" \
@@ -176,6 +178,18 @@ python3 scripts/validate_json.py scripts/schemas/run_report.schema.json \
 python3 scripts/validate_json.py scripts/schemas/bench_scale.schema.json \
   build/BENCH_scale.json \
   --nonzero peak_rss_mb \
+  --nonzero records
+
+# Simulation-bench smoke (docs/SIMULATION.md): a tiny torus through the
+# full sim-scale machinery — scenario parsing, the event engine with
+# phase spans, and the event-vs-cycle head-to-head, whose delivered
+# totals the bench itself asserts byte-identical (exit 2 on divergence).
+# total_events proves the event path actually ran; the full 10^5-switch
+# head-to-head is a manual `bench_sim_scale` run.
+./build/bench/bench_sim_scale --smoke --json build/BENCH_sim.json
+python3 scripts/validate_json.py scripts/schemas/bench_sim.schema.json \
+  build/BENCH_sim.json \
+  --nonzero total_events \
   --nonzero records
 
 echo "tier-1 OK"

@@ -126,6 +126,12 @@ struct OracleConfig {
   /// broken table — its one job is catching an acyclicity verdict the
   /// hardware model disagrees with.
   std::size_t max_sim_nodes = 72;
+  /// When the flit-sim check runs, also replay the same traffic through
+  /// the cycle-based engine and demand matching verdicts and (on
+  /// completion) identical delivered totals — a differential oracle over
+  /// the two simulator implementations themselves
+  /// (sim-engine-divergence).
+  bool cross_check_engines = true;
 };
 
 struct OracleReport {
@@ -140,6 +146,7 @@ struct OracleReport {
   bool sim_checked = false;
   bool sim_deadlocked = false;
   bool sim_completed = false;
+  bool engines_cross_checked = false;  // event vs cycle engine replay ran
   bool reconfig_checked = false;          // reconfiguration family ran
   std::size_t reconfig_transitions = 0;   // non-noop epoch swaps driven
   std::size_t reconfig_hitless = 0;
@@ -155,7 +162,8 @@ struct OracleReport {
 /// Stable kind token of the first violation ("" if none). Kinds:
 /// engine-exception, nue-routing-failure, unreachable, path-revisits-node,
 /// vl-overflow, vl-budget-exceeded, cdg-cycle, non-minimal-path,
-/// sim-deadlock, mutation-not-caught — and, from the reconfiguration
+/// sim-deadlock, sim-engine-divergence, mutation-not-caught — and, from
+/// the reconfiguration
 /// family: reconfig-invalid-table, reconfig-union-cycle,
 /// reconfig-event-crash.
 std::string violation_kind(const OracleReport& rep);

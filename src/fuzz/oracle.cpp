@@ -151,9 +151,37 @@ OracleReport check_scenario(const ScenarioSpec& spec,
     rep.sim_completed = res.completed;
     if (rep.validation.deadlock_free && res.deadlocked) {
       add_violation(rep, "sim-deadlock",
-                    "CDG is acyclic but the flit simulator's watchdog "
-                    "fired after " +
-                        std::to_string(res.cycles) + " cycles");
+                    "CDG is acyclic but the event-driven flit simulator "
+                    "drained its event queue with packets outstanding at "
+                    "cycle " +
+                        std::to_string(res.cycles));
+    }
+    // Second differential axis: the same traffic through the cycle-based
+    // engine. The two implementations share the hardware model but almost
+    // no code, so verdict or delivery disagreement means one of them is
+    // wrong — a free oracle for the event engine's wake discipline (a
+    // missed wake-up shows up here as a false event-engine deadlock).
+    if (cfg.cross_check_engines) {
+      rep.engines_cross_checked = true;
+      const SimResult base = simulate_cycle(net, rr, msgs, scfg);
+      if (base.completed != res.completed ||
+          base.deadlocked != res.deadlocked) {
+        std::stringstream ss;
+        ss << "event engine (completed=" << res.completed
+           << ", deadlocked=" << res.deadlocked << ") vs cycle engine ("
+           << "completed=" << base.completed
+           << ", deadlocked=" << base.deadlocked << ")";
+        add_violation(rep, "sim-engine-divergence", ss.str());
+      } else if (base.completed &&
+                 (base.delivered_bytes != res.delivered_bytes ||
+                  base.delivered_packets != res.delivered_packets)) {
+        std::stringstream ss;
+        ss << "both engines completed but delivered " << res.delivered_bytes
+           << " vs " << base.delivered_bytes << " bytes ("
+           << res.delivered_packets << " vs " << base.delivered_packets
+           << " packets)";
+        add_violation(rep, "sim-engine-divergence", ss.str());
+      }
     }
   }
 

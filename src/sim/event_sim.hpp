@@ -1,0 +1,75 @@
+// Discrete-event flit simulator (the netsim idiom: a time-keyed event
+// queue with per-router handlers that only run when a flit, credit, or
+// injection event arrives). Same hardware model as the cycle engine in
+// flit_sim.cpp — input-queued switches, credit flow control, per-VL
+// wormhole locks, one flit per channel per cycle — but cost scales with
+// *events* (flit movements and wake-ups), not fabric-size x cycles:
+//
+//   * A blocked queue costs nothing until the resource it waits on
+//     changes: every failed arbitration subscribes the actor to the
+//     (channel, VL) buffers that blocked it, and the credit release /
+//     lock release wakes exactly the subscribers.
+//   * Idle stretches of the timeline are skipped entirely (the clock
+//     jumps to the next scheduled event), so sparse traffic on a
+//     100k-switch fabric or a long trace horizon is cheap.
+//   * Deadlock is detected the instant it happens, in event terms:
+//     packets are outstanding but no movement event is scheduled and no
+//     subscription can ever fire again (the event queue drained). No
+//     idle-cycle watchdog, no 50k-cycle wait.
+//
+// The incremental API (inject at arbitrary future times, run to
+// quiescence, inject more) is what the scenario subsystem
+// (sim/scenario.hpp) builds barriers, bursts, and collective phases on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/flit_sim.hpp"
+
+namespace nue {
+
+enum class SimRunStatus : std::uint8_t {
+  kCompleted,   // every injected packet delivered
+  kDeadlocked,  // packets outstanding, event queue drained
+  kCycleLimit,  // simulated time exceeded SimConfig::max_cycles
+  kWallLimit,   // wall clock exceeded SimConfig::max_wall_ms
+};
+
+class EventSimulator {
+ public:
+  /// adaptive_vls = 0 selects deterministic table routing; > 0 selects
+  /// Duato-style adaptive routing with `rr` as the single-VL escape
+  /// routing (see simulate_adaptive).
+  EventSimulator(const Network& net, const RoutingResult& rr,
+                 const SimConfig& cfg, std::uint32_t adaptive_vls = 0);
+  ~EventSimulator();
+  EventSimulator(const EventSimulator&) = delete;
+  EventSimulator& operator=(const EventSimulator&) = delete;
+
+  /// Schedule a message's packets for injection at absolute cycle `when`
+  /// (>= 1; times at or before now() are clamped to now() + 1). Messages
+  /// injected at the same terminal keep their injection order.
+  void inject(const Message& m, std::uint64_t when = 1);
+  void inject(const std::vector<Message>& msgs, std::uint64_t when = 1);
+
+  /// Process events until every injected packet is delivered, deadlock,
+  /// or a limit fires. Callable repeatedly: inject more traffic after a
+  /// completed run and call run() again (the clock keeps advancing).
+  SimRunStatus run();
+
+  std::uint64_t now() const;
+  std::uint64_t events_processed() const;
+  std::uint64_t delivered_packets() const;
+  std::uint64_t delivered_bytes() const;
+
+  /// Aggregate statistics snapshot (same schema as the cycle engine).
+  SimResult result() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nue

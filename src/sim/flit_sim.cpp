@@ -1,3 +1,7 @@
+// The cycle-based engine: the original scan-every-active-channel-every-
+// cycle implementation, kept as the differential baseline for the
+// discrete-event engine in event_sim.cpp (parity suite, fuzzer
+// cross-check, bench_sim_scale head-to-head).
 #include "sim/flit_sim.hpp"
 
 #include <algorithm>
@@ -8,6 +12,7 @@
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace nue {
 
@@ -106,9 +111,15 @@ class Simulator {
     std::uint64_t cycle = 0;
     std::uint64_t last_move_cycle = 0;
     const std::uint64_t total_packets = packets_.size();
+    Timer wall;
     while (delivered_packets_ < total_packets) {
       ++cycle;
       if (cycle > cfg_.max_cycles) break;
+      if (cfg_.max_wall_ms > 0 && (cycle & 0xFFF) == 0 &&
+          wall.seconds() * 1e3 >= cfg_.max_wall_ms) {
+        res.hit_wall_budget = true;
+        break;
+      }
       if (adaptive_vls_ > 0 ? step_adaptive(cycle) : step(cycle)) {
         last_move_cycle = cycle;
       } else if (cycle - last_move_cycle >= cfg_.deadlock_cycles) {
@@ -613,60 +624,23 @@ class Simulator {
 
 }  // namespace
 
-SimResult simulate(const Network& net, const RoutingResult& rr,
-                   const std::vector<Message>& messages,
-                   const SimConfig& cfg) {
+SimResult simulate_cycle(const Network& net, const RoutingResult& rr,
+                         const std::vector<Message>& messages,
+                         const SimConfig& cfg) {
   Simulator sim(net, rr, messages, cfg);
   return sim.run();
 }
 
-SimResult simulate_adaptive(const Network& net, const RoutingResult& escape,
-                            std::uint32_t adaptive_vls,
-                            const std::vector<Message>& messages,
-                            const SimConfig& cfg) {
+SimResult simulate_adaptive_cycle(const Network& net,
+                                  const RoutingResult& escape,
+                                  std::uint32_t adaptive_vls,
+                                  const std::vector<Message>& messages,
+                                  const SimConfig& cfg) {
   NUE_CHECK(adaptive_vls >= 1);
   NUE_CHECK_MSG(escape.num_vls() == 1,
                 "escape routing must be a single-VL deadlock-free routing");
   Simulator sim(net, escape, messages, cfg, adaptive_vls);
   return sim.run();
-}
-
-std::vector<Message> alltoall_shift_messages(const Network& net,
-                                             std::uint32_t message_bytes,
-                                             std::uint32_t shift_samples) {
-  const auto terminals = net.terminals();
-  const std::uint32_t t = static_cast<std::uint32_t>(terminals.size());
-  NUE_CHECK(t >= 2);
-  std::vector<Message> msgs;
-  const std::uint32_t num_shifts =
-      shift_samples == 0 ? t - 1 : std::min(shift_samples, t - 1);
-  // Evenly spaced shift distances across [1, t-1].
-  for (std::uint32_t k = 0; k < num_shifts; ++k) {
-    const std::uint32_t s =
-        1 + static_cast<std::uint32_t>(
-                (static_cast<std::uint64_t>(k) * (t - 1)) / num_shifts);
-    for (std::uint32_t i = 0; i < t; ++i) {
-      msgs.push_back({terminals[i], terminals[(i + s) % t], message_bytes});
-    }
-  }
-  return msgs;
-}
-
-std::vector<Message> uniform_random_messages(const Network& net,
-                                             std::size_t count,
-                                             std::uint32_t message_bytes,
-                                             Rng& rng) {
-  const auto terminals = net.terminals();
-  NUE_CHECK(terminals.size() >= 2);
-  std::vector<Message> msgs;
-  msgs.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const NodeId s = terminals[rng.next_below(terminals.size())];
-    NodeId d = s;
-    while (d == s) d = terminals[rng.next_below(terminals.size())];
-    msgs.push_back({s, d, message_bytes});
-  }
-  return msgs;
 }
 
 }  // namespace nue

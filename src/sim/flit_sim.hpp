@@ -1,6 +1,5 @@
-// Cycle-based flit-level simulator of a lossless, credit-flow-controlled
-// network (the reproduction's stand-in for the paper's ibsim + OMNeT++
-// toolchain).
+// Flit-level simulation of a lossless, credit-flow-controlled network
+// (the reproduction's stand-in for the paper's ibsim + OMNeT++ toolchain).
 //
 // Model: input-queued switches with one FIFO per (inbound channel, VL),
 // credit-based backpressure (a flit moves only when the downstream buffer
@@ -11,6 +10,23 @@
 // selection come straight from a RoutingResult's forwarding tables, so a
 // cyclic channel dependency really deadlocks the simulation — the deadlock
 // watchdog turns that into a reported outcome instead of a hang.
+//
+// Two engines implement this model (docs/SIMULATION.md):
+//
+//   * simulate()/simulate_adaptive() — the discrete-event engine
+//     (src/sim/event_sim.hpp): a time-keyed event queue with per-router
+//     handlers that only run when a flit, credit, or injection event
+//     arrives. Deadlock is detected *instantly* in event terms (packets
+//     outstanding but no movement event schedulable — SimConfig's
+//     deadlock_cycles watchdog is not needed), and idle stretches of the
+//     timeline cost nothing, which is what opens 100x larger fabrics and
+//     workload horizons (ROADMAP item 4).
+//
+//   * simulate_cycle()/simulate_adaptive_cycle() — the original
+//     scan-every-active-channel-every-cycle engine, kept as the
+//     differential baseline: the parity suite (tests/test_sim_parity.cpp)
+//     and the fuzzer's oracle cross-check event-engine verdicts against
+//     it, and bench_sim_scale reports the head-to-head wall times.
 #pragma once
 
 #include <cstdint>
@@ -35,17 +51,30 @@ struct SimConfig {
   /// with its own header flit (InfiniBand MTU-style segmentation).
   std::uint32_t mtu_bytes = 2048;
   std::uint64_t max_cycles = 50'000'000;
-  /// Abort as deadlocked after this many cycles without any flit movement.
+  /// Cycle engine only: abort as deadlocked after this many cycles without
+  /// any flit movement. The event engine needs no watchdog — it reports
+  /// deadlock the moment no movement event remains schedulable.
   std::uint32_t deadlock_cycles = 50'000;
+  /// Abort (completed = false, hit_wall_budget = true) once the simulation
+  /// has consumed this much wall-clock time (0 = unlimited). Checked
+  /// periodically by both engines; bench_sim_scale uses it to bound the
+  /// cycle-engine leg of the head-to-head comparison.
+  double max_wall_ms = 0.0;
 };
 
 struct SimResult {
   bool completed = false;
   bool deadlocked = false;
+  /// The wall-clock budget (SimConfig::max_wall_ms) expired first.
+  bool hit_wall_budget = false;
   std::uint64_t cycles = 0;
   std::uint64_t delivered_packets = 0;
   std::uint64_t delivered_bytes = 0;
   std::uint64_t flit_hops = 0;
+  /// Events processed by the discrete-event engine (0 for the cycle
+  /// engine) and the peak size of its pending-event set.
+  std::uint64_t events_processed = 0;
+  std::uint64_t queue_peak = 0;
   /// delivered payload per cycle, in units of one channel's capacity.
   double aggregate_flits_per_cycle = 0.0;
   /// aggregate divided by terminal count: mean fraction of terminal line
@@ -65,6 +94,7 @@ struct SimResult {
 
 /// Run the given per-terminal message sequences to completion. Each
 /// terminal injects its messages in order at line rate (saturation).
+/// Discrete-event engine (see event_sim.hpp for the incremental API).
 SimResult simulate(const Network& net, const RoutingResult& rr,
                    const std::vector<Message>& messages,
                    const SimConfig& cfg);
@@ -77,11 +107,23 @@ SimResult simulate(const Network& net, const RoutingResult& rr,
 /// (e.g. Up*/Down*) for the rest of its journey — the conservative
 /// stay-on-escape variant, which is deadlock-free whenever the escape
 /// routing's CDG is acyclic. Body flits always follow their header's
-/// per-hop decision (wormhole).
+/// per-hop decision (wormhole). Discrete-event engine.
 SimResult simulate_adaptive(const Network& net, const RoutingResult& escape,
                             std::uint32_t adaptive_vls,
                             const std::vector<Message>& messages,
                             const SimConfig& cfg);
+
+/// The original cycle-based engine (every active channel scanned every
+/// cycle): the differential baseline for the parity suite, the fuzzer's
+/// engine cross-check, and bench_sim_scale's head-to-head leg.
+SimResult simulate_cycle(const Network& net, const RoutingResult& rr,
+                         const std::vector<Message>& messages,
+                         const SimConfig& cfg);
+SimResult simulate_adaptive_cycle(const Network& net,
+                                  const RoutingResult& escape,
+                                  std::uint32_t adaptive_vls,
+                                  const std::vector<Message>& messages,
+                                  const SimConfig& cfg);
 
 /// All-to-all exchange with varying shift distances (the paper's traffic
 /// pattern): in sub-phase s, terminal i sends `message_bytes` to terminal

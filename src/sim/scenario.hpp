@@ -1,0 +1,148 @@
+// Workload scenarios for the discrete-event simulator: timed arrivals,
+// multi-phase collectives with barriers, and trace-driven replay — the
+// scenario space the cycle engine could not open (it pays for every idle
+// cycle, so a bursty trace with long gaps or a barrier-synchronised
+// collective on a quiet fabric was off the table).
+//
+// A Scenario is an ordered list of phases. A phase carries messages with
+// injection times relative to the phase's start. A phase marked
+// `barrier` waits for the fabric to drain (every prior packet delivered)
+// before its clock starts — exactly an MPI-style barrier between
+// collective steps. Non-barrier phases share their predecessor's start
+// time, overlaying traffic (e.g. background uniform load underneath a
+// burst train).
+//
+// Generators cover the standard adversarial shapes (Dally & Towles ch. 3
+// plus collective schedules): Poisson-ish uniform arrivals, synchronised
+// bursts, a hotspot whose location drifts over time, ring and tree
+// allreduce schedules, and the paper's shift-pattern all-to-all split
+// into barriered sub-phases. `parse_scenario` gives the CLI grammar used
+// by bench_sim_scale; traces round-trip through save/load for replay.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/event_sim.hpp"
+#include "sim/flit_sim.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+
+struct TimedMessage {
+  Message msg;
+  std::uint64_t time = 0;  // injection cycle, relative to phase start
+};
+
+struct ScenarioPhase {
+  std::string label;
+  /// Wait for all previously injected traffic to drain before this
+  /// phase's clock starts (collective barrier). Non-barrier phases start
+  /// together with their predecessor.
+  bool barrier = true;
+  std::vector<TimedMessage> messages;
+};
+
+struct Scenario {
+  std::vector<ScenarioPhase> phases;
+
+  std::size_t total_messages() const;
+  std::uint64_t total_bytes() const;
+};
+
+/// Wall-clock and simulated-time extent of one phase, for the bench
+/// JSON's phase spans. Phases between two barriers share an end cycle
+/// (their traffic drains together).
+struct PhaseSpan {
+  std::string label;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct ScenarioResult {
+  SimResult sim;  // aggregate over the whole scenario
+  SimRunStatus status = SimRunStatus::kCompleted;
+  std::vector<PhaseSpan> phases;
+};
+
+/// Drive a scenario through the event engine (adaptive_vls as in
+/// simulate_adaptive; 0 = deterministic). Stops early on deadlock or a
+/// cycle/wall limit; spans of phases already injected still report.
+ScenarioResult simulate_scenario(const Network& net, const RoutingResult& rr,
+                                 const Scenario& sc, const SimConfig& cfg,
+                                 std::uint32_t adaptive_vls = 0);
+
+// --- generators -------------------------------------------------------------
+// All generators draw sources from the alive terminals; destinations come
+// from `dest_pool` when non-empty (the routed-destination sample on
+// fabrics too large to route in full), otherwise from all terminals.
+
+/// `count` messages at uniform-random times in [0, duration), random
+/// terminal pairs (self-pairs redrawn).
+ScenarioPhase uniform_arrivals_phase(const Network& net, std::size_t count,
+                                     std::uint32_t message_bytes,
+                                     std::uint64_t duration, Rng& rng,
+                                     const std::vector<NodeId>& dest_pool = {});
+
+/// `bursts` synchronised bursts, `gap` cycles apart; each burst injects
+/// `per_burst` random-pair messages at the same instant (adversarial
+/// incast-style contention).
+ScenarioPhase burst_arrivals_phase(const Network& net, std::size_t bursts,
+                                   std::size_t per_burst,
+                                   std::uint32_t message_bytes,
+                                   std::uint64_t gap, Rng& rng,
+                                   const std::vector<NodeId>& dest_pool = {});
+
+/// Hotspot whose location drifts: `count` messages over [0, duration), a
+/// fraction `hot_fraction` aimed at the current hot terminal, which walks
+/// through `steps` evenly spaced positions of the destination pool over
+/// the duration.
+ScenarioPhase hotspot_drift_phase(const Network& net, std::size_t count,
+                                  std::uint32_t message_bytes,
+                                  double hot_fraction, std::uint64_t duration,
+                                  std::size_t steps, Rng& rng,
+                                  const std::vector<NodeId>& dest_pool = {});
+
+/// Ring allreduce on the terminal ordering: reduce-scatter then allgather,
+/// 2(T-1) barriered neighbor-exchange steps of bytes/T each (the
+/// bandwidth-optimal schedule).
+Scenario allreduce_ring_scenario(const Network& net, std::uint64_t bytes);
+
+/// Tree allreduce: ceil(log2 T) pairwise reduce steps up, then the mirror
+/// broadcast steps down, all barriered.
+Scenario allreduce_tree_scenario(const Network& net, std::uint64_t bytes);
+
+/// The paper's shift-pattern all-to-all as barriered sub-phases: one
+/// phase per shift distance (shift_samples as in alltoall_shift_messages).
+Scenario alltoall_phased_scenario(const Network& net,
+                                  std::uint32_t message_bytes,
+                                  std::uint32_t shift_samples = 0);
+
+// --- trace replay -----------------------------------------------------------
+
+/// Plain-text trace format ("# nue-trace v1"): `phase <barrier> <label>`
+/// and `msg <src> <dst> <bytes> <time>` lines. Round-trips scenarios for
+/// replay; throws std::logic_error on malformed input.
+void write_trace(std::ostream& os, const Scenario& sc);
+Scenario read_trace(std::istream& is);
+void save_trace_file(const std::string& path, const Scenario& sc);
+Scenario load_trace_file(const std::string& path);
+
+/// CLI grammar (bench_sim_scale --scenario): semicolon-separated
+/// directives, each appending phases —
+///   uniform:COUNT:BYTES:DURATION
+///   burst:BURSTS:PER_BURST:BYTES:GAP
+///   hotspot:COUNT:BYTES:HOT_PERCENT:DURATION:STEPS
+///   alltoall:BYTES:SHIFTS
+///   allreduce-ring:BYTES
+///   allreduce-tree:BYTES
+///   trace:PATH
+/// Throws std::logic_error on a malformed spec.
+Scenario parse_scenario(const Network& net, const std::string& spec, Rng& rng,
+                        const std::vector<NodeId>& dest_pool = {});
+
+}  // namespace nue

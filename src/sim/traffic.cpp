@@ -1,6 +1,6 @@
 #include "sim/traffic.hpp"
 
-#include <bit>
+#include <algorithm>
 
 #include "util/error.hpp"
 
@@ -27,7 +27,11 @@ std::size_t pattern_target(TrafficPattern p, std::size_t i, std::size_t t) {
       return (lo << (bits - half)) | hi;
     }
     case TrafficPattern::kTornado:
-      return (i + t / 2 - (t > 2 ? 1 : 0)) % t;
+      // Standard tornado: offset ceil(T/2) - 1, the near-half-way shift
+      // that is adversarial for rings/tori. Integer form (T+1)/2 - 1 is
+      // exact for both parities; the old T/2 - 1 collapsed odd T toward
+      // neighbor traffic (e.g. T=5 gave offset 1 instead of 2).
+      return (i + (t + 1) / 2 - 1) % t;
     case TrafficPattern::kNeighbor:
       return (i + 1) % t;
     case TrafficPattern::kReverse: {
@@ -47,18 +51,30 @@ std::size_t pattern_target(TrafficPattern p, std::size_t i, std::size_t t) {
 std::vector<Message> pattern_messages(const Network& net,
                                       TrafficPattern pattern,
                                       std::uint32_t message_bytes,
-                                      std::uint32_t repetitions) {
+                                      std::uint32_t repetitions,
+                                      PatternStats* stats) {
   const auto terminals = net.terminals();
   const std::size_t t = terminals.size();
   NUE_CHECK(t >= 2);
+  PatternStats st;
+  st.requested = static_cast<std::size_t>(repetitions) * t;
   std::vector<Message> msgs;
   for (std::uint32_t rep = 0; rep < repetitions; ++rep) {
     for (std::size_t i = 0; i < t; ++i) {
       const std::size_t target = pattern_target(pattern, i, t);
-      if (target >= t || target == i) continue;  // out of range / self
+      if (target >= t) {
+        ++st.dropped_out_of_range;
+        continue;
+      }
+      if (target == i) {
+        ++st.dropped_self;
+        continue;
+      }
       msgs.push_back({terminals[i], terminals[target], message_bytes});
     }
   }
+  st.generated = msgs.size();
+  if (stats != nullptr) *stats = st;
   return msgs;
 }
 
@@ -73,14 +89,56 @@ std::vector<Message> hotspot_messages(const Network& net, std::size_t count,
   std::vector<Message> msgs;
   msgs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const NodeId s = terminals[rng.next_below(terminals.size())];
+    NodeId s = terminals[rng.next_below(terminals.size())];
     NodeId d;
     if (rng.next_bool(hot_fraction)) {
+      // The destination is fixed by definition; redraw the source when it
+      // collides so the hot terminal really receives `hot_fraction` of the
+      // requested load (skipping the draw undercounted it).
       d = terminals[hot_index];
+      while (s == d) s = terminals[rng.next_below(terminals.size())];
     } else {
       d = terminals[rng.next_below(terminals.size())];
+      while (d == s) d = terminals[rng.next_below(terminals.size())];
     }
-    if (d == s) continue;
+    msgs.push_back({s, d, message_bytes});
+  }
+  return msgs;
+}
+
+std::vector<Message> alltoall_shift_messages(const Network& net,
+                                             std::uint32_t message_bytes,
+                                             std::uint32_t shift_samples) {
+  const auto terminals = net.terminals();
+  const std::uint32_t t = static_cast<std::uint32_t>(terminals.size());
+  NUE_CHECK(t >= 2);
+  std::vector<Message> msgs;
+  const std::uint32_t num_shifts =
+      shift_samples == 0 ? t - 1 : std::min(shift_samples, t - 1);
+  // Evenly spaced shift distances across [1, t-1].
+  for (std::uint32_t k = 0; k < num_shifts; ++k) {
+    const std::uint32_t s =
+        1 + static_cast<std::uint32_t>(
+                (static_cast<std::uint64_t>(k) * (t - 1)) / num_shifts);
+    for (std::uint32_t i = 0; i < t; ++i) {
+      msgs.push_back({terminals[i], terminals[(i + s) % t], message_bytes});
+    }
+  }
+  return msgs;
+}
+
+std::vector<Message> uniform_random_messages(const Network& net,
+                                             std::size_t count,
+                                             std::uint32_t message_bytes,
+                                             Rng& rng) {
+  const auto terminals = net.terminals();
+  NUE_CHECK(terminals.size() >= 2);
+  std::vector<Message> msgs;
+  msgs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId s = terminals[rng.next_below(terminals.size())];
+    NodeId d = s;
+    while (d == s) d = terminals[rng.next_below(terminals.size())];
     msgs.push_back({s, d, message_bytes});
   }
   return msgs;

@@ -16,21 +16,39 @@ namespace nue {
 enum class TrafficPattern : std::uint8_t {
   kBitComplement,  // i -> ~i          (worst-case bisection load)
   kTranspose,      // (hi,lo) -> (lo,hi) on the index's bit halves
-  kTornado,        // i -> i + T/2 - 1 (adversarial for rings/tori)
+  kTornado,        // i -> i + ceil(T/2) - 1 (adversarial for rings/tori)
   kNeighbor,       // i -> i + 1       (best case, nearest neighbor)
   kReverse,        // i -> bit-reversed i
 };
 
+/// Achieved-vs-requested accounting for pattern_messages: the bit-defined
+/// patterns (complement/transpose/reverse) only cover a power-of-two index
+/// space, so on other terminal counts some targets land out of range and
+/// the message is dropped; self-targets (pattern fixed points) are dropped
+/// everywhere. Same convention as the inject_* fault helpers — callers see
+/// the real injected load instead of a silent shortfall.
+struct PatternStats {
+  std::size_t requested = 0;       // repetitions * terminal count
+  std::size_t generated = 0;       // messages actually returned
+  std::size_t dropped_out_of_range = 0;  // target >= T (non-pow2 only)
+  std::size_t dropped_self = 0;          // pattern fixed points
+};
+
 /// One message of `message_bytes` per terminal, destination given by the
 /// pattern (self-messages are dropped). Index-space patterns use the
-/// position of a terminal within net.terminals().
+/// position of a terminal within net.terminals(). `stats`, when non-null,
+/// receives the achieved-vs-requested breakdown.
 std::vector<Message> pattern_messages(const Network& net,
                                       TrafficPattern pattern,
                                       std::uint32_t message_bytes,
-                                      std::uint32_t repetitions = 1);
+                                      std::uint32_t repetitions = 1,
+                                      PatternStats* stats = nullptr);
 
-/// Hotspot traffic: `count` uniform-random messages, of which a fraction
-/// `hot_fraction` is redirected to one hot terminal (index hot_index).
+/// Hotspot traffic: exactly `count` messages, uniform-random source, of
+/// which a fraction `hot_fraction` targets one hot terminal (index
+/// hot_index) and the rest a uniform-random destination. Self-pairs are
+/// redrawn (never silently skipped), so the injected load always matches
+/// the requested count.
 std::vector<Message> hotspot_messages(const Network& net, std::size_t count,
                                       std::uint32_t message_bytes,
                                       double hot_fraction,

@@ -1,0 +1,262 @@
+// The scenario subsystem: timed generators, barrier semantics, collective
+// schedules, trace round-trips, and the CLI grammar.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "nue/nue_routing.hpp"
+#include "routing/dfsssp.hpp"
+#include "sim/scenario.hpp"
+#include "sim/traffic.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace nue {
+namespace {
+
+using test::make_ring;
+
+SimConfig scenario_config() {
+  SimConfig cfg;
+  cfg.deadlock_cycles = 5000;
+  cfg.max_cycles = 2'000'000;
+  return cfg;
+}
+
+TEST(Scenario, UniformArrivalsExactCountAndTimeBounds) {
+  Network net = make_ring(4, 2);
+  Rng rng(3);
+  const auto phase = uniform_arrivals_phase(net, 250, 64, 1000, rng);
+  ASSERT_EQ(phase.messages.size(), 250u);
+  for (const auto& tm : phase.messages) {
+    EXPECT_NE(tm.msg.src, tm.msg.dst);
+    EXPECT_LT(tm.time, 1000u);
+  }
+}
+
+TEST(Scenario, DestPoolConfinesDestinations) {
+  Network net = make_ring(6, 2);
+  Rng rng(9);
+  const auto terminals = net.terminals();
+  const std::vector<NodeId> pool{terminals[1], terminals[4]};
+  const auto phase = uniform_arrivals_phase(net, 120, 64, 500, rng, pool);
+  ASSERT_EQ(phase.messages.size(), 120u);
+  for (const auto& tm : phase.messages) {
+    EXPECT_TRUE(tm.msg.dst == pool[0] || tm.msg.dst == pool[1]);
+    EXPECT_NE(tm.msg.src, tm.msg.dst);
+  }
+}
+
+TEST(Scenario, BurstArrivalsShareInstants) {
+  Network net = make_ring(4, 2);
+  Rng rng(5);
+  const auto phase = burst_arrivals_phase(net, 4, 10, 128, 50, rng);
+  ASSERT_EQ(phase.messages.size(), 40u);
+  std::set<std::uint64_t> instants;
+  for (const auto& tm : phase.messages) instants.insert(tm.time);
+  EXPECT_EQ(instants.size(), 4u);  // one instant per burst
+  for (std::uint64_t t : instants) EXPECT_EQ(t % 50, 0u);
+}
+
+TEST(Scenario, HotspotDriftMovesTheHotTerminal) {
+  Network net = make_ring(8, 2);  // 16 terminals
+  Rng rng(17);
+  const auto phase = hotspot_drift_phase(net, 1200, 64, 0.9, 1200, 4, rng);
+  ASSERT_EQ(phase.messages.size(), 1200u);
+  // Majority destination in the first quarter differs from the last one:
+  // the hot terminal walked.
+  auto majority_dst = [&](std::uint64_t lo, std::uint64_t hi) {
+    std::map<NodeId, std::size_t> freq;
+    for (const auto& tm : phase.messages) {
+      if (tm.time >= lo && tm.time < hi) ++freq[tm.msg.dst];
+    }
+    NodeId best = 0;
+    std::size_t best_n = 0;
+    for (const auto& [node, n] : freq) {
+      if (n > best_n) best = node, best_n = n;
+    }
+    return best;
+  };
+  EXPECT_NE(majority_dst(0, 300), majority_dst(900, 1200));
+}
+
+TEST(Scenario, BarrierPhasesRunBackToBack) {
+  Network net = make_ring(6, 2);
+  const auto rr = route_nue(net, net.terminals(), NueOptions{});
+  Rng rng(1);
+  Scenario sc;
+  sc.phases.push_back(uniform_arrivals_phase(net, 40, 256, 100, rng));
+  sc.phases[0].label = "wave-a";
+  sc.phases.push_back(uniform_arrivals_phase(net, 40, 256, 100, rng));
+  sc.phases[1].label = "wave-b";  // barrier=true by default
+  const auto res = simulate_scenario(net, rr, sc, scenario_config());
+  ASSERT_EQ(res.status, SimRunStatus::kCompleted);
+  ASSERT_EQ(res.phases.size(), 2u);
+  EXPECT_EQ(res.phases[0].label, "wave-a");
+  EXPECT_EQ(res.phases[0].messages, 40u);
+  EXPECT_GE(res.phases[0].end_cycle, res.phases[0].start_cycle);
+  // The barrier drains wave-a before wave-b's clock starts.
+  EXPECT_GT(res.phases[1].start_cycle, res.phases[0].end_cycle);
+  EXPECT_EQ(res.sim.delivered_packets, 80u);
+}
+
+TEST(Scenario, NonBarrierPhaseOverlaysPredecessor) {
+  Network net = make_ring(6, 2);
+  const auto rr = route_nue(net, net.terminals(), NueOptions{});
+  Rng rng(2);
+  Scenario sc;
+  sc.phases.push_back(uniform_arrivals_phase(net, 30, 256, 200, rng));
+  ScenarioPhase overlay = burst_arrivals_phase(net, 2, 5, 128, 60, rng);
+  overlay.barrier = false;
+  sc.phases.push_back(overlay);
+  const auto res = simulate_scenario(net, rr, sc, scenario_config());
+  ASSERT_EQ(res.status, SimRunStatus::kCompleted);
+  ASSERT_EQ(res.phases.size(), 2u);
+  EXPECT_EQ(res.phases[1].start_cycle, res.phases[0].start_cycle);
+}
+
+TEST(Scenario, AllreduceRingCompletesWithFullSchedule) {
+  Network net = make_ring(4, 2);  // 8 terminals
+  const auto rr = route_nue(net, net.terminals(), NueOptions{});
+  const auto sc = allreduce_ring_scenario(net, 8192);
+  ASSERT_EQ(sc.phases.size(), 2u * (8 - 1));  // reduce-scatter + allgather
+  for (const auto& ph : sc.phases) {
+    EXPECT_TRUE(ph.barrier);
+    EXPECT_EQ(ph.messages.size(), 8u);  // every rank exchanges each step
+  }
+  const auto res = simulate_scenario(net, rr, sc, scenario_config());
+  ASSERT_EQ(res.status, SimRunStatus::kCompleted);
+  EXPECT_EQ(res.phases.size(), sc.phases.size());
+  // Barriered spans are strictly ordered.
+  for (std::size_t i = 1; i < res.phases.size(); ++i) {
+    EXPECT_GT(res.phases[i].start_cycle, res.phases[i - 1].end_cycle);
+  }
+}
+
+TEST(Scenario, AllreduceTreeHasLogDepth) {
+  Network net = make_ring(4, 2);  // 8 terminals
+  const auto sc = allreduce_tree_scenario(net, 4096);
+  ASSERT_EQ(sc.phases.size(), 6u);  // 3 reduce up + 3 broadcast down
+  // Reduce fan-in halves each step; the broadcast mirror fans back out.
+  EXPECT_EQ(sc.phases[0].messages.size(), 4u);
+  EXPECT_EQ(sc.phases[1].messages.size(), 2u);
+  EXPECT_EQ(sc.phases[2].messages.size(), 1u);
+  EXPECT_EQ(sc.phases[3].messages.size(), 1u);
+  EXPECT_EQ(sc.phases[4].messages.size(), 2u);
+  EXPECT_EQ(sc.phases[5].messages.size(), 4u);
+}
+
+TEST(Scenario, AlltoallPhasedMatchesFlatGenerator) {
+  Network net = make_ring(5, 2);
+  const auto flat = alltoall_shift_messages(net, 512);
+  const auto sc = alltoall_phased_scenario(net, 512);
+  EXPECT_EQ(sc.total_messages(), flat.size());
+  std::uint64_t flat_bytes = 0;
+  for (const auto& m : flat) flat_bytes += m.bytes;
+  EXPECT_EQ(sc.total_bytes(), flat_bytes);
+}
+
+TEST(Scenario, TraceRoundTripsExactly) {
+  Network net = make_ring(4, 2);
+  Rng rng(23);
+  Scenario sc;
+  sc.phases.push_back(uniform_arrivals_phase(net, 25, 96, 400, rng));
+  sc.phases[0].label = "warmup";
+  ScenarioPhase bursts = burst_arrivals_phase(net, 3, 4, 64, 30, rng);
+  bursts.barrier = false;
+  bursts.label = "bursts";
+  sc.phases.push_back(bursts);
+
+  std::stringstream ss;
+  write_trace(ss, sc);
+  const Scenario back = read_trace(ss);
+  ASSERT_EQ(back.phases.size(), sc.phases.size());
+  for (std::size_t p = 0; p < sc.phases.size(); ++p) {
+    EXPECT_EQ(back.phases[p].label, sc.phases[p].label);
+    EXPECT_EQ(back.phases[p].barrier, sc.phases[p].barrier);
+    ASSERT_EQ(back.phases[p].messages.size(), sc.phases[p].messages.size());
+    for (std::size_t i = 0; i < sc.phases[p].messages.size(); ++i) {
+      const auto& a = sc.phases[p].messages[i];
+      const auto& b = back.phases[p].messages[i];
+      EXPECT_EQ(b.msg.src, a.msg.src);
+      EXPECT_EQ(b.msg.dst, a.msg.dst);
+      EXPECT_EQ(b.msg.bytes, a.msg.bytes);
+      EXPECT_EQ(b.time, a.time);
+    }
+  }
+}
+
+TEST(Scenario, TraceFileSaveLoad) {
+  Network net = make_ring(3, 1);
+  Rng rng(31);
+  Scenario sc;
+  sc.phases.push_back(uniform_arrivals_phase(net, 10, 64, 50, rng));
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "nue_scenario.trace")
+          .string();
+  save_trace_file(path, sc);
+  const Scenario back = load_trace_file(path);
+  EXPECT_EQ(back.total_messages(), sc.total_messages());
+  EXPECT_EQ(back.total_bytes(), sc.total_bytes());
+  std::filesystem::remove(path);
+}
+
+TEST(Scenario, MalformedTraceThrows) {
+  std::stringstream ss("not a trace\n");
+  EXPECT_THROW(read_trace(ss), std::logic_error);
+}
+
+TEST(Scenario, ParseGrammarBuildsPhases) {
+  Network net = make_ring(6, 2);
+  Rng rng(41);
+  const Scenario sc = parse_scenario(
+      net, "uniform:50:256:100;burst:3:10:128:50;allreduce-ring:4096", rng);
+  // uniform (1 phase) + burst (1 phase) + ring allreduce (2(T-1) phases).
+  ASSERT_EQ(sc.phases.size(), 2u + 2u * (12 - 1));
+  EXPECT_EQ(sc.phases[0].messages.size(), 50u);
+  EXPECT_EQ(sc.phases[1].messages.size(), 30u);
+}
+
+TEST(Scenario, ParseGrammarRejectsMalformedSpecs) {
+  Network net = make_ring(3, 1);
+  Rng rng(1);
+  EXPECT_THROW(parse_scenario(net, "", rng), std::logic_error);
+  EXPECT_THROW(parse_scenario(net, "uniform:50", rng), std::logic_error);
+  EXPECT_THROW(parse_scenario(net, "warp:9", rng), std::logic_error);
+  EXPECT_THROW(parse_scenario(net, "uniform:x:64:10", rng), std::logic_error);
+}
+
+TEST(Scenario, ParsedScenarioSimulates) {
+  Network net = make_ring(6, 2);
+  const auto rr = route_nue(net, net.terminals(), NueOptions{});
+  Rng rng(8);
+  const Scenario sc =
+      parse_scenario(net, "burst:2:8:256:40;alltoall:512:4", rng);
+  const auto res = simulate_scenario(net, rr, sc, scenario_config());
+  ASSERT_EQ(res.status, SimRunStatus::kCompleted);
+  EXPECT_TRUE(res.sim.completed);
+  EXPECT_EQ(res.sim.delivered_packets, sc.total_messages());
+  EXPECT_EQ(res.sim.delivered_bytes, sc.total_bytes());
+  EXPECT_EQ(res.phases.size(), sc.phases.size());
+}
+
+TEST(Scenario, DeadlockStopsTheScenarioEarly) {
+  Network net = make_ring(6, 2);
+  const auto rr = route_minhop(net, net.terminals());
+  auto cfg = scenario_config();
+  cfg.buffer_flits = 2;
+  const auto sc = alltoall_phased_scenario(net, 4096);
+  const auto res = simulate_scenario(net, rr, sc, cfg);
+  EXPECT_EQ(res.status, SimRunStatus::kDeadlocked);
+  EXPECT_TRUE(res.sim.deadlocked);
+  // At least one span was opened before the hang; not all completed.
+  EXPECT_LE(res.phases.size(), sc.phases.size());
+  EXPECT_FALSE(res.phases.empty());
+}
+
+}  // namespace
+}  // namespace nue

@@ -42,9 +42,42 @@ TEST(Traffic, TornadoOffset) {
   const auto msgs = pattern_messages(net, TrafficPattern::kTornado, 256);
   const auto terminals = net.terminals();
   for (std::size_t i = 0; i < msgs.size(); ++i) {
-    EXPECT_EQ(msgs[i].dst, terminals[(i + 4) % 10]);  // T/2 - 1 = 4
+    EXPECT_EQ(msgs[i].dst, terminals[(i + 4) % 10]);  // ceil(T/2) - 1 = 4
   }
 }
+
+/// Tornado must shift by ceil(T/2) - 1 on every terminal count — the old
+/// T/2 - 1 integer form collapsed odd T (T=5 gave offset 1, near-neighbor
+/// traffic instead of the adversarial near-half-way shift).
+class TornadoParam : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TornadoParam, OffsetIsCeilHalfMinusOne) {
+  const std::uint32_t t = GetParam();
+  Network net = make_ring(t, 1);
+  PatternStats st;
+  const auto msgs =
+      pattern_messages(net, TrafficPattern::kTornado, 64, 1, &st);
+  const auto terminals = net.terminals();
+  const std::uint32_t offset = (t + 1) / 2 - 1;
+  EXPECT_EQ(st.requested, t);
+  EXPECT_EQ(st.dropped_out_of_range, 0u);
+  if (offset == 0) {
+    // T = 2: tornado degenerates to self-traffic, all dropped (reported).
+    EXPECT_EQ(st.generated, 0u);
+    EXPECT_EQ(st.dropped_self, t);
+  } else {
+    EXPECT_EQ(st.generated, t);
+    EXPECT_EQ(st.dropped_self, 0u);
+    ASSERT_EQ(msgs.size(), t);
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(msgs[i].src, terminals[i]);
+      EXPECT_EQ(msgs[i].dst, terminals[(i + offset) % t]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddEvenSmall, TornadoParam,
+                         ::testing::Values(2u, 3u, 4u, 5u, 7u, 10u, 16u));
 
 TEST(Traffic, ReversePatternBijectiveOnPow2) {
   Network net = make_ring(8, 2);  // 16 terminals
@@ -72,6 +105,52 @@ TEST(Traffic, HotspotConcentratesOnHotTerminal) {
   // ~50% redirected + ~1/12 uniform: expect far above uniform share.
   EXPECT_GT(to_hot, msgs.size() / 3);
   EXPECT_LT(to_hot, 2 * msgs.size() / 3);
+}
+
+TEST(Traffic, HotspotExactCountAtHighFraction) {
+  Network net = make_ring(6, 2);  // 12 terminals
+  Rng rng(7);
+  const std::size_t count = 400;
+  // At hot_fraction 0.95 the old skip-on-collision generator undercounted
+  // badly (every hot draw whose random source landed on the hot terminal
+  // vanished); the redraw contract delivers exactly `count` messages.
+  const auto msgs = hotspot_messages(net, count, 64, 0.95, 3, rng);
+  ASSERT_EQ(msgs.size(), count);
+  const NodeId hot = net.terminals()[3];
+  std::size_t to_hot = 0;
+  for (const auto& m : msgs) {
+    EXPECT_NE(m.src, m.dst);
+    to_hot += m.dst == hot;
+  }
+  EXPECT_GT(to_hot, count * 85 / 100);
+}
+
+TEST(Traffic, UniformRandomExactCount) {
+  Network net = make_ring(3, 1);  // 3 terminals: 1-in-3 self-draw chance
+  Rng rng(11);
+  const auto msgs = uniform_random_messages(net, 300, 64, rng);
+  ASSERT_EQ(msgs.size(), 300u);
+  for (const auto& m : msgs) EXPECT_NE(m.src, m.dst);
+}
+
+TEST(Traffic, PatternStatsReportDropsOnNonPow2) {
+  Network net = make_ring(12, 1);  // 12 terminals, index space is 16
+  PatternStats st;
+  const auto msgs =
+      pattern_messages(net, TrafficPattern::kBitComplement, 64, 2, &st);
+  EXPECT_EQ(st.requested, 24u);
+  EXPECT_EQ(st.generated, msgs.size());
+  EXPECT_GT(st.dropped_out_of_range, 0u);
+  EXPECT_EQ(st.generated + st.dropped_out_of_range + st.dropped_self,
+            st.requested);
+}
+
+TEST(Traffic, PatternStatsNoRangeDropsOnPow2) {
+  Network net = make_ring(8, 2);  // 16 terminals
+  PatternStats st;
+  pattern_messages(net, TrafficPattern::kReverse, 64, 1, &st);
+  EXPECT_EQ(st.dropped_out_of_range, 0u);
+  EXPECT_EQ(st.generated + st.dropped_self, st.requested);
 }
 
 TEST(Traffic, PatternsSimulateToCompletion) {
